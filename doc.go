@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "PRoST: Distributed
+// Execution of SPARQL Queries Using Mixed Partitioning Strategies"
+// (Cossu, Färber, Lausen — EDBT 2018).
+//
+// The paper's system and every substrate it depends on are implemented
+// under internal/ (see DESIGN.md for the inventory); cmd/ holds the
+// loader, query and benchmark tools; examples/ holds runnable
+// walkthroughs; and bench_test.go in this package regenerates every
+// table and figure of the paper's evaluation as testing.B benchmarks.
+package repro

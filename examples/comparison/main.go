@@ -1,0 +1,64 @@
+// Comparison reproduces the paper's Figure 3 in miniature: one WatDiv
+// workload loaded into all four systems (PRoST, S2RDF, Rya, SPARQLGX),
+// a few representative queries run on each, and the simulated times
+// printed side by side — with costs extrapolated to the paper's
+// 100M-triple dataset so the crossovers appear.
+//
+// Run with:
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/watdiv"
+)
+
+func main() {
+	g, err := watdiv.Generate(watdiv.Config{Scale: 400, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loading %d WatDiv triples into all four systems…\n\n", g.Len())
+	sys, err := bench.LoadAll(g, bench.LoadOptions{ExtrapolateTriples: 100_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(sys.Table1())
+
+	fmt.Printf("%-4s %-10s %12s %12s %14s %12s\n", "qry", "shape", "PRoST", "S2RDF", "Rya", "SPARQLGX")
+	for _, name := range []string{"C2", "F2", "L3", "S2", "S6"} {
+		q, err := watdiv.QueryByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times := map[string]time.Duration{}
+		rows := -1
+		for _, system := range bench.SystemNames() {
+			out, err := sys.RunOn(system, q.Parsed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[system] = out.SimTime
+			if rows >= 0 && out.Rows != rows {
+				log.Fatalf("%s: %s returned %d rows, others %d", name, system, out.Rows, rows)
+			}
+			rows = out.Rows
+		}
+		fmt.Printf("%-4s %-10s %12v %12v %14v %12v\n",
+			name, q.Parsed.Shape().Label(),
+			times[bench.SysPRoST].Round(time.Millisecond),
+			times[bench.SysS2RDF].Round(time.Millisecond),
+			times[bench.SysRya].Round(time.Millisecond),
+			times[bench.SysSPARQLGX].Round(time.Millisecond))
+	}
+	fmt.Println("\nAll four systems returned identical row counts for every query.")
+	fmt.Println("SPARQLGX pays a spark-submit per query; Rya explodes on join-heavy")
+	fmt.Println("queries; S2RDF's ExtVP reductions pay off on the complex family on")
+	fmt.Println("average; PRoST's mixed strategy stays consistently fast on all shapes.")
+}

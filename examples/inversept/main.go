@@ -1,0 +1,58 @@
+// Inversept demonstrates the paper's future-work extension (§5): a
+// second Property Table keyed on objects instead of subjects. Queries
+// whose patterns share an object variable — pairs of reviews by the
+// same reviewer, pairs of users in the same city — collapse into one
+// inverse-PT node instead of paying a join between two VP tables.
+//
+// Run with:
+//
+//	go run ./examples/inversept
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/watdiv"
+)
+
+func main() {
+	g, err := watdiv.Generate(watdiv.Config{Scale: 400, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := cluster.New(cluster.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	store, err := core.Load(g, core.Options{Cluster: c, BuildInversePT: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d triples; inverse PT has %d rows × %d columns\n\n",
+		store.LoadReport().Triples,
+		store.InversePropertyTable().Rows(),
+		store.InversePropertyTable().Columns())
+
+	fmt.Printf("%-4s %-34s %14s %14s\n", "qry", "first node (mixed+ipt)", "mixed", "mixed+ipt")
+	for _, q := range bench.ObjectStarQueries() {
+		mixed, err := store.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipt, err := store.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixedIPT})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(mixed.Rows) != len(ipt.Rows) {
+			log.Fatalf("%s: strategies disagree (%d vs %d rows)", q.Name, len(mixed.Rows), len(ipt.Rows))
+		}
+		fmt.Printf("%-4s %-34s %14v %14v\n", q.Name, ipt.Tree.Nodes[0].Label(), mixed.SimTime, ipt.SimTime)
+	}
+	fmt.Println("\nObject stars become single IPT scans instead of self-joins. The win")
+	fmt.Println("depends on object-value skew: heavily skewed keys (popular products)")
+	fmt.Println("can straggle one partition — the caveat the paper's future work hides.")
+}

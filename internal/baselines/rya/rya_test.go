@@ -1,0 +1,221 @@
+package rya
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+const ns = "http://example.org/"
+
+func fixtureGraph() *rdf.Graph {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	num := func(s string) rdf.Term { return rdf.NewTypedLiteral(s, rdf.XSDInteger) }
+	g := rdf.NewGraph(0)
+	add := func(s, p string, o rdf.Term) { g.AddSPO(iri(s), iri(p), o) }
+	add("u0", "follows", iri("u1"))
+	add("u0", "follows", iri("u2"))
+	add("u1", "follows", iri("u2"))
+	add("u0", "likes", iri("pA"))
+	add("u1", "likes", iri("pA"))
+	add("u1", "likes", iri("pB"))
+	add("u2", "likes", iri("pB"))
+	add("pA", "genre", iri("g1"))
+	add("pB", "genre", iri("g2"))
+	add("u0", "name", rdf.NewLiteral("alice"))
+	add("u1", "name", rdf.NewLiteral("bob"))
+	add("u0", "age", num("25"))
+	add("u1", "age", num("30"))
+	return g
+}
+
+func fixtureStore(t *testing.T) *Store {
+	t.Helper()
+	c := cluster.MustNew(cluster.Config{Workers: 3, DefaultPartitions: 4})
+	s, err := Load(fixtureGraph(), Options{Cluster: c})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return s
+}
+
+func run(t *testing.T, s *Store, src string) ([]string, *Result) {
+	t.Helper()
+	res, err := s.Query(sparql.MustParse(src))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var rows []string
+	for _, r := range res.Rows {
+		var parts []string
+		for _, term := range r {
+			parts = append(parts, strings.TrimPrefix(term.Value, ns))
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sortStrings(rows)
+	return rows, res
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestLoadBuildsThreeIndexes(t *testing.T) {
+	s := fixtureStore(t)
+	rep := s.LoadReport()
+	if rep.Triples != 13 {
+		t.Errorf("Triples = %d, want 13", rep.Triples)
+	}
+	if s.spo.Len() != 13 || s.pos.Len() != 13 || s.osp.Len() != 13 {
+		t.Errorf("index sizes = %d/%d/%d, want 13 each", s.spo.Len(), s.pos.Len(), s.osp.Len())
+	}
+	if rep.SizeBytes <= 0 || rep.LoadTime <= 0 {
+		t.Errorf("LoadReport = %+v", rep)
+	}
+}
+
+func TestQueryBoundSubject(t *testing.T) {
+	s := fixtureStore(t)
+	rows, res := run(t, s, `SELECT ?x WHERE { <http://example.org/u0> <http://example.org/follows> ?x . }`)
+	if len(rows) != 2 || rows[0] != "u1" || rows[1] != "u2" {
+		t.Errorf("rows = %v", rows)
+	}
+	if res.SimTime <= 0 {
+		t.Errorf("SimTime = %v", res.SimTime)
+	}
+}
+
+func TestQueryChainJoins(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT ?u ?g WHERE {
+		?u <http://example.org/likes> ?p .
+		?p <http://example.org/genre> ?g .
+	}`)
+	want := []string{"u0|g1", "u1|g1", "u1|g2", "u2|g2"}
+	if strings.Join(rows, " ") != strings.Join(want, " ") {
+		t.Errorf("rows = %v, want %v", rows, want)
+	}
+}
+
+func TestQueryStar(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT ?u WHERE {
+		?u <http://example.org/name> "bob" .
+		?u <http://example.org/age> ?a .
+	}`)
+	if len(rows) != 1 || rows[0] != "u1" {
+		t.Errorf("rows = %v, want [u1]", rows)
+	}
+}
+
+func TestQueryObjectOnlyUsesOSP(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT ?u WHERE { ?u <http://example.org/likes> <http://example.org/pB> . }`)
+	if len(rows) != 2 || rows[0] != "u1" || rows[1] != "u2" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestQueryVariablePredicate(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT ?p WHERE { <http://example.org/pA> ?p ?o . }`)
+	if len(rows) != 1 || rows[0] != "genre" {
+		t.Errorf("rows = %v, want [genre]", rows)
+	}
+}
+
+func TestQueryFilter(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT ?u WHERE { ?u <http://example.org/age> ?a . FILTER(?a > 27) }`)
+	if len(rows) != 1 || rows[0] != "u1" {
+		t.Errorf("rows = %v, want [u1]", rows)
+	}
+}
+
+func TestQueryDistinctAndLimit(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT DISTINCT ?p WHERE { ?u <http://example.org/likes> ?p . }`)
+	if len(rows) != 2 {
+		t.Errorf("distinct rows = %v", rows)
+	}
+	rows, _ = run(t, s, `SELECT ?p WHERE { ?u <http://example.org/likes> ?p . } LIMIT 2`)
+	if len(rows) != 2 {
+		t.Errorf("limited rows = %v", rows)
+	}
+}
+
+func TestSeekCountGrowsWithBindings(t *testing.T) {
+	// The chain join needs one lookup per intermediate binding: its
+	// total seeks must exceed the single-pattern query's.
+	s := fixtureStore(t)
+	_, res1 := run(t, s, `SELECT ?u ?p WHERE { ?u <http://example.org/likes> ?p . }`)
+	_, res2 := run(t, s, `SELECT ?u ?g WHERE {
+		?u <http://example.org/likes> ?p .
+		?p <http://example.org/genre> ?g .
+	}`)
+	seeks := func(c *cluster.Clock) int64 {
+		var n int64
+		for _, st := range c.Stages() {
+			// Seek counts are embedded in the stage names
+			// ("pattern N: K lookups"); use elapsed as a proxy.
+			_ = st
+			n++
+		}
+		return n
+	}
+	if seeks(res2.Clock) <= seeks(res1.Clock) {
+		t.Errorf("chain query recorded %d stages, single pattern %d; expected more lookup stages",
+			seeks(res2.Clock), seeks(res1.Clock))
+	}
+	if res2.SimTime <= res1.SimTime {
+		t.Errorf("chain SimTime %v not greater than single-pattern %v", res2.SimTime, res1.SimTime)
+	}
+}
+
+func TestEmptyResults(t *testing.T) {
+	s := fixtureStore(t)
+	rows, _ := run(t, s, `SELECT ?u WHERE { ?u <http://example.org/nope> ?x . }`)
+	if len(rows) != 0 {
+		t.Errorf("rows = %v, want empty", rows)
+	}
+	rows, _ = run(t, s, `SELECT ?u WHERE {
+		?u <http://example.org/likes> <http://example.org/ghost> .
+	}`)
+	if len(rows) != 0 {
+		t.Errorf("rows = %v, want empty", rows)
+	}
+}
+
+func TestKeySegmentRoundTrip(t *testing.T) {
+	terms := []rdf.Term{
+		rdf.NewIRI("http://example.org/x"),
+		rdf.NewLiteral("plain words"),
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+		rdf.NewLangLiteral("chat", "fr"),
+		rdf.NewBlank("b0"),
+	}
+	for _, term := range terms {
+		got, err := parseKeySegment(keyOf(term))
+		if err != nil {
+			t.Errorf("parseKeySegment(%v): %v", term, err)
+			continue
+		}
+		if got != term {
+			t.Errorf("round trip %v != %v", got, term)
+		}
+	}
+}
+
+func TestLoadRequiresCluster(t *testing.T) {
+	if _, err := Load(fixtureGraph(), Options{}); err == nil {
+		t.Errorf("Load without cluster succeeded")
+	}
+}

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/watdiv"
+)
+
+// The shared fixture: one WatDiv dataset loaded into all four systems.
+// Loading S2RDF's ExtVP family dominates, so it happens once.
+var (
+	fixtureOnce sync.Once
+	fixture     *Systems
+	fixtureErr  error
+)
+
+const fixtureScale = 400
+
+func systems(t *testing.T) *Systems {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		g := watdiv.MustGenerate(watdiv.Config{Scale: fixtureScale, Seed: 42})
+		// Extrapolate to the paper's 100M-triple dataset so the shape
+		// assertions test the regime the paper measured.
+		fixture, fixtureErr = LoadAll(g, LoadOptions{InversePT: true, ExtrapolateTriples: 100_000_000})
+	})
+	if fixtureErr != nil {
+		t.Fatalf("LoadAll: %v", fixtureErr)
+	}
+	return fixture
+}
+
+func TestAllSystemsAgreeOnEveryQuery(t *testing.T) {
+	s := systems(t)
+	if err := s.VerifyAgreement(watdiv.BasicQuerySet()); err != nil {
+		t.Fatalf("systems disagree: %v", err)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := systems(t)
+	size := map[string]int64{}
+	load := map[string]time.Duration{}
+	for _, row := range s.Loads() {
+		size[row.System] = row.SizeBytes
+		load[row.System] = row.LoadTime
+	}
+	// Size ordering (paper Table 1): SPARQLGX < PRoST < Rya < S2RDF.
+	if !(size[SysSPARQLGX] < size[SysPRoST]) {
+		t.Errorf("size: SPARQLGX (%d) not smaller than PRoST (%d)", size[SysSPARQLGX], size[SysPRoST])
+	}
+	if !(size[SysPRoST] < size[SysRya]) {
+		t.Errorf("size: PRoST (%d) not smaller than Rya (%d)", size[SysPRoST], size[SysRya])
+	}
+	if !(size[SysRya] < size[SysS2RDF]) {
+		t.Errorf("size: Rya (%d) not smaller than S2RDF (%d)", size[SysRya], size[SysS2RDF])
+	}
+	// Time ordering: SPARQLGX ≈ PRoST ≪ S2RDF; Rya between.
+	if !(load[SysSPARQLGX] <= load[SysPRoST]) {
+		t.Errorf("load time: SPARQLGX (%v) not ≤ PRoST (%v)", load[SysSPARQLGX], load[SysPRoST])
+	}
+	if !(load[SysPRoST] < load[SysS2RDF]) {
+		t.Errorf("load time: PRoST (%v) not < S2RDF (%v)", load[SysPRoST], load[SysS2RDF])
+	}
+	if ratio := float64(load[SysS2RDF]) / float64(load[SysPRoST]); ratio < 2 {
+		t.Errorf("load time: S2RDF/PRoST ratio = %.2f, want ≫ 1 (paper: ≈7.5)", ratio)
+	}
+	out := s.Table1().String()
+	for _, name := range SystemNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.Figure2(queries)
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	// Mixed must beat VP-only on every star query and on average
+	// overall; linear queries may tie (paper §4.3).
+	var vpTotal, mixedTotal time.Duration
+	for i, label := range fig.Labels {
+		vp, mixed := fig.Series[0].Values[i], fig.Series[1].Values[i]
+		vpTotal += vp
+		mixedTotal += mixed
+		if strings.HasPrefix(label, "S") && mixed > vp {
+			t.Errorf("%s: mixed (%v) slower than VP-only (%v) on a star query", label, mixed, vp)
+		}
+	}
+	if mixedTotal >= vpTotal {
+		t.Errorf("mixed total (%v) not faster than VP-only total (%v)", mixedTotal, vpTotal)
+	}
+	if !strings.Contains(fig.String(), "Figure 2") {
+		t.Errorf("figure rendering lost its title")
+	}
+}
+
+func TestFigure3AndTable2Shape(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.Figure3(queries)
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+
+	prost := GroupAverages(fig, queries, SysPRoST)
+	s2rdf := GroupAverages(fig, queries, SysS2RDF)
+	rya := GroupAverages(fig, queries, SysRya)
+	gx := GroupAverages(fig, queries, SysSPARQLGX)
+
+	// Paper Table 2 orderings per group:
+	//   Complex:   S2RDF < PRoST ≪ SPARQLGX ≪ Rya
+	//   Snowflake: S2RDF < PRoST ≪ SPARQLGX ≪ Rya
+	//   Linear:    S2RDF < PRoST ≪ SPARQLGX ≪ Rya
+	//   Star:      PRoST ≈ S2RDF ≪ SPARQLGX ≈ Rya (PRoST wins several)
+	for _, g := range []string{"C", "F", "L"} {
+		if !(prost[g] < gx[g]) {
+			t.Errorf("group %s: PRoST (%v) not faster than SPARQLGX (%v)", g, prost[g], gx[g])
+		}
+		if !(gx[g] < rya[g]) {
+			t.Errorf("group %s: SPARQLGX (%v) not faster than Rya (%v)", g, gx[g], rya[g])
+		}
+	}
+	if !(prost["S"] < gx["S"]) {
+		t.Errorf("star: PRoST (%v) not faster than SPARQLGX (%v)", prost["S"], gx["S"])
+	}
+	// S2RDF beats PRoST on complex queries (its ExtVP advantage).
+	if !(s2rdf["C"] < prost["C"]) {
+		t.Errorf("complex: S2RDF (%v) not faster than PRoST (%v)", s2rdf["C"], prost["C"])
+	}
+	// PRoST beats SPARQLGX by roughly an order of magnitude overall.
+	var prostTotal, gxTotal time.Duration
+	for _, g := range watdiv.Groups() {
+		prostTotal += prost[g]
+		gxTotal += gx[g]
+	}
+	if ratio := float64(gxTotal) / float64(prostTotal); ratio < 3 {
+		t.Errorf("SPARQLGX/PRoST overall ratio = %.2f, want ≫ 1 (paper: ≈10)", ratio)
+	}
+	// Rya's average is the worst overall (paper: dominated by complex).
+	var ryaTotal time.Duration
+	for _, g := range watdiv.Groups() {
+		ryaTotal += rya[g]
+	}
+	if ryaTotal <= gxTotal {
+		t.Errorf("Rya total (%v) not slower than SPARQLGX total (%v)", ryaTotal, gxTotal)
+	}
+
+	tbl := Table2(fig, queries)
+	out := tbl.String()
+	for _, label := range []string{"Complex", "Snowflake", "Linear", "Star"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("Table 2 missing group %s:\n%s", label, out)
+		}
+	}
+}
+
+func TestAblationJoinOrder(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.AblationJoinOrder(queries)
+	if err != nil {
+		t.Fatalf("AblationJoinOrder: %v", err)
+	}
+	var stats, naive time.Duration
+	for i := range fig.Labels {
+		stats += fig.Series[0].Values[i]
+		naive += fig.Series[1].Values[i]
+	}
+	if stats > naive {
+		t.Errorf("stats ordering total (%v) slower than naive (%v)", stats, naive)
+	}
+}
+
+func TestAblationBroadcast(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.AblationBroadcast(queries)
+	if err != nil {
+		t.Fatalf("AblationBroadcast: %v", err)
+	}
+	var on, off time.Duration
+	for i := range fig.Labels {
+		on += fig.Series[0].Values[i]
+		off += fig.Series[1].Values[i]
+	}
+	if on >= off {
+		t.Errorf("broadcast-on total (%v) not faster than broadcast-off (%v)", on, off)
+	}
+}
+
+func TestExtensionInversePT(t *testing.T) {
+	s := systems(t)
+	queries := ObjectStarQueries()
+	fig, err := s.ExtensionInversePT(queries)
+	if err != nil {
+		t.Fatalf("ExtensionInversePT: %v", err)
+	}
+	var mixed, ipt time.Duration
+	for i := range fig.Labels {
+		mixed += fig.Series[0].Values[i]
+		ipt += fig.Series[1].Values[i]
+	}
+	if ipt >= mixed {
+		t.Errorf("mixed+ipt total (%v) not faster than mixed (%v) on object stars", ipt, mixed)
+	}
+}
+
+func TestRunOnUnknownSystem(t *testing.T) {
+	s := systems(t)
+	q := watdiv.BasicQuerySet()[0]
+	if _, err := s.RunOn("NoSuchSystem", q.Parsed); err == nil {
+		t.Errorf("RunOn with unknown system succeeded")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	if got := formatBytes(2 << 30); got != "2.00 GiB" {
+		t.Errorf("formatBytes = %q", got)
+	}
+	if got := formatDuration(25*time.Minute + 32*time.Second); got != "25m 32s" {
+		t.Errorf("formatDuration = %q", got)
+	}
+	if got := formatDuration(3*time.Hour + 11*time.Minute + 44*time.Second); got != "3h 11m 44s" {
+		t.Errorf("formatDuration = %q", got)
+	}
+	if got := formatMS(1195 * time.Millisecond); got != "1195.0ms" {
+		t.Errorf("formatMS = %q", got)
+	}
+	tbl := Table{Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	if !strings.Contains(tbl.String(), "bb") {
+		t.Errorf("table render broken:\n%s", tbl)
+	}
+}

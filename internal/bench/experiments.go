@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sparql"
+	"repro/internal/watdiv"
+)
+
+// Table1 regenerates the paper's Table 1: per-system database size and
+// loading time on the shared dataset.
+func (s *Systems) Table1() Table {
+	t := Table{
+		Title:  "Table 1: Size and loading times",
+		Header: []string{"System", "Size", "Time"},
+	}
+	for _, row := range s.loads {
+		t.Rows = append(t.Rows, []string{row.System, formatBytes(row.SizeBytes), formatDuration(row.LoadTime)})
+	}
+	return t
+}
+
+// Figure2 regenerates the paper's Figure 2: per-query times for PRoST
+// with Vertical Partitioning only versus the mixed strategy.
+func (s *Systems) Figure2(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Figure 2: Querying time, VP-only vs mixed strategy (PRoST)",
+		Series: []Series{
+			{Name: "VP-only"},
+			{Name: "Mixed"},
+		},
+	}
+	for _, q := range queries {
+		vp, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyVPOnly, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: figure 2, %s vp-only: %w", q.Name, err)
+		}
+		mixed, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: figure 2, %s mixed: %w", q.Name, err)
+		}
+		if len(vp.Rows) != len(mixed.Rows) {
+			return Figure{}, fmt.Errorf("bench: figure 2, %s: vp-only %d rows vs mixed %d rows", q.Name, len(vp.Rows), len(mixed.Rows))
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, vp.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, mixed.SimTime)
+	}
+	return fig, nil
+}
+
+// Figure3 regenerates the paper's Figure 3: per-query times for PRoST,
+// S2RDF, Rya and SPARQLGX (the paper plots these on a log scale).
+func (s *Systems) Figure3(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Figure 3: Querying time per query, all systems (log scale)",
+	}
+	for _, name := range SystemNames() {
+		fig.Series = append(fig.Series, Series{Name: name})
+	}
+	for _, q := range queries {
+		fig.Labels = append(fig.Labels, q.Name)
+		var baseRows = -1
+		for i, name := range SystemNames() {
+			out, err := s.RunOn(name, q.Parsed)
+			if err != nil {
+				return Figure{}, fmt.Errorf("bench: figure 3, %s on %s: %w", q.Name, name, err)
+			}
+			if baseRows < 0 {
+				baseRows = out.Rows
+			} else if out.Rows != baseRows {
+				return Figure{}, fmt.Errorf("bench: figure 3, %s: %s returned %d rows, expected %d", q.Name, name, out.Rows, baseRows)
+			}
+			fig.Series[i].Values = append(fig.Series[i].Values, out.SimTime)
+		}
+	}
+	return fig, nil
+}
+
+// Table2 regenerates the paper's Table 2: average querying time per
+// query family, computed from Figure 3's measurements.
+func Table2(fig Figure, queries []watdiv.Query) Table {
+	group := map[string]string{}
+	for _, q := range queries {
+		group[q.Name] = q.Group
+	}
+	sums := map[string]map[string]time.Duration{} // group → system → total
+	counts := map[string]int{}
+	for i, label := range fig.Labels {
+		g := group[label]
+		if sums[g] == nil {
+			sums[g] = map[string]time.Duration{}
+		}
+		counts[g]++
+		for _, s := range fig.Series {
+			sums[g][s.Name] += s.Values[i]
+		}
+	}
+	t := Table{
+		Title:  "Table 2: Average querying time grouped by type of query",
+		Header: append([]string{"Queries"}, seriesNames(fig.Series)...),
+	}
+	for _, g := range watdiv.Groups() {
+		if counts[g] == 0 {
+			continue
+		}
+		row := []string{watdiv.GroupLabel(g)}
+		for _, s := range fig.Series {
+			avg := sums[g][s.Name] / time.Duration(counts[g])
+			row = append(row, formatMS(avg))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// GroupAverages extracts per-group mean times for one series of a
+// figure, used by shape assertions in tests.
+func GroupAverages(fig Figure, queries []watdiv.Query, system string) map[string]time.Duration {
+	group := map[string]string{}
+	for _, q := range queries {
+		group[q.Name] = q.Group
+	}
+	var series *Series
+	for i := range fig.Series {
+		if fig.Series[i].Name == system {
+			series = &fig.Series[i]
+		}
+	}
+	if series == nil {
+		return nil
+	}
+	sums := map[string]time.Duration{}
+	counts := map[string]int{}
+	for i, label := range fig.Labels {
+		g := group[label]
+		sums[g] += series.Values[i]
+		counts[g]++
+	}
+	out := map[string]time.Duration{}
+	for g, total := range sums {
+		out[g] = total / time.Duration(counts[g])
+	}
+	return out
+}
+
+// AblationJoinOrder compares PRoST's statistics-guided node ordering
+// against naive written-order execution (ablation A1 in DESIGN.md).
+func (s *Systems) AblationJoinOrder(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Ablation A1: statistics-based join ordering",
+		Series: []Series{
+			{Name: "stats-order"},
+			{Name: "naive-order"},
+		},
+	}
+	for _, q := range queries {
+		withStats, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Figure{}, err
+		}
+		naive, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, NaiveOrder: true})
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, withStats.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, naive.SimTime)
+	}
+	return fig, nil
+}
+
+// AblationBroadcast compares PRoST with Catalyst-style broadcast joins
+// enabled (default) and disabled (ablation A2 in DESIGN.md).
+func (s *Systems) AblationBroadcast(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Ablation A2: broadcast join selection",
+		Series: []Series{
+			{Name: "broadcast-on"},
+			{Name: "broadcast-off"},
+		},
+	}
+	for _, q := range queries {
+		on, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Figure{}, err
+		}
+		off, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: -1})
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, on.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, off.SimTime)
+	}
+	return fig, nil
+}
+
+// ExtensionInversePT compares the mixed strategy against mixed+IPT on
+// object-star queries (the paper's §5 future work). The systems must
+// have been loaded with LoadOptions.InversePT.
+func (s *Systems) ExtensionInversePT(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Extension E1: inverse (object-keyed) Property Table",
+		Series: []Series{
+			{Name: "mixed"},
+			{Name: "mixed+ipt"},
+		},
+	}
+	for _, q := range queries {
+		mixed, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Figure{}, err
+		}
+		ipt, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixedIPT, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Figure{}, err
+		}
+		if len(mixed.Rows) != len(ipt.Rows) {
+			return Figure{}, fmt.Errorf("bench: extension, %s: mixed %d rows vs ipt %d rows", q.Name, len(mixed.Rows), len(ipt.Rows))
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, mixed.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, ipt.SimTime)
+	}
+	return fig, nil
+}
+
+// ObjectStarQueries returns the extension experiment's workload: BGPs
+// whose patterns share object variables, where the inverse PT saves
+// joins. They follow the WatDiv vocabulary.
+func ObjectStarQueries() []watdiv.Query {
+	// Pure object stars: every subject variable occurs once, so the
+	// Mixed strategy cannot group anything and pays a join per pattern,
+	// while Mixed+IPT answers each star with one inverse-PT select.
+	raw := []struct{ name, body string }{
+		{"O1", `SELECT ?r ?r2 WHERE {
+			?r rev:reviewer ?u .
+			?r2 rev:reviewer ?u .
+		}`},
+		{"O2", `SELECT ?u ?v WHERE {
+			?u wsdbm:livesIn ?c .
+			?v wsdbm:livesIn ?c .
+		}`},
+		{"O3", `SELECT ?o ?u WHERE {
+			?o sorg:eligibleRegion ?c .
+			?u sorg:nationality ?c .
+		}`},
+	}
+	prologueQ := `
+PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+PREFIX sorg: <http://schema.org/>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX gr: <http://purl.org/goodrelations/>
+`
+	var out []watdiv.Query
+	for _, r := range raw {
+		text := prologueQ + r.body
+		parsed, err := parseMust(text, r.name)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, watdiv.Query{Name: r.name, Group: "O", Text: text, Parsed: parsed})
+	}
+	return out
+}
+
+func parseMust(text, name string) (*sparql.Query, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("bench: query %s: %w", name, err)
+	}
+	q.Name = name
+	return q, nil
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Table is a generic text table for experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name   string
+	Values []time.Duration
+}
+
+// Figure is per-label timings for several series — the data behind the
+// paper's bar charts.
+type Figure struct {
+	Title  string
+	Labels []string
+	Series []Series
+}
+
+// Table renders the figure's data as a table (labels × series).
+func (f Figure) Table() Table {
+	header := append([]string{"query"}, seriesNames(f.Series)...)
+	var rows [][]string
+	for i, label := range f.Labels {
+		row := []string{label}
+		for _, s := range f.Series {
+			row = append(row, formatMS(s.Values[i]))
+		}
+		rows = append(rows, row)
+	}
+	return Table{Title: f.Title, Header: header, Rows: rows}
+}
+
+// String renders the data table followed by log-scale ASCII bars,
+// echoing the paper's logarithmic Figure 3.
+func (f Figure) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Table().String())
+	sb.WriteString("\nlog-scale bars (each ■ ≈ ×3.16 over 1ms):\n")
+	for i, label := range f.Labels {
+		for _, s := range f.Series {
+			bars := logBars(s.Values[i])
+			fmt.Fprintf(&sb, "%-4s %-10s %-22s %s\n", label, s.Name, bars, formatMS(s.Values[i]))
+		}
+		if i < len(f.Labels)-1 {
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+func seriesNames(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// logBars draws half-decade log-scale bars above 1ms.
+func logBars(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	n := int(math.Round(2 * math.Log10(ms)))
+	if n < 1 {
+		n = 1
+	}
+	if n > 20 {
+		n = 20
+	}
+	return strings.Repeat("■", n)
+}
+
+// formatMS renders a duration in the paper's milliseconds style.
+func formatMS(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	switch {
+	case ms >= 10000:
+		return fmt.Sprintf("%.0fms", ms)
+	case ms >= 100:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.2fms", ms)
+	}
+}
+
+// formatBytes renders a size in the paper's GB/MB style.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// formatDuration renders a loading time like "25m 32s".
+func formatDuration(d time.Duration) string {
+	d = d.Round(time.Second)
+	h := d / time.Hour
+	m := (d % time.Hour) / time.Minute
+	s := (d % time.Minute) / time.Second
+	switch {
+	case h > 0:
+		return fmt.Sprintf("%dh %02dm %02ds", h, m, s)
+	case m > 0:
+		return fmt.Sprintf("%dm %02ds", m, s)
+	default:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+}

@@ -1,0 +1,227 @@
+// Package bench is the experiment harness: it loads one WatDiv dataset
+// into all four systems (PRoST, S2RDF, SPARQLGX, Rya), runs the basic
+// query set, and regenerates the paper's evaluation artifacts — Table 1
+// (loading size and time), Figure 2 (VP-only vs the mixed strategy),
+// Figure 3 (per-query comparison of the four systems) and Table 2
+// (average querying time per query family) — plus the ablations and the
+// future-work extension experiment called out in DESIGN.md.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines/rya"
+	"repro/internal/baselines/s2rdf"
+	"repro/internal/baselines/sparqlgx"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hdfs"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/watdiv"
+)
+
+// System names in the paper's presentation order.
+const (
+	SysPRoST    = "PRoST"
+	SysS2RDF    = "S2RDF"
+	SysRya      = "Rya"
+	SysSPARQLGX = "SPARQLGX"
+)
+
+// SystemNames returns the four systems in presentation order.
+func SystemNames() []string {
+	return []string{SysPRoST, SysS2RDF, SysRya, SysSPARQLGX}
+}
+
+// Systems bundles the four loaded stores over one shared cluster,
+// filesystem and dictionary.
+type Systems struct {
+	Cluster *cluster.Cluster
+	FS      *hdfs.FS
+	Dict    *rdf.Dictionary
+
+	PRoST    *core.Store
+	S2RDF    *s2rdf.Store
+	SPARQLGX *sparqlgx.Store
+	Rya      *rya.Store
+
+	// BroadcastThreshold is the effective broadcast-join threshold for
+	// the SQL systems, shrunk by the extrapolation factor so that a
+	// table's broadcastability reflects its extrapolated size.
+	BroadcastThreshold int64
+
+	loads []LoadRow
+}
+
+// LoadRow is one system's Table 1 row.
+type LoadRow struct {
+	System    string
+	SizeBytes int64
+	LoadTime  time.Duration
+}
+
+// LoadOptions tunes LoadAll.
+type LoadOptions struct {
+	// Cluster to load on; DefaultConfig when nil. Ignored when
+	// ExtrapolateTriples is set (a scaled cluster is built instead).
+	Cluster *cluster.Cluster
+	// InversePT additionally builds PRoST's object-keyed table for the
+	// extension experiment.
+	InversePT bool
+	// ExtrapolateTriples, when positive, prices all data-proportional
+	// costs (scan and shuffle bytes, per-row CPU, KV seeks) as if the
+	// dataset had this many triples, while fixed costs (stage launches)
+	// stay fixed. WatDiv query selectivities are fractions of the
+	// dataset, so intermediate-result sizes scale roughly linearly and
+	// the extrapolated times reproduce the paper's 100M-triple shape
+	// from a laptop-sized dataset. Queries with scale-independent
+	// result sizes (bound-subject lookups) are over-charged; see
+	// EXPERIMENTS.md.
+	ExtrapolateTriples int64
+}
+
+// LoadAll loads the graph into the four systems. The shared dictionary
+// keeps cross-system result comparison exact; each system still builds
+// and prices its own storage.
+func LoadAll(g *rdf.Graph, opts LoadOptions) (*Systems, error) {
+	c := opts.Cluster
+	if c == nil {
+		c = cluster.MustNew(cluster.DefaultConfig())
+	}
+	bcast := int64(0) // 0 = engine default
+	if opts.ExtrapolateTriples > 0 {
+		factor := float64(opts.ExtrapolateTriples) / float64(g.Len())
+		if factor < 1 {
+			factor = 1
+		}
+		cfg := c.Config()
+		cfg.Cost = scaleCostModel(cfg.Cost, factor)
+		c = cluster.MustNew(cfg)
+		bcast = int64(float64(engine.DefaultBroadcastThreshold) / factor)
+		if bcast < 1 {
+			bcast = 1
+		}
+	}
+	fs, err := hdfs.New(hdfs.Config{DataNodes: c.Workers() + 1})
+	if err != nil {
+		return nil, err
+	}
+	dict := rdf.NewDictionary()
+	sys := &Systems{Cluster: c, FS: fs, Dict: dict, BroadcastThreshold: bcast}
+
+	prost, err := core.Load(g, core.Options{Cluster: c, FS: fs, BuildInversePT: opts.InversePT})
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading PRoST: %w", err)
+	}
+	sys.PRoST = prost
+	sys.loads = append(sys.loads, LoadRow{SysPRoST, prost.LoadReport().SizeBytes, prost.LoadReport().LoadTime})
+
+	s2, err := s2rdf.Load(g, s2rdf.Options{Cluster: c, FS: fs, Dict: dict, BroadcastThreshold: bcast})
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading S2RDF: %w", err)
+	}
+	sys.S2RDF = s2
+	sys.loads = append(sys.loads, LoadRow{SysS2RDF, s2.LoadReport().SizeBytes, s2.LoadReport().LoadTime})
+
+	gx, err := sparqlgx.Load(g, sparqlgx.Options{Cluster: c, FS: fs, Dict: dict})
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading SPARQLGX: %w", err)
+	}
+	sys.SPARQLGX = gx
+	sys.loads = append(sys.loads, LoadRow{SysSPARQLGX, gx.LoadReport().SizeBytes, gx.LoadReport().LoadTime})
+
+	ry, err := rya.Load(g, rya.Options{Cluster: c, FS: fs, Dict: dict})
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading Rya: %w", err)
+	}
+	sys.Rya = ry
+	sys.loads = append(sys.loads, LoadRow{SysRya, ry.LoadReport().SizeBytes, ry.LoadReport().LoadTime})
+
+	return sys, nil
+}
+
+// scaleCostModel multiplies the data-proportional cost rates by factor:
+// throughputs shrink (same bytes are priced as factor× bytes) and
+// per-unit costs grow; stage-launch overheads are unchanged.
+func scaleCostModel(m cluster.CostModel, factor float64) cluster.CostModel {
+	m.DiskBytesPerSec /= factor
+	m.NetworkBytesPerSec /= factor
+	m.KVScanBytesPerSec /= factor
+	m.RowTime = time.Duration(float64(m.RowTime) * factor)
+	m.SeekTime = time.Duration(float64(m.SeekTime) * factor)
+	return m
+}
+
+// Loads returns the Table 1 rows in load order.
+func (s *Systems) Loads() []LoadRow {
+	out := make([]LoadRow, len(s.loads))
+	copy(out, s.loads)
+	return out
+}
+
+// Outcome is one query execution's measurement.
+type Outcome struct {
+	System   string
+	Query    string
+	Rows     int
+	SimTime  time.Duration
+	WallTime time.Duration
+}
+
+// RunOn executes a parsed query on the named system.
+func (s *Systems) RunOn(system string, q *sparql.Query) (Outcome, error) {
+	switch system {
+	case SysPRoST:
+		res, err := s.PRoST.Query(q, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{System: system, Query: q.Name, Rows: len(res.Rows), SimTime: res.SimTime, WallTime: res.WallTime}, nil
+	case SysS2RDF:
+		res, err := s.S2RDF.Query(q)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{System: system, Query: q.Name, Rows: len(res.Rows), SimTime: res.SimTime, WallTime: res.WallTime}, nil
+	case SysSPARQLGX:
+		res, err := s.SPARQLGX.Query(q)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{System: system, Query: q.Name, Rows: len(res.Rows), SimTime: res.SimTime, WallTime: res.WallTime}, nil
+	case SysRya:
+		res, err := s.Rya.Query(q)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{System: system, Query: q.Name, Rows: len(res.Rows), SimTime: res.SimTime, WallTime: res.WallTime}, nil
+	default:
+		return Outcome{}, fmt.Errorf("bench: unknown system %q", system)
+	}
+}
+
+// VerifyAgreement runs every query on all four systems and returns an
+// error when any two disagree on the result-row count — the harness's
+// cross-implementation correctness check.
+func (s *Systems) VerifyAgreement(queries []watdiv.Query) error {
+	for _, q := range queries {
+		counts := map[string]int{}
+		for _, name := range SystemNames() {
+			out, err := s.RunOn(name, q.Parsed)
+			if err != nil {
+				return fmt.Errorf("bench: %s on %s: %w", q.Name, name, err)
+			}
+			counts[name] = out.Rows
+		}
+		base := counts[SysPRoST]
+		for name, n := range counts {
+			if n != base {
+				return fmt.Errorf("bench: %s: %s returned %d rows, PRoST returned %d", q.Name, name, n, base)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageRecord is the priced execution trace of one stage.
+type StageRecord struct {
+	// Name is the stage's human-readable label.
+	Name string
+	// Launch is the fixed launch overhead charged for the stage.
+	Launch time.Duration
+	// Tasks is the number of partitions executed.
+	Tasks int
+	// Elapsed is launch overhead plus makespan.
+	Elapsed time.Duration
+	// Makespan is the slowest simulated worker's total task time.
+	Makespan time.Duration
+	// Stats aggregates the work of every task in the stage.
+	Stats TaskStats
+}
+
+// Clock accumulates the virtual elapsed time of one query or one loading
+// run. Stages are assumed sequential (each stage consumes the previous
+// stage's output), matching how a Spark job DAG materializes shuffle
+// boundaries. Clock is safe for concurrent use.
+type Clock struct {
+	mu     sync.Mutex
+	total  time.Duration
+	stages []StageRecord
+}
+
+// NewClock returns a zeroed clock.
+func NewClock() *Clock { return &Clock{} }
+
+// chargeStage appends a stage record and advances the clock.
+func (c *Clock) chargeStage(r StageRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = append(c.stages, r)
+	c.total += r.Elapsed
+}
+
+// Charge adds a bare duration to the clock (used by loaders for
+// client-side phases like dictionary construction).
+func (c *Clock) Charge(name string, d time.Duration) {
+	c.chargeStage(StageRecord{Name: name, Tasks: 1, Elapsed: d, Makespan: d})
+}
+
+// Elapsed returns the virtual time accumulated so far.
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Stages returns a copy of the execution trace.
+func (c *Clock) Stages() []StageRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageRecord, len(c.stages))
+	copy(out, c.stages)
+	return out
+}
+
+// Reset zeroes the clock and discards the trace.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total = 0
+	c.stages = nil
+}
+
+// Trace renders the stage trace as an indented multi-line string, used
+// by the EXPLAIN ANALYZE output of the query tools.
+func (c *Clock) Trace() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sb strings.Builder
+	for i, s := range c.stages {
+		fmt.Fprintf(&sb, "%2d. %-40s %10s  tasks=%-3d rows=%-9d shuffle=%s disk=%s seeks=%d\n",
+			i+1, s.Name, s.Elapsed.Round(time.Microsecond), s.Tasks, s.Stats.Rows,
+			humanBytes(s.Stats.NetBytes), humanBytes(s.Stats.DiskBytes), s.Stats.Seeks)
+	}
+	fmt.Fprintf(&sb, "    total: %s\n", c.total.Round(time.Microsecond))
+	return sb.String()
+}
+
+// humanBytes renders a byte count with a binary unit suffix.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

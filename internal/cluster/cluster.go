@@ -1,0 +1,190 @@
+// Package cluster simulates the distributed execution fabric the paper
+// runs on (a 10-machine Spark/Hadoop cluster). It executes stages of
+// partitioned tasks with real Go parallelism while charging every
+// distributed cost — disk scans, network shuffles, job-launch latency,
+// key-value seeks — to a virtual clock. Relational work done on top of
+// this package is real computation over real partitioned data; only the
+// *pricing* of cluster effects is simulated, so benchmark shapes mirror
+// the paper without the hardware.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config describes the simulated cluster topology.
+type Config struct {
+	// Workers is the number of worker machines (the paper uses 9 workers
+	// plus one master).
+	Workers int
+	// DefaultPartitions is the number of partitions a freshly loaded
+	// dataset is split into. Spark defaults to a small multiple of the
+	// total core count.
+	DefaultPartitions int
+	// Cost prices distributed operations on the virtual clock.
+	Cost CostModel
+	// MaxParallel bounds real goroutine parallelism when executing
+	// stages; 0 means GOMAXPROCS.
+	MaxParallel int
+}
+
+// DefaultConfig mirrors the paper's benchmark environment: 9 workers,
+// 6-core Xeons, Gigabit Ethernet.
+func DefaultConfig() Config {
+	return Config{
+		Workers:           9,
+		DefaultPartitions: 18,
+		Cost:              DefaultCostModel(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workers <= 0 {
+		return fmt.Errorf("cluster: Workers must be positive, got %d", c.Workers)
+	}
+	if c.DefaultPartitions <= 0 {
+		return fmt.Errorf("cluster: DefaultPartitions must be positive, got %d", c.DefaultPartitions)
+	}
+	return nil
+}
+
+// Cluster is the simulated cluster. It is safe for concurrent use by
+// multiple queries, each carrying its own Clock.
+type Cluster struct {
+	cfg Config
+}
+
+// New returns a cluster with the given configuration. A zero-valued
+// Cost field is replaced with DefaultCostModel so partially specified
+// configs still price work.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on config errors; for tests and fixtures.
+func MustNew(cfg Config) *Cluster {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Workers returns the number of simulated worker machines.
+func (c *Cluster) Workers() int { return c.cfg.Workers }
+
+// DefaultPartitions returns the default partition count for datasets.
+func (c *Cluster) DefaultPartitions() int { return c.cfg.DefaultPartitions }
+
+// TaskStats records the priced work one task performed. Tasks fill this
+// in; the stage scheduler converts it to virtual time.
+type TaskStats struct {
+	// DiskBytes read from (simulated) HDFS or local disk.
+	DiskBytes int64
+	// NetBytes sent over the network (shuffle writes, broadcast sends).
+	NetBytes int64
+	// Rows processed in memory by relational operators.
+	Rows int64
+	// Seeks counts remote key-value point lookups (Rya/Accumulo).
+	Seeks int64
+	// KVScanBytes counts bytes streamed from KV range scans.
+	KVScanBytes int64
+}
+
+// Add accumulates o into s.
+func (s *TaskStats) Add(o TaskStats) {
+	s.DiskBytes += o.DiskBytes
+	s.NetBytes += o.NetBytes
+	s.Rows += o.Rows
+	s.Seeks += o.Seeks
+	s.KVScanBytes += o.KVScanBytes
+}
+
+// RunStage executes fn once per partition with real parallelism, then
+// charges the stage to clock: the given launch overhead (zero for work
+// that pipelines into an open stage; a stage launch — plus possibly a
+// query-start cost — at shuffle and job boundaries) plus the makespan
+// of the simulated workers (tasks are assigned round-robin; each
+// worker's time is the sum of its tasks' priced time; the stage takes
+// as long as the slowest worker).
+func (c *Cluster) RunStage(clock *Clock, launch time.Duration, name string, partitions int, fn func(part int) (TaskStats, error)) error {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	stats := make([]TaskStats, partitions)
+	errs := make([]error, partitions)
+
+	par := c.cfg.MaxParallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > partitions {
+		par = partitions
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < partitions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			stats[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: stage %q partition %d: %w", name, i, err)
+		}
+	}
+
+	// Price the stage: round-robin task placement, makespan = max worker.
+	workerTime := make([]time.Duration, c.cfg.Workers)
+	var total TaskStats
+	for i, st := range stats {
+		w := i % c.cfg.Workers
+		workerTime[w] += c.cfg.Cost.TaskTime(st)
+		total.Add(st)
+	}
+	var makespan time.Duration
+	for _, wt := range workerTime {
+		if wt > makespan {
+			makespan = wt
+		}
+	}
+	elapsed := launch + makespan
+	if clock != nil {
+		clock.chargeStage(StageRecord{
+			Name:     name,
+			Launch:   launch,
+			Tasks:    partitions,
+			Elapsed:  elapsed,
+			Stats:    total,
+			Makespan: makespan,
+		})
+	}
+	return nil
+}
+
+// HashPartition returns the partition index for a key hashed over n
+// partitions. Every engine component uses this single function so
+// co-partitioned datasets stay aligned.
+func HashPartition(key uint64, n int) int {
+	// Fibonacci hashing spreads dense dictionary IDs well.
+	h := key * 0x9E3779B97F4A7C15
+	return int(h % uint64(n))
+}

@@ -1,0 +1,199 @@
+// Package columnar implements a Parquet-like columnar storage codec for
+// dictionary-encoded RDF data: run-length and varint encodings, list
+// columns for multi-valued properties, row groups, and realistic on-disk
+// size accounting.
+//
+// The paper stores the Property Table in Parquet precisely because
+// run-length encoding makes its many NULLs nearly free (§3.1). This
+// package reproduces that effect with real byte-level encoding, so the
+// storage-size comparison of Table 1 measures genuine compressed sizes
+// rather than estimates.
+package columnar
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Encoding identifies how a chunk's bytes are laid out.
+type Encoding uint8
+
+// Supported encodings.
+const (
+	// EncPlain stores each value as a varint.
+	EncPlain Encoding = iota
+	// EncRLE stores (run length, value) varint pairs.
+	EncRLE
+)
+
+// String implements fmt.Stringer.
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "PLAIN"
+	case EncRLE:
+		return "RLE"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// Chunk is one encoded column chunk of rdf.ID values. NullID (0)
+// represents an absent cell; the encodings treat it as an ordinary value,
+// which is exactly why NULL-dense Property Table columns compress so
+// well under RLE.
+type Chunk struct {
+	enc  Encoding
+	n    int
+	data []byte
+}
+
+// EncodeIDs encodes vals, choosing whichever of the plain and RLE
+// layouts is smaller — mirroring Parquet's per-chunk encoding selection.
+func EncodeIDs(vals []rdf.ID) Chunk {
+	rle := encodeRLE(vals)
+	plain := encodePlain(vals)
+	if len(rle) <= len(plain) {
+		return Chunk{enc: EncRLE, n: len(vals), data: rle}
+	}
+	return Chunk{enc: EncPlain, n: len(vals), data: plain}
+}
+
+func encodePlain(vals []rdf.ID) []byte {
+	buf := make([]byte, 0, len(vals))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range vals {
+		n := binary.PutUvarint(tmp[:], uint64(v))
+		buf = append(buf, tmp[:n]...)
+	}
+	return buf
+}
+
+func encodeRLE(vals []rdf.ID) []byte {
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(vals) {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		n := binary.PutUvarint(tmp[:], uint64(j-i))
+		buf = append(buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(vals[i]))
+		buf = append(buf, tmp[:n]...)
+		i = j
+	}
+	return buf
+}
+
+// Len returns the number of values in the chunk.
+func (c Chunk) Len() int { return c.n }
+
+// SizeBytes returns the encoded byte size (the chunk's on-disk cost).
+func (c Chunk) SizeBytes() int64 { return int64(len(c.data)) }
+
+// Encoding returns the layout the chunk was stored with.
+func (c Chunk) Encoding() Encoding { return c.enc }
+
+// Decode materializes the chunk's values.
+func (c Chunk) Decode() ([]rdf.ID, error) {
+	out := make([]rdf.ID, 0, c.n)
+	data := c.data
+	switch c.enc {
+	case EncPlain:
+		for len(out) < c.n {
+			v, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("columnar: corrupt plain chunk at value %d", len(out))
+			}
+			data = data[n:]
+			out = append(out, rdf.ID(v))
+		}
+	case EncRLE:
+		for len(out) < c.n {
+			runLen, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("columnar: corrupt RLE run length at value %d", len(out))
+			}
+			data = data[n:]
+			v, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("columnar: corrupt RLE value at value %d", len(out))
+			}
+			data = data[n:]
+			for k := uint64(0); k < runLen; k++ {
+				out = append(out, rdf.ID(v))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("columnar: unknown encoding %d", c.enc)
+	}
+	if len(out) != c.n {
+		return nil, fmt.Errorf("columnar: decoded %d values, expected %d", len(out), c.n)
+	}
+	return out, nil
+}
+
+// ListChunk is an encoded column of variable-length value lists, used
+// for the Property Table's multi-valued properties (paper §3.1). It is
+// stored as a lengths chunk plus a flattened values chunk, like
+// Parquet's repetition levels.
+type ListChunk struct {
+	lengths Chunk
+	values  Chunk
+	rows    int
+}
+
+// EncodeLists encodes one list of values per row. Empty lists are valid
+// and represent absent cells.
+func EncodeLists(lists [][]rdf.ID) ListChunk {
+	lengths := make([]rdf.ID, len(lists))
+	var flat []rdf.ID
+	for i, l := range lists {
+		lengths[i] = rdf.ID(len(l))
+		flat = append(flat, l...)
+	}
+	return ListChunk{
+		lengths: EncodeIDs(lengths),
+		values:  EncodeIDs(flat),
+		rows:    len(lists),
+	}
+}
+
+// Rows returns the number of rows (lists) in the chunk.
+func (l ListChunk) Rows() int { return l.rows }
+
+// SizeBytes returns the combined encoded size of lengths and values.
+func (l ListChunk) SizeBytes() int64 { return l.lengths.SizeBytes() + l.values.SizeBytes() }
+
+// Decode materializes the per-row value lists. Rows with no values
+// decode as nil slices.
+func (l ListChunk) Decode() ([][]rdf.ID, error) {
+	lengths, err := l.lengths.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("columnar: list lengths: %w", err)
+	}
+	values, err := l.values.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("columnar: list values: %w", err)
+	}
+	out := make([][]rdf.ID, len(lengths))
+	pos := 0
+	for i, n := range lengths {
+		ln := int(n)
+		if pos+ln > len(values) {
+			return nil, fmt.Errorf("columnar: list chunk truncated at row %d", i)
+		}
+		if ln > 0 {
+			out[i] = values[pos : pos+ln : pos+ln]
+		}
+		pos += ln
+	}
+	if pos != len(values) {
+		return nil, fmt.Errorf("columnar: %d trailing values after decoding lists", len(values)-pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,245 @@
+package columnar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// DefaultRowGroupSize is the number of rows per row group, mirroring
+// Parquet's practice of slicing files into independently encoded groups.
+const DefaultRowGroupSize = 65536
+
+// ColumnKind distinguishes scalar columns from list columns.
+type ColumnKind uint8
+
+// Column kinds.
+const (
+	// KindScalar holds one rdf.ID per row (NullID = absent).
+	KindScalar ColumnKind = iota
+	// KindList holds zero or more rdf.IDs per row.
+	KindList
+)
+
+// column is one named column split into per-row-group chunks.
+type column struct {
+	name   string
+	kind   ColumnKind
+	chunks []Chunk
+	lists  []ListChunk
+}
+
+// File is an immutable columnar file: a set of equally long columns
+// split into row groups. It stands in for one Parquet file on HDFS.
+type File struct {
+	rows         int
+	rowGroupSize int
+	columns      map[string]*column
+	order        []string
+}
+
+// Writer accumulates columns and produces a File. All columns must have
+// the same row count.
+type Writer struct {
+	rowGroupSize int
+	rows         int
+	haveRows     bool
+	columns      map[string]*column
+	order        []string
+	err          error
+}
+
+// NewWriter returns a writer with the given row-group size (0 means
+// DefaultRowGroupSize).
+func NewWriter(rowGroupSize int) *Writer {
+	if rowGroupSize <= 0 {
+		rowGroupSize = DefaultRowGroupSize
+	}
+	return &Writer{rowGroupSize: rowGroupSize, columns: map[string]*column{}}
+}
+
+func (w *Writer) checkRows(name string, n int) bool {
+	if w.err != nil {
+		return false
+	}
+	if _, dup := w.columns[name]; dup {
+		w.err = fmt.Errorf("columnar: duplicate column %q", name)
+		return false
+	}
+	if w.haveRows && n != w.rows {
+		w.err = fmt.Errorf("columnar: column %q has %d rows, file has %d", name, n, w.rows)
+		return false
+	}
+	w.rows, w.haveRows = n, true
+	return true
+}
+
+// AddScalar appends a scalar column; NullID marks absent cells.
+func (w *Writer) AddScalar(name string, vals []rdf.ID) *Writer {
+	if !w.checkRows(name, len(vals)) {
+		return w
+	}
+	col := &column{name: name, kind: KindScalar}
+	for start := 0; start < len(vals) || start == 0; start += w.rowGroupSize {
+		end := start + w.rowGroupSize
+		if end > len(vals) {
+			end = len(vals)
+		}
+		col.chunks = append(col.chunks, EncodeIDs(vals[start:end]))
+		if end == len(vals) {
+			break
+		}
+	}
+	w.columns[name] = col
+	w.order = append(w.order, name)
+	return w
+}
+
+// AddList appends a list column; empty lists mark absent cells.
+func (w *Writer) AddList(name string, lists [][]rdf.ID) *Writer {
+	if !w.checkRows(name, len(lists)) {
+		return w
+	}
+	col := &column{name: name, kind: KindList}
+	for start := 0; start < len(lists) || start == 0; start += w.rowGroupSize {
+		end := start + w.rowGroupSize
+		if end > len(lists) {
+			end = len(lists)
+		}
+		col.lists = append(col.lists, EncodeLists(lists[start:end]))
+		if end == len(lists) {
+			break
+		}
+	}
+	w.columns[name] = col
+	w.order = append(w.order, name)
+	return w
+}
+
+// Finish validates and returns the file.
+func (w *Writer) Finish() (*File, error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	return &File{
+		rows:         w.rows,
+		rowGroupSize: w.rowGroupSize,
+		columns:      w.columns,
+		order:        w.order,
+	}, nil
+}
+
+// Rows returns the file's row count.
+func (f *File) Rows() int { return f.rows }
+
+// ColumnNames returns the column names in insertion order.
+func (f *File) ColumnNames() []string {
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// HasColumn reports whether the file contains the named column.
+func (f *File) HasColumn(name string) bool {
+	_, ok := f.columns[name]
+	return ok
+}
+
+// SizeBytes returns the file's total encoded size plus a small footer
+// estimate (column metadata), standing in for the on-HDFS Parquet size.
+func (f *File) SizeBytes() int64 {
+	var total int64
+	for _, c := range f.columns {
+		for _, ch := range c.chunks {
+			total += ch.SizeBytes()
+		}
+		for _, lc := range c.lists {
+			total += lc.SizeBytes()
+		}
+		total += int64(len(c.name)) + 16 // footer metadata per column
+	}
+	return total + 64 // file footer/magic
+}
+
+// ColumnSizeBytes returns one column's encoded size, used by
+// column-pruned scans to charge only the bytes actually read.
+func (f *File) ColumnSizeBytes(name string) (int64, error) {
+	c, ok := f.columns[name]
+	if !ok {
+		return 0, fmt.Errorf("columnar: no column %q", name)
+	}
+	var total int64
+	for _, ch := range c.chunks {
+		total += ch.SizeBytes()
+	}
+	for _, lc := range c.lists {
+		total += lc.SizeBytes()
+	}
+	return total, nil
+}
+
+// ReadScalar decodes an entire scalar column.
+func (f *File) ReadScalar(name string) ([]rdf.ID, error) {
+	c, ok := f.columns[name]
+	if !ok {
+		return nil, fmt.Errorf("columnar: no column %q", name)
+	}
+	if c.kind != KindScalar {
+		return nil, fmt.Errorf("columnar: column %q is not scalar", name)
+	}
+	out := make([]rdf.ID, 0, f.rows)
+	for _, ch := range c.chunks {
+		vals, err := ch.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("columnar: column %q: %w", name, err)
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+// ReadList decodes an entire list column.
+func (f *File) ReadList(name string) ([][]rdf.ID, error) {
+	c, ok := f.columns[name]
+	if !ok {
+		return nil, fmt.Errorf("columnar: no column %q", name)
+	}
+	if c.kind != KindList {
+		return nil, fmt.Errorf("columnar: column %q is not a list column", name)
+	}
+	out := make([][]rdf.ID, 0, f.rows)
+	for _, lc := range c.lists {
+		lists, err := lc.Decode()
+		if err != nil {
+			return nil, fmt.Errorf("columnar: column %q: %w", name, err)
+		}
+		out = append(out, lists...)
+	}
+	return out, nil
+}
+
+// Stats summarizes a file for diagnostics: per-column sizes sorted by
+// name.
+func (f *File) Stats() []ColumnStat {
+	out := make([]ColumnStat, 0, len(f.columns))
+	for name, c := range f.columns {
+		var size int64
+		for _, ch := range c.chunks {
+			size += ch.SizeBytes()
+		}
+		for _, lc := range c.lists {
+			size += lc.SizeBytes()
+		}
+		out = append(out, ColumnStat{Name: name, Kind: c.kind, SizeBytes: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ColumnStat is one column's summary.
+type ColumnStat struct {
+	Name      string
+	Kind      ColumnKind
+	SizeBytes int64
+}

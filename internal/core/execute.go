@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// QueryOptions tunes one query execution.
+type QueryOptions struct {
+	// Strategy selects the storage structures (default StrategyMixed).
+	Strategy Strategy
+	// Clock receives the query's virtual time; a fresh clock is created
+	// when nil.
+	Clock *cluster.Clock
+	// BroadcastThreshold overrides the engine's broadcast-join
+	// threshold (0 = Spark default, negative = disabled) — the ablation
+	// knob for Catalyst's physical join selection.
+	BroadcastThreshold int64
+	// NaiveOrder disables the statistics-based node ordering and joins
+	// nodes in the order the query wrote them — the ablation knob for
+	// the paper's §3.3 optimizer.
+	NaiveOrder bool
+}
+
+// Result is one query's answer plus its execution record.
+type Result struct {
+	// Vars is the projected variable list.
+	Vars []string
+	// Rows holds the decoded result rows, one term per projected
+	// variable.
+	Rows [][]rdf.Term
+	// SimTime is the simulated cluster time the query took.
+	SimTime time.Duration
+	// WallTime is the real execution time of the simulation.
+	WallTime time.Duration
+	// Tree is the Join Tree the query was executed with.
+	Tree *JoinTree
+	// Clock exposes the full stage trace.
+	Clock *cluster.Clock
+}
+
+// SortedRows returns the rows sorted by their rendered terms, for
+// deterministic comparisons in tests and examples.
+func (r *Result) SortedRows() [][]rdf.Term {
+	rows := make([][]rdf.Term, len(r.Rows))
+	copy(rows, r.Rows)
+	sort.Slice(rows, func(i, j int) bool {
+		for k := 0; k < len(rows[i]) && k < len(rows[j]); k++ {
+			if c := rows[i][k].Compare(rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(rows[i]) < len(rows[j])
+	})
+	return rows
+}
+
+// Query translates and executes a SPARQL query against the store.
+func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
+	start := time.Now()
+	clock := opts.Clock
+	if clock == nil {
+		clock = cluster.NewClock()
+	}
+	tree, err := s.Translate(q, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if opts.NaiveOrder {
+		naiveOrder(tree, q)
+	}
+
+	e := engine.NewExec(s.cluster, clock)
+	e.BroadcastThreshold = opts.BroadcastThreshold
+
+	filters, err := s.compileFilters(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Execute nodes and join left-deep in tree order (bottom-up in the
+	// paper's terms: leaves first, root last).
+	var current *engine.Relation
+	for _, node := range tree.Nodes {
+		rel, err := s.execNode(e, node)
+		if err != nil {
+			return nil, fmt.Errorf("core: executing %s: %w", node.Label(), err)
+		}
+		rel, err = applyFilters(e, rel, filters)
+		if err != nil {
+			return nil, err
+		}
+		if current == nil {
+			current = rel
+			continue
+		}
+		current, err = e.Join(current, rel, node.Label())
+		if err != nil {
+			return nil, fmt.Errorf("core: joining %s: %w", node.Label(), err)
+		}
+	}
+	if current == nil {
+		return nil, fmt.Errorf("core: query has no patterns")
+	}
+
+	proj := q.Projection()
+	current, err = e.Project(current, proj)
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		current, err = e.Distinct(current)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows, err := e.Limit(current, q.Limit, q.Offset)
+	if err != nil {
+		return nil, err
+	}
+
+	decoded := make([][]rdf.Term, len(rows))
+	for i, r := range rows {
+		terms := make([]rdf.Term, len(r))
+		for j, id := range r {
+			terms[j] = s.dict.Term(id)
+		}
+		decoded[i] = terms
+	}
+	return &Result{
+		Vars:     proj,
+		Rows:     decoded,
+		SimTime:  clock.Elapsed(),
+		WallTime: time.Since(start),
+		Tree:     tree,
+		Clock:    clock,
+	}, nil
+}
+
+// naiveOrder rewrites the tree's execution order to follow the query's
+// written pattern order (ablation A1).
+func naiveOrder(tree *JoinTree, q *sparql.Query) {
+	pos := func(n *Node) int {
+		best := len(q.Patterns)
+		for _, tp := range n.Patterns {
+			for i, qp := range q.Patterns {
+				if qp == tp && i < best {
+					best = i
+				}
+			}
+		}
+		return best
+	}
+	sort.SliceStable(tree.Nodes, func(i, j int) bool { return pos(tree.Nodes[i]) < pos(tree.Nodes[j]) })
+}
+
+// compiledFilter is one FILTER constraint ready to apply to ID rows.
+type compiledFilter struct {
+	v    string
+	pred func(rdf.ID) bool
+}
+
+// compileFilters turns the query's FILTER list into ID predicates.
+func (s *Store) compileFilters(q *sparql.Query) ([]compiledFilter, error) {
+	out := make([]compiledFilter, 0, len(q.Filters))
+	for _, f := range q.Filters {
+		op, err := compareFn(f.Op)
+		if err != nil {
+			return nil, err
+		}
+		value := f.Value
+		out = append(out, compiledFilter{
+			v: f.Var,
+			pred: func(id rdf.ID) bool {
+				return engine.CompareIDs(s.dict, id, op, value)
+			},
+		})
+	}
+	return out, nil
+}
+
+// compareFn maps a comparison operator to a predicate over Compare's
+// three-way result.
+func compareFn(op sparql.CompareOp) (func(int) bool, error) {
+	switch op {
+	case sparql.OpEQ:
+		return func(c int) bool { return c == 0 }, nil
+	case sparql.OpNE:
+		return func(c int) bool { return c != 0 }, nil
+	case sparql.OpLT:
+		return func(c int) bool { return c < 0 }, nil
+	case sparql.OpLE:
+		return func(c int) bool { return c <= 0 }, nil
+	case sparql.OpGT:
+		return func(c int) bool { return c > 0 }, nil
+	case sparql.OpGE:
+		return func(c int) bool { return c >= 0 }, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported filter operator %v", op)
+	}
+}
+
+// applyFilters pushes every filter whose variable the relation exposes
+// down onto it. Re-applying a filter at multiple nodes is harmless
+// (selections are idempotent) and maximizes early pruning.
+func applyFilters(e *engine.Exec, rel *engine.Relation, filters []compiledFilter) (*engine.Relation, error) {
+	for _, f := range filters {
+		idx := rel.Schema().Index(f.v)
+		if idx < 0 {
+			continue
+		}
+		var err error
+		i, pred := idx, f.pred
+		rel, err = e.Filter(rel, "?"+f.v, func(r engine.Row) bool { return pred(r[i]) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// execNode evaluates one Join Tree node into a relation whose schema is
+// the node's variable list.
+func (s *Store) execNode(e *engine.Exec, n *Node) (*engine.Relation, error) {
+	switch n.Kind {
+	case NodeVP:
+		return s.execVPNode(e, n.Patterns[0])
+	case NodePT:
+		return s.execPTNode(e, s.pt, n)
+	case NodeIPT:
+		if s.ipt == nil {
+			return nil, fmt.Errorf("core: inverse property table not loaded")
+		}
+		return s.execPTNode(e, s.ipt, n)
+	case NodeTriples:
+		return s.execTriplesNode(e, n.Patterns[0])
+	default:
+		return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
+	}
+}
+
+// emptyRelation builds a zero-row relation with the given variables.
+func (s *Store) emptyRelation(vars []string) *engine.Relation {
+	return engine.NewRelation(engine.Schema(vars), make([][]engine.Row, s.parts), "")
+}
+
+// execVPNode answers one bound-predicate pattern from its VP table:
+// scan, filter bound positions, project and rename to the pattern's
+// variables. Subject-keyed outputs stay subject-partitioned, so later
+// subject joins avoid the shuffle.
+func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern) (*engine.Relation, error) {
+	outVars := tp.Vars()
+	pid, ok := s.dict.Lookup(tp.P.Term)
+	if !ok {
+		return s.emptyRelation(outVars), nil
+	}
+	table := s.vp[pid]
+	if table == nil {
+		return s.emptyRelation(outVars), nil
+	}
+	rel, err := e.Scan(table.Rel, "VP "+localName(tp.P.Term.Value), table.FileBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Bound-position filters.
+	if !tp.S.IsVar() {
+		sid, ok := s.dict.Lookup(tp.S.Term)
+		if !ok {
+			return s.emptyRelation(outVars), nil
+		}
+		rel, err = e.Filter(rel, "s="+localName(tp.S.Term.Value), func(r engine.Row) bool { return r[0] == sid })
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !tp.O.IsVar() {
+		oid, ok := s.dict.Lookup(tp.O.Term)
+		if !ok {
+			return s.emptyRelation(outVars), nil
+		}
+		rel, err = e.Filter(rel, "o=const", func(r engine.Row) bool { return r[1] == oid })
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Shape the output columns.
+	switch {
+	case tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var:
+		rel, err = e.Filter(rel, "s=o", func(r engine.Row) bool { return r[0] == r[1] })
+		if err != nil {
+			return nil, err
+		}
+		rel, err = e.Project(rel, []string{"s"})
+		if err != nil {
+			return nil, err
+		}
+		return e.Rename(rel, []string{tp.S.Var})
+	case tp.S.IsVar() && tp.O.IsVar():
+		return e.Rename(rel, []string{tp.S.Var, tp.O.Var})
+	case tp.S.IsVar():
+		rel, err = e.Project(rel, []string{"s"})
+		if err != nil {
+			return nil, err
+		}
+		return e.Rename(rel, []string{tp.S.Var})
+	case tp.O.IsVar():
+		rel, err = e.Project(rel, []string{"o"})
+		if err != nil {
+			return nil, err
+		}
+		return e.Rename(rel, []string{tp.O.Var})
+	default:
+		// Fully bound: an existence test. A single empty row keeps join
+		// semantics (cartesian with one row is the identity).
+		return s.existenceRelation(rel), nil
+	}
+}
+
+// existenceRelation reduces a relation to zero columns: one empty row if
+// any row matched, none otherwise.
+func (s *Store) existenceRelation(rel *engine.Relation) *engine.Relation {
+	parts := make([][]engine.Row, 1)
+	if rel.NumRows() > 0 {
+		parts[0] = []engine.Row{{}}
+	}
+	return engine.NewRelation(engine.Schema{}, parts, "")
+}
+
+// execTriplesNode answers a variable-predicate pattern from the raw
+// triple data — the fallback path outside the WatDiv workload.
+func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern) (*engine.Relation, error) {
+	outVars := tp.Vars()
+	// Resolve bound positions.
+	var sid, oid rdf.ID
+	if !tp.S.IsVar() {
+		id, ok := s.dict.Lookup(tp.S.Term)
+		if !ok {
+			return s.emptyRelation(outVars), nil
+		}
+		sid = id
+	}
+	if !tp.O.IsVar() {
+		id, ok := s.dict.Lookup(tp.O.Term)
+		if !ok {
+			return s.emptyRelation(outVars), nil
+		}
+		oid = id
+	}
+	var rows []engine.Row
+	for _, t := range s.triples {
+		if sid != rdf.NullID && t.S != sid {
+			continue
+		}
+		if oid != rdf.NullID && t.O != oid {
+			continue
+		}
+		row := make(engine.Row, 0, len(outVars))
+		vals := map[string]rdf.ID{}
+		okRow := true
+		for _, pos := range []struct {
+			pt  sparql.PatternTerm
+			val rdf.ID
+		}{{tp.S, t.S}, {tp.P, t.P}, {tp.O, t.O}} {
+			if !pos.pt.IsVar() {
+				continue
+			}
+			if prev, seen := vals[pos.pt.Var]; seen {
+				if prev != pos.val {
+					okRow = false
+					break
+				}
+				continue
+			}
+			vals[pos.pt.Var] = pos.val
+			row = append(row, pos.val)
+		}
+		if okRow {
+			rows = append(rows, row)
+		}
+	}
+	// Charge a full-dataset scan (sum of all VP files).
+	var totalBytes int64
+	for _, t := range s.vp {
+		totalBytes += t.FileBytes
+	}
+	rel, err := engine.Partition(engine.Schema(outVars), rows, outVars[0], s.parts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Scan(rel, "triples ?"+tp.P.Var, totalBytes)
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/columnar"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+)
+
+// ptKeyMode selects which triple position keys the Property Table rows.
+type ptKeyMode uint8
+
+const (
+	// keyOnSubject is the paper's Property Table (§3.1): one row per
+	// distinct subject.
+	keyOnSubject ptKeyMode = iota
+	// keyOnObject is the future-work inverse Property Table (§5): one
+	// row per distinct object, beneficial for patterns sharing an
+	// object.
+	keyOnObject
+)
+
+// PropertyTable is the wide table holding, per key (subject or object),
+// the values of every predicate. It is horizontally partitioned on the
+// key column so each row lives entirely on one node (paper §3.1), and
+// multi-valued predicates are stored as lists that get flattened on
+// access.
+type PropertyTable struct {
+	mode  ptKeyMode
+	parts []*ptPartition
+	// cols records which predicates have a column, mapping to whether
+	// the column is multi-valued (a list column).
+	cols map[rdf.ID]bool
+	// colBytes is each predicate column's total on-HDFS size, the unit
+	// of column-pruned scan charging.
+	colBytes map[rdf.ID]int64
+	// keyBytes is the key column's total on-HDFS size.
+	keyBytes int64
+	// fileBytes is the table's full on-HDFS size (columns + local
+	// dictionaries).
+	fileBytes int64
+	// numKeys is the number of rows (distinct keys).
+	numKeys int
+}
+
+// ptPartition is one horizontal partition: per-predicate hash maps from
+// key to value(s). Single-valued entries live in single; keys with more
+// than one value live in multi.
+type ptPartition struct {
+	cols map[rdf.ID]*ptColumn
+}
+
+// ptColumn holds one predicate's cells within a partition.
+type ptColumn struct {
+	single map[rdf.ID]rdf.ID
+	multi  map[rdf.ID][]rdf.ID
+}
+
+func newPTColumn() *ptColumn {
+	return &ptColumn{single: make(map[rdf.ID]rdf.ID)}
+}
+
+// add appends a value for key, promoting the cell to multi-valued when a
+// second value arrives.
+func (c *ptColumn) add(key, value rdf.ID) {
+	if vs, ok := c.multi[key]; ok {
+		c.multi[key] = append(vs, value)
+		return
+	}
+	if v, ok := c.single[key]; ok {
+		if c.multi == nil {
+			c.multi = make(map[rdf.ID][]rdf.ID)
+		}
+		c.multi[key] = []rdf.ID{v, value}
+		delete(c.single, key)
+		return
+	}
+	c.single[key] = value
+}
+
+// lookup returns the values stored for key. The returned slice aliases
+// internal storage for multi-valued cells; callers must not mutate it.
+// The scratch buffer (len ≥ 1) avoids allocation for single values.
+func (c *ptColumn) lookup(key rdf.ID, scratch []rdf.ID) []rdf.ID {
+	if v, ok := c.single[key]; ok {
+		scratch[0] = v
+		return scratch[:1]
+	}
+	return c.multi[key]
+}
+
+// keys returns the number of keys with at least one value.
+func (c *ptColumn) keys() int { return len(c.single) + len(c.multi) }
+
+// Columns returns the number of predicate columns.
+func (t *PropertyTable) Columns() int { return len(t.cols) }
+
+// Rows returns the number of distinct keys (table rows).
+func (t *PropertyTable) Rows() int { return t.numKeys }
+
+// FileBytes returns the table's on-HDFS size.
+func (t *PropertyTable) FileBytes() int64 { return t.fileBytes }
+
+// MultiValued reports whether the predicate's column stores lists.
+func (t *PropertyTable) MultiValued(p rdf.ID) bool { return t.cols[p] }
+
+// HasColumn reports whether the predicate occurs in the table.
+func (t *PropertyTable) HasColumn(p rdf.ID) bool {
+	_, ok := t.cols[p]
+	return ok
+}
+
+// scanBytes returns the bytes a column-pruned scan of the given
+// predicates reads: the key column plus each requested predicate column.
+func (t *PropertyTable) scanBytes(preds []rdf.ID) int64 {
+	total := t.keyBytes
+	for _, p := range preds {
+		total += t.colBytes[p]
+	}
+	return total
+}
+
+// buildPropertyTable groups the dataset by key (subject or object),
+// partitions the keys with the engine's canonical placement, encodes
+// each partition as a columnar file, writes it to HDFS and charges the
+// clock for the shuffle and replicated write.
+func buildPropertyTable(s *Store, clock *cluster.Clock, mode ptKeyMode) (*PropertyTable, error) {
+	t := &PropertyTable{
+		mode:     mode,
+		parts:    make([]*ptPartition, s.parts),
+		cols:     make(map[rdf.ID]bool),
+		colBytes: make(map[rdf.ID]int64),
+	}
+	for i := range t.parts {
+		t.parts[i] = &ptPartition{cols: make(map[rdf.ID]*ptColumn)}
+	}
+
+	// Distribute cells; detect multi-valuedness per predicate.
+	keysSeen := make(map[rdf.ID]struct{})
+	for _, tr := range s.triples {
+		key, value := tr.S, tr.O
+		if mode == keyOnObject {
+			key, value = tr.O, tr.S
+		}
+		p := engine.PartitionFor(key, s.parts)
+		col, ok := t.parts[p].cols[tr.P]
+		if !ok {
+			col = newPTColumn()
+			t.parts[p].cols[tr.P] = col
+		}
+		col.add(key, value)
+		keysSeen[key] = struct{}{}
+	}
+	t.numKeys = len(keysSeen)
+	for _, pred := range s.predOrder {
+		multi := false
+		for _, part := range t.parts {
+			if col, ok := part.cols[pred]; ok && len(col.multi) > 0 {
+				multi = true
+				break
+			}
+		}
+		t.cols[pred] = multi
+	}
+
+	// Encode each partition as one columnar file and write it to HDFS.
+	prefix := s.opts.PathPrefix + "/pt"
+	if mode == keyOnObject {
+		prefix = s.opts.PathPrefix + "/ipt"
+	}
+	var totalWrite int64
+	for pi, part := range t.parts {
+		file, localTerms, err := encodePTPartition(s, part, t.cols)
+		if err != nil {
+			return nil, err
+		}
+		size := file.SizeBytes() + compressedStringBytes(s.dict, localTerms)
+		path := fmt.Sprintf("%s/part-%05d.parquet", prefix, pi)
+		if _, err := s.fs.Write(path, size); err != nil {
+			return nil, err
+		}
+		t.fileBytes += size
+		totalWrite += size
+		t.keyBytes += keyColumnBytes(file)
+		for _, pred := range s.predOrder {
+			name := ptColumnName(s.dict, pred)
+			if file.HasColumn(name) {
+				cb, err := file.ColumnSizeBytes(name)
+				if err != nil {
+					return nil, err
+				}
+				t.colBytes[pred] += cb
+			}
+		}
+	}
+
+	// Charge: one wide shuffle (every triple moves to its key's
+	// partition) plus the replicated write.
+	shuffleBytes := int64(len(s.triples)) * 3 * 5
+	writeBytes := totalWrite * int64(replicationOf(s))
+	name := "build property table"
+	if mode == keyOnObject {
+		name = "build inverse property table"
+	}
+	err := s.cluster.RunStage(clock, s.cluster.Config().Cost.SQLStageLaunch, name, s.parts, func(p int) (cluster.TaskStats, error) {
+		return cluster.TaskStats{
+			Rows:      int64(len(s.triples)) / int64(s.parts),
+			NetBytes:  shuffleBytes / int64(s.parts),
+			DiskBytes: writeBytes / int64(s.parts),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ptColumnName is the columnar-file column name for a predicate.
+func ptColumnName(dict *rdf.Dictionary, pred rdf.ID) string {
+	return dict.Term(pred).Value
+}
+
+// keyColumnBytes returns the key column's size within one partition file.
+func keyColumnBytes(f *columnar.File) int64 {
+	n, err := f.ColumnSizeBytes("key")
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// encodePTPartition lays one partition out as a columnar file: a key
+// column plus one column per predicate (scalar when globally
+// single-valued, list otherwise), with NULL/empty cells for absent
+// pairs — the NULL-dense layout that RLE makes cheap (paper §3.1).
+func encodePTPartition(s *Store, part *ptPartition, multiByPred map[rdf.ID]bool) (*columnar.File, map[rdf.ID]struct{}, error) {
+	// Row order: all keys present in this partition, ascending.
+	keySet := make(map[rdf.ID]struct{})
+	for _, col := range part.cols {
+		for k := range col.single {
+			keySet[k] = struct{}{}
+		}
+		for k := range col.multi {
+			keySet[k] = struct{}{}
+		}
+	}
+	keys := make([]rdf.ID, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sortIDs(keys)
+
+	localTerms := make(map[rdf.ID]struct{}, len(keys)*2)
+	for _, k := range keys {
+		localTerms[k] = struct{}{}
+	}
+
+	w := columnar.NewWriter(0)
+	w.AddScalar("key", keys)
+	scratch := make([]rdf.ID, 1)
+	for _, pred := range s.predOrder {
+		name := ptColumnName(s.dict, pred)
+		col := part.cols[pred]
+		if multiByPred[pred] {
+			lists := make([][]rdf.ID, len(keys))
+			if col != nil {
+				for i, k := range keys {
+					vs := col.lookup(k, scratch)
+					if len(vs) > 0 {
+						row := make([]rdf.ID, len(vs))
+						copy(row, vs)
+						lists[i] = row
+						for _, v := range vs {
+							localTerms[v] = struct{}{}
+						}
+					}
+				}
+			}
+			w.AddList(name, lists)
+		} else {
+			vals := make([]rdf.ID, len(keys))
+			if col != nil {
+				for i, k := range keys {
+					if v, ok := col.single[k]; ok {
+						vals[i] = v
+						localTerms[v] = struct{}{}
+					}
+				}
+			}
+			w.AddScalar(name, vals)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		return nil, nil, fmt.Errorf("encoding property table partition: %w", err)
+	}
+	return f, localTerms, nil
+}
+
+// sortIDs sorts IDs ascending in place.
+func sortIDs(ids []rdf.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

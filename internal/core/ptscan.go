@@ -1,0 +1,208 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// patSpec is one pattern of a PT/IPT node prepared for scanning: which
+// column it reads and what its value position contributes (a new output
+// column, an equality constraint, or a bound-term membership test).
+type patSpec struct {
+	// pid is the pattern's predicate ID.
+	pid rdf.ID
+	// boundVal is the required value when the value position is a bound
+	// term (NullID otherwise).
+	boundVal rdf.ID
+	// newCol is the output row index this pattern's variable fills, or
+	// -1 when the pattern only constrains.
+	newCol int
+	// eqCol is the earlier output column this pattern's variable must
+	// equal, or -1.
+	eqCol int
+	// eqKey constrains the value to equal the row key (?s p ?s).
+	eqKey bool
+}
+
+// execPTNode answers a group of patterns sharing the key variable from
+// the (inverse) Property Table with a single partition-parallel select:
+// for every key holding all the required predicates, emit the cartesian
+// combination of the (flattened) value lists — the flatten step the
+// paper charges to multi-valued attributes (§3.1).
+func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node) (*engine.Relation, error) {
+	keyVar := n.Key
+	schema := engine.Schema{keyVar}
+	specs := make([]patSpec, 0, len(n.Patterns))
+	preds := make([]rdf.ID, 0, len(n.Patterns))
+
+	outVars := append([]string{keyVar}, nodeValueVars(n, pt.mode)...)
+	for _, tp := range n.Patterns {
+		pid, ok := s.dict.Lookup(tp.P.Term)
+		if !ok || !pt.HasColumn(pid) {
+			return s.emptyRelation(outVars), nil
+		}
+		value := valueTerm(tp, pt.mode)
+		spec := patSpec{pid: pid, newCol: -1, eqCol: -1}
+		switch {
+		case !value.IsVar():
+			vid, ok := s.dict.Lookup(value.Term)
+			if !ok {
+				return s.emptyRelation(outVars), nil
+			}
+			spec.boundVal = vid
+		case value.Var == keyVar:
+			spec.eqKey = true
+		default:
+			if i := schema.Index(value.Var); i >= 0 {
+				spec.eqCol = i
+			} else {
+				spec.newCol = len(schema)
+				schema = append(schema, value.Var)
+			}
+		}
+		specs = append(specs, spec)
+		preds = append(preds, pid)
+	}
+
+	perPartDisk := pt.scanBytes(preds) / int64(len(pt.parts))
+	outParts := make([][]engine.Row, len(pt.parts))
+	err := s.cluster.RunStage(e.Clock, e.Launch(false), "scan "+n.Label(), len(pt.parts), func(p int) (cluster.TaskStats, error) {
+		rows, processed := scanPTPartition(pt.parts[p], specs, len(schema))
+		outParts[p] = rows
+		return cluster.TaskStats{
+			DiskBytes: perPartDisk,
+			Rows:      processed + int64(len(rows)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewRelation(schema, outParts, keyVar), nil
+}
+
+// nodeValueVars lists the node's value-position variables (used only to
+// shape empty results, where column order is irrelevant).
+func nodeValueVars(n *Node, mode ptKeyMode) []string {
+	seen := map[string]bool{n.Key: true}
+	var out []string
+	for _, tp := range n.Patterns {
+		v := valueTerm(tp, mode)
+		if v.IsVar() && !seen[v.Var] {
+			seen[v.Var] = true
+			out = append(out, v.Var)
+		}
+	}
+	return out
+}
+
+// valueTerm returns the pattern position holding the cell value: the
+// object for the subject-keyed PT, the subject for the inverse PT.
+func valueTerm(tp sparql.TriplePattern, mode ptKeyMode) sparql.PatternTerm {
+	if mode == keyOnObject {
+		return tp.S
+	}
+	return tp.O
+}
+
+// scanPTPartition scans one PT partition for the node's specs. It
+// returns the emitted rows and the number of keys examined.
+func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Row, int64) {
+	cols := make([]*ptColumn, len(specs))
+	driver := -1
+	for i, sp := range specs {
+		col := part.cols[sp.pid]
+		if col == nil {
+			return nil, 0 // a required predicate has no cells here
+		}
+		cols[i] = col
+		if driver < 0 || col.keys() < cols[driver].keys() {
+			driver = i
+		}
+	}
+
+	var rows []engine.Row
+	var processed int64
+	scratch := make([]rdf.ID, 1)
+	lists := make([][]rdf.ID, len(specs))
+	emit := func(key rdf.ID) {
+		// Gather each pattern's values for this key; bail out on any
+		// missing or failed constraint that needs no prior bindings.
+		for i, sp := range specs {
+			vs := cols[i].lookup(key, scratch)
+			if len(vs) == 0 {
+				return
+			}
+			switch {
+			case sp.boundVal != rdf.NullID:
+				if !containsID(vs, sp.boundVal) {
+					return
+				}
+				lists[i] = nil
+			case sp.eqKey:
+				if !containsID(vs, key) {
+					return
+				}
+				lists[i] = nil
+			default:
+				// Copy: scratch is reused across specs.
+				own := make([]rdf.ID, len(vs))
+				copy(own, vs)
+				lists[i] = own
+			}
+		}
+		// Cartesian emission over the contributing patterns (the
+		// multi-valued flatten), with repeated-variable equality.
+		row := make(engine.Row, width)
+		row[0] = key
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(specs) {
+				out := make(engine.Row, width)
+				copy(out, row)
+				rows = append(rows, out)
+				return
+			}
+			sp := specs[i]
+			if lists[i] == nil {
+				rec(i + 1)
+				return
+			}
+			for _, v := range lists[i] {
+				switch {
+				case sp.newCol >= 0:
+					row[sp.newCol] = v
+					rec(i + 1)
+				case sp.eqCol >= 0:
+					if v == row[sp.eqCol] {
+						rec(i + 1)
+					}
+				default:
+					rec(i + 1)
+				}
+			}
+		}
+		rec(0)
+	}
+
+	for key := range cols[driver].single {
+		processed++
+		emit(key)
+	}
+	for key := range cols[driver].multi {
+		processed++
+		emit(key)
+	}
+	return rows, processed
+}
+
+// containsID reports whether vs contains v.
+func containsID(vs []rdf.ID, v rdf.ID) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

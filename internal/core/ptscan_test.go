@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// edgeGraph exercises the Property Table corner cases: multi-valued
+// cells, self-referential triples, and repeated predicates per subject.
+func edgeGraph() *rdf.Graph {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(testNS + s) }
+	g := rdf.NewGraph(0)
+	add := func(s, p string, o rdf.Term) { g.AddSPO(iri(s), iri(p), o) }
+
+	// a knows b and c (multi-valued); a rates both 5 and 7.
+	add("a", "knows", iri("b"))
+	add("a", "knows", iri("c"))
+	add("a", "rates", rdf.NewTypedLiteral("5", rdf.XSDInteger))
+	add("a", "rates", rdf.NewTypedLiteral("7", rdf.XSDInteger))
+	// b knows itself (key == value) and knows c.
+	add("b", "knows", iri("b"))
+	add("b", "knows", iri("c"))
+	add("b", "rates", rdf.NewTypedLiteral("5", rdf.XSDInteger))
+	// c has rates only.
+	add("c", "rates", rdf.NewTypedLiteral("9", rdf.XSDInteger))
+	return g
+}
+
+func edgeStore(t *testing.T) *Store {
+	t.Helper()
+	c := cluster.MustNew(cluster.Config{Workers: 2, DefaultPartitions: 3})
+	s, err := Load(edgeGraph(), Options{Cluster: c, BuildInversePT: true})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return s
+}
+
+func TestPTScanMultiValuedFlatten(t *testing.T) {
+	s := edgeStore(t)
+	// Star over two multi-valued predicates: the PT node must emit the
+	// cartesian combination per subject (the paper's flatten).
+	got := runQuery(t, s, `SELECT ?s ?k ?r WHERE {
+		?s <http://example.org/knows> ?k .
+		?s <http://example.org/rates> ?r .
+	}`, StrategyMixed)
+	want := []string{
+		"a|b|5", "a|b|7", "a|c|5", "a|c|7",
+		"b|b|5", "b|c|5",
+	}
+	eqStrings(t, got, want, "flatten")
+	// VP-only must agree.
+	vp := runQuery(t, s, `SELECT ?s ?k ?r WHERE {
+		?s <http://example.org/knows> ?k .
+		?s <http://example.org/rates> ?r .
+	}`, StrategyVPOnly)
+	eqStrings(t, vp, want, "flatten vp-only")
+}
+
+func TestPTScanSameVariableTwice(t *testing.T) {
+	s := edgeStore(t)
+	// ?s knows ?s: the value must equal the row key (only b qualifies).
+	got := runQuery(t, s, `SELECT ?s WHERE {
+		?s <http://example.org/knows> ?s .
+		?s <http://example.org/rates> ?r .
+	}`, StrategyMixed)
+	eqStrings(t, got, []string{"b"}, "self loop")
+}
+
+func TestPTScanRepeatedPredicateDistinctVars(t *testing.T) {
+	s := edgeStore(t)
+	// Same predicate twice with different object vars: pairs of knows
+	// values per subject (including equal pairs).
+	got := runQuery(t, s, `SELECT ?s ?x ?y WHERE {
+		?s <http://example.org/knows> ?x .
+		?s <http://example.org/knows> ?y .
+	}`, StrategyMixed)
+	want := []string{
+		"a|b|b", "a|b|c", "a|c|b", "a|c|c",
+		"b|b|b", "b|b|c", "b|c|b", "b|c|c",
+	}
+	eqStrings(t, got, want, "repeated predicate")
+	vp := runQuery(t, s, `SELECT ?s ?x ?y WHERE {
+		?s <http://example.org/knows> ?x .
+		?s <http://example.org/knows> ?y .
+	}`, StrategyVPOnly)
+	eqStrings(t, vp, want, "repeated predicate vp-only")
+}
+
+func TestPTScanRepeatedPredicateSharedVar(t *testing.T) {
+	s := edgeStore(t)
+	// Same predicate twice binding the SAME var: plain membership.
+	got := runQuery(t, s, `SELECT ?s ?x WHERE {
+		?s <http://example.org/knows> ?x .
+		?s <http://example.org/knows> ?x .
+	}`, StrategyMixed)
+	want := []string{"a|b", "a|c", "b|b", "b|c"}
+	eqStrings(t, got, want, "shared var")
+}
+
+func TestPTScanBoundObjectConstraint(t *testing.T) {
+	s := edgeStore(t)
+	got := runQuery(t, s, `SELECT ?s ?r WHERE {
+		?s <http://example.org/knows> <http://example.org/c> .
+		?s <http://example.org/rates> ?r .
+	}`, StrategyMixed)
+	want := []string{"a|5", "a|7", "b|5"}
+	eqStrings(t, got, want, "bound object")
+}
+
+func TestInversePTSelfLoopAndPairs(t *testing.T) {
+	s := edgeStore(t)
+	// Object star: pairs of subjects knowing the same entity.
+	q := sparql.MustParse(`SELECT ?x ?y WHERE {
+		?x <http://example.org/knows> ?k .
+		?y <http://example.org/knows> ?k .
+	}`)
+	ipt, err := s.Query(q, QueryOptions{Strategy: StrategyMixedIPT})
+	if err != nil {
+		t.Fatalf("ipt: %v", err)
+	}
+	mixed, err := s.Query(q, QueryOptions{Strategy: StrategyMixed})
+	if err != nil {
+		t.Fatalf("mixed: %v", err)
+	}
+	eqStrings(t, renderRows(ipt), renderRows(mixed), "ipt vs mixed pairs")
+	// Sanity: tree used an IPT node.
+	usedIPT := false
+	for _, n := range ipt.Tree.Nodes {
+		if n.Kind == NodeIPT {
+			usedIPT = true
+		}
+	}
+	if !usedIPT {
+		t.Errorf("object star did not use the inverse PT:\n%s", ipt.Tree)
+	}
+}
+
+func TestPTMultiValuedColumnsOnHDFS(t *testing.T) {
+	s := edgeStore(t)
+	knows, ok := s.Dictionary().Lookup(rdf.NewIRI(testNS + "knows"))
+	if !ok {
+		t.Fatalf("knows not in dictionary")
+	}
+	if !s.PropertyTable().MultiValued(knows) {
+		t.Errorf("knows not multi-valued in PT")
+	}
+	if s.PropertyTable().FileBytes() <= 0 {
+		t.Errorf("PT FileBytes = %d", s.PropertyTable().FileBytes())
+	}
+	files := s.FS().ListPrefix("/prost/pt/")
+	if len(files) != s.Partitions() {
+		t.Errorf("PT files on HDFS = %d, want %d", len(files), s.Partitions())
+	}
+	for _, f := range files {
+		if !strings.HasSuffix(f, ".parquet") {
+			t.Errorf("unexpected PT file name %q", f)
+		}
+	}
+}
+
+func TestVPTableAccessors(t *testing.T) {
+	s := edgeStore(t)
+	knows, _ := s.Dictionary().Lookup(rdf.NewIRI(testNS + "knows"))
+	vt := s.VPTable(knows)
+	if vt == nil {
+		t.Fatalf("VPTable(knows) = nil")
+	}
+	if vt.Rows() != 4 {
+		t.Errorf("knows VP rows = %d, want 4", vt.Rows())
+	}
+	if vt.FileBytes <= 0 {
+		t.Errorf("knows VP FileBytes = %d", vt.FileBytes)
+	}
+	if s.VPTable(rdf.ID(9999)) != nil {
+		t.Errorf("VPTable of unknown predicate not nil")
+	}
+}

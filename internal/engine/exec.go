@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rdf"
+)
+
+// DefaultBroadcastThreshold mirrors Spark's
+// spark.sql.autoBroadcastJoinThreshold default of 10 MiB.
+const DefaultBroadcastThreshold = 10 << 20
+
+// Exec is the execution context for one query: the cluster it runs on,
+// the virtual clock it charges, and the physical-planning knobs.
+type Exec struct {
+	// Cluster is the simulated cluster.
+	Cluster *cluster.Cluster
+	// Clock accumulates the query's virtual time. May be nil (costs are
+	// then discarded), which tests use for pure-semantics checks.
+	Clock *cluster.Clock
+	// StartCost is charged once, on the query's first stage: query
+	// planning in a warm Spark SQL session (PRoST, S2RDF) or a full
+	// spark-submit (SPARQLGX).
+	StartCost time.Duration
+	// BoundaryLaunch is charged on every stage that crosses a shuffle
+	// or broadcast-exchange boundary; pipelined work (scan, filter,
+	// project) launches nothing.
+	BoundaryLaunch time.Duration
+	// BroadcastThreshold is the maximum build-side size for broadcast
+	// joins; 0 means DefaultBroadcastThreshold, negative disables
+	// broadcasting entirely (the ablation knob).
+	BroadcastThreshold int64
+
+	started bool
+}
+
+// NewExec returns an execution context with warm-session Spark SQL
+// pricing — the mode PRoST and S2RDF run in.
+func NewExec(c *cluster.Cluster, clock *cluster.Clock) *Exec {
+	cost := c.Config().Cost
+	return &Exec{
+		Cluster:        c,
+		Clock:          clock,
+		StartCost:      cost.SQLPlanning,
+		BoundaryLaunch: cost.SQLStageLaunch,
+	}
+}
+
+// NewRDDExec returns an execution context priced as a freshly submitted
+// RDD program (SPARQLGX's mode): a spark-submit per query and a job
+// launch per shuffle stage.
+func NewRDDExec(c *cluster.Cluster, clock *cluster.Clock) *Exec {
+	cost := c.Config().Cost
+	return &Exec{
+		Cluster:        c,
+		Clock:          clock,
+		StartCost:      cost.RDDSubmit,
+		BoundaryLaunch: cost.RDDStageLaunch,
+	}
+}
+
+// Launch returns the launch overhead for the next stage: StartCost on
+// the query's first stage, plus BoundaryLaunch when the stage crosses a
+// shuffle/broadcast boundary. Storage layers that run their own scan
+// stages call this with boundary=false.
+func (e *Exec) Launch(boundary bool) time.Duration {
+	var d time.Duration
+	if !e.started {
+		e.started = true
+		d += e.StartCost
+	}
+	if boundary {
+		d += e.BoundaryLaunch
+	}
+	return d
+}
+
+// launchBroadcast prices a broadcast hash join's stage: the probe side
+// pipelines into the open stage (Spark fuses BroadcastHashJoin into
+// whole-stage codegen), so only the small build-side collection job is
+// charged, at a third of a full stage launch.
+func (e *Exec) launchBroadcast() time.Duration {
+	return e.Launch(false) + e.BoundaryLaunch/3
+}
+
+func (e *Exec) broadcastThreshold() int64 {
+	if e.BroadcastThreshold == 0 {
+		return DefaultBroadcastThreshold
+	}
+	return e.BroadcastThreshold
+}
+
+// Scan charges a table scan of the relation: diskBytes streamed evenly
+// across partitions plus per-row processing. It returns table unchanged
+// (relations are immutable), making it the bridge between stored tables
+// and query plans. Pass diskBytes = 0 for a scan of an in-memory cached
+// table.
+func (e *Exec) Scan(table *Relation, name string, diskBytes int64) (*Relation, error) {
+	n := table.Partitions()
+	if n == 0 {
+		return table, nil
+	}
+	perPart := diskBytes / int64(n)
+	err := e.Cluster.RunStage(e.Clock, e.Launch(false), "scan "+name, n, func(p int) (cluster.TaskStats, error) {
+		return cluster.TaskStats{
+			DiskBytes: perPart,
+			Rows:      int64(len(table.Part(p))),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// Filter keeps the rows satisfying pred, partition-wise (no shuffle).
+func (e *Exec) Filter(rel *Relation, name string, pred func(Row) bool) (*Relation, error) {
+	out := make([][]Row, rel.Partitions())
+	err := e.Cluster.RunStage(e.Clock, e.Launch(false), "filter "+name, rel.Partitions(), func(p int) (cluster.TaskStats, error) {
+		in := rel.Part(p)
+		var kept []Row
+		for _, r := range in {
+			if pred(r) {
+				kept = append(kept, r)
+			}
+		}
+		out[p] = kept
+		return cluster.TaskStats{Rows: int64(len(in))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: rel.schema.Clone(), parts: out, partKey: rel.partKey}, nil
+}
+
+// Project keeps only the named columns, in the given order.
+func (e *Exec) Project(rel *Relation, cols []string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := rel.schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: project column %q not in schema %v", c, rel.schema)
+		}
+		idx[i] = j
+	}
+	// The partition key survives only if it is still projected.
+	partKey := ""
+	for _, c := range cols {
+		if c == rel.partKey {
+			partKey = c
+		}
+	}
+	out := make([][]Row, rel.Partitions())
+	err := e.Cluster.RunStage(e.Clock, e.Launch(false), "project", rel.Partitions(), func(p int) (cluster.TaskStats, error) {
+		in := rel.Part(p)
+		rows := make([]Row, len(in))
+		for ri, r := range in {
+			nr := make(Row, len(idx))
+			for i, j := range idx {
+				nr[i] = r[j]
+			}
+			rows[ri] = nr
+		}
+		out[p] = rows
+		return cluster.TaskStats{Rows: int64(len(in))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: Schema(cols).Clone(), parts: out, partKey: partKey}, nil
+}
+
+// Rename relabels the relation's columns without touching data or
+// layout; the partition key follows its column. It is free (metadata
+// only), like a SQL AS clause.
+func (e *Exec) Rename(rel *Relation, newNames []string) (*Relation, error) {
+	if len(newNames) != len(rel.schema) {
+		return nil, fmt.Errorf("engine: rename needs %d names, got %d", len(rel.schema), len(newNames))
+	}
+	partKey := ""
+	if rel.partKey != "" {
+		if i := rel.schema.Index(rel.partKey); i >= 0 {
+			partKey = newNames[i]
+		}
+	}
+	return &Relation{schema: Schema(newNames).Clone(), parts: rel.parts, partKey: partKey}, nil
+}
+
+// Distinct removes duplicate rows. It requires a shuffle on all columns
+// so equal rows meet in one partition, exactly as Spark plans it.
+func (e *Exec) Distinct(rel *Relation) (*Relation, error) {
+	n := e.Cluster.DefaultPartitions()
+	keyIdx := make([]int, len(rel.schema))
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	shuffled, moved := shuffleRows(rel, keyIdx, n)
+	out := make([][]Row, n)
+	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "distinct", n, func(p int) (cluster.TaskStats, error) {
+		seen := make(map[string]struct{}, len(shuffled[p]))
+		var kept []Row
+		for _, r := range shuffled[p] {
+			k := rowKeyString(r)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				kept = append(kept, r)
+			}
+		}
+		out[p] = kept
+		return cluster.TaskStats{
+			Rows:     int64(len(shuffled[p])),
+			NetBytes: moved[p],
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: rel.schema.Clone(), parts: out}, nil
+}
+
+// rowKeyString packs a row into a map key.
+func rowKeyString(r Row) string {
+	b := make([]byte, 0, len(r)*4)
+	for _, v := range r {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// Union concatenates two relations with identical schemas.
+func (e *Exec) Union(a, b *Relation) (*Relation, error) {
+	if len(a.schema) != len(b.schema) {
+		return nil, fmt.Errorf("engine: union schema mismatch %v vs %v", a.schema, b.schema)
+	}
+	for i := range a.schema {
+		if a.schema[i] != b.schema[i] {
+			return nil, fmt.Errorf("engine: union schema mismatch %v vs %v", a.schema, b.schema)
+		}
+	}
+	n := a.Partitions()
+	if b.Partitions() > n {
+		n = b.Partitions()
+	}
+	parts := make([][]Row, n)
+	for i := 0; i < n; i++ {
+		if i < a.Partitions() {
+			parts[i] = append(parts[i], a.Part(i)...)
+		}
+		if i < b.Partitions() {
+			parts[i] = append(parts[i], b.Part(i)...)
+		}
+	}
+	return &Relation{schema: a.schema.Clone(), parts: parts}, nil
+}
+
+// Collect gathers all rows to the driver, charging their transfer.
+func (e *Exec) Collect(rel *Relation) ([]Row, error) {
+	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "collect", rel.Partitions(), func(p int) (cluster.TaskStats, error) {
+		rows := int64(len(rel.Part(p)))
+		return cluster.TaskStats{
+			Rows:     rows,
+			NetBytes: rows * int64(len(rel.schema)) * bytesPerValue,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rel.Rows(), nil
+}
+
+// Limit collects, applies offset/limit in row order, and returns the
+// surviving rows. A negative limit means "no limit".
+func (e *Exec) Limit(rel *Relation, limit, offset int) ([]Row, error) {
+	rows, err := e.Collect(rel)
+	if err != nil {
+		return nil, err
+	}
+	if offset > 0 {
+		if offset >= len(rows) {
+			return nil, nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows, nil
+}
+
+// CompareIDs applies a SPARQL FILTER comparison to two dictionary IDs,
+// resolving them through dict. Numeric literals compare numerically;
+// everything else compares by term ordering.
+func CompareIDs(dict *rdf.Dictionary, a rdf.ID, op func(int) bool, b rdf.Term) bool {
+	ta := dict.Term(a)
+	if na, oka := numericValue(ta); oka {
+		if nb, okb := numericValue(b); okb {
+			switch {
+			case na < nb:
+				return op(-1)
+			case na > nb:
+				return op(1)
+			default:
+				return op(0)
+			}
+		}
+	}
+	return op(ta.Compare(b))
+}
+
+// numericValue parses integer-typed literals.
+func numericValue(t rdf.Term) (int64, bool) {
+	if !t.IsLiteral() || t.Datatype != rdf.XSDInteger {
+		return 0, false
+	}
+	var n int64
+	neg := false
+	s := t.Value
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}

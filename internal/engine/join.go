@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Join performs a natural join on the columns shared by the two inputs,
+// selecting the physical strategy the way Catalyst does: if either side
+// is estimated below the broadcast threshold it becomes the build side
+// of a broadcast hash join; otherwise both sides are shuffled on the
+// join key (skipping sides already partitioned on it) and hash-joined
+// partition-wise. Inputs without shared columns produce a cartesian
+// product via broadcast (BGPs are connected, so this only serves
+// robustness).
+func (e *Exec) Join(left, right *Relation, name string) (*Relation, error) {
+	shared := left.schema.Shared(right.schema)
+	if len(shared) == 0 {
+		return e.cartesian(left, right, name)
+	}
+	bt := e.broadcastThreshold()
+	if bt > 0 {
+		lb, rb := left.EstimatedBytes(), right.EstimatedBytes()
+		if rb <= bt && rb <= lb {
+			return e.broadcastJoin(left, right, shared, name, false)
+		}
+		if lb <= bt {
+			return e.broadcastJoin(right, left, shared, name, true)
+		}
+	}
+	return e.shuffleJoin(left, right, shared, name)
+}
+
+// joinedSchema is left's schema followed by right's non-join columns.
+func joinedSchema(left, right Schema, shared []string) (Schema, []int) {
+	isJoinCol := map[string]bool{}
+	for _, c := range shared {
+		isJoinCol[c] = true
+	}
+	out := left.Clone()
+	var rightKeep []int
+	for i, c := range right {
+		if !isJoinCol[c] {
+			out = append(out, c)
+			rightKeep = append(rightKeep, i)
+		}
+	}
+	return out, rightKeep
+}
+
+// keyIndexes maps the shared columns into each schema.
+func keyIndexes(s Schema, shared []string) []int {
+	idx := make([]int, len(shared))
+	for i, c := range shared {
+		idx[i] = s.Index(c)
+	}
+	return idx
+}
+
+// shuffleRows hash-repartitions rel's rows by the key columns into n
+// partitions. It returns the new partitions and, per target partition,
+// the network bytes that landed there. Rows staying on the same
+// partition index are treated as local only when the relation was
+// already partitioned correctly — the caller decides by not calling
+// shuffleRows at all in that case.
+func shuffleRows(rel *Relation, keyIdx []int, n int) ([][]Row, []int64) {
+	parts := make([][]Row, n)
+	moved := make([]int64, n)
+	rowB := int64(len(rel.schema)) * bytesPerValue
+	for pi := 0; pi < rel.Partitions(); pi++ {
+		for _, r := range rel.Part(pi) {
+			p := cluster.HashPartition(hashRowKey(r, keyIdx), n)
+			parts[p] = append(parts[p], r)
+			moved[p] += rowB
+		}
+	}
+	return parts, moved
+}
+
+// alignedOnKey reports whether rel is already hash-partitioned so that a
+// join on shared needs no shuffle: single-column join key equal to the
+// relation's partition key, and the row-key hash placement must coincide
+// with the stored placement for the requested partition count.
+func alignedOnKey(rel *Relation, shared []string, n int) bool {
+	if len(shared) != 1 || rel.partKey != shared[0] || rel.Partitions() != n {
+		return false
+	}
+	return true
+}
+
+// shuffleJoin repartitions both sides on the join key and performs a
+// partition-wise hash join.
+func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) (*Relation, error) {
+	n := e.Cluster.DefaultPartitions()
+	lKey := keyIndexes(left.schema, shared)
+	rKey := keyIndexes(right.schema, shared)
+
+	// A side already partitioned on the single join column keeps its
+	// layout and pays zero shuffle bytes: Partition(), shuffleRows and
+	// join outputs all place rows with the engine's canonical row-key
+	// hash, so an aligned side's placement is already correct.
+	var lParts, rParts [][]Row
+	lMoved := make([]int64, n)
+	rMoved := make([]int64, n)
+	if alignedOnKey(left, shared, n) {
+		lParts = left.parts
+	} else {
+		lParts, lMoved = shuffleRows(left, lKey, n)
+	}
+	if alignedOnKey(right, shared, n) {
+		rParts = right.parts
+	} else {
+		rParts, rMoved = shuffleRows(right, rKey, n)
+	}
+
+	outSchema, rightKeep := joinedSchema(left.schema, right.schema, shared)
+	out := make([][]Row, n)
+	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "join "+name, n, func(p int) (cluster.TaskStats, error) {
+		build, probe := lParts[p], rParts[p]
+		buildKey, probeKey := lKey, rKey
+		buildIsLeft := true
+		if len(probe) < len(build) {
+			build, probe = probe, build
+			buildKey, probeKey = probeKey, buildKey
+			buildIsLeft = false
+		}
+		ht := make(map[string][]Row, len(build))
+		for _, r := range build {
+			k := keyString(r, buildKey)
+			ht[k] = append(ht[k], r)
+		}
+		var rows []Row
+		for _, pr := range probe {
+			matches := ht[keyString(pr, probeKey)]
+			for _, br := range matches {
+				lr, rr := br, pr
+				if !buildIsLeft {
+					lr, rr = pr, br
+				}
+				rows = append(rows, concatRow(lr, rr, rightKeep))
+			}
+		}
+		out[p] = rows
+		return cluster.TaskStats{
+			Rows:     int64(len(build) + len(probe) + len(rows)),
+			NetBytes: lMoved[p] + rMoved[p],
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	partKey := ""
+	if len(shared) == 1 {
+		partKey = shared[0]
+	}
+	return &Relation{schema: outSchema, parts: out, partKey: partKey}, nil
+}
+
+// broadcastJoin ships the (small) build relation to every worker and
+// probes the large side in place, preserving its partitioning.
+// buildIsLeft records that build is semantically the LEFT input, so
+// output columns keep left-to-right order.
+func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name string, buildIsLeft bool) (*Relation, error) {
+	probeKey := keyIndexes(probe.schema, shared)
+	buildKey := keyIndexes(build.schema, shared)
+
+	// Hash table over the build side, shared read-only by all tasks.
+	ht := make(map[string][]Row, build.NumRows())
+	for pi := 0; pi < build.Partitions(); pi++ {
+		for _, r := range build.Part(pi) {
+			k := keyString(r, buildKey)
+			ht[k] = append(ht[k], r)
+		}
+	}
+	buildBytes := build.EstimatedBytes()
+
+	var outSchema Schema
+	var keep []int
+	if buildIsLeft {
+		outSchema, keep = joinedSchema(build.schema, probe.schema, shared)
+	} else {
+		outSchema, keep = joinedSchema(probe.schema, build.schema, shared)
+	}
+
+	workers := e.Cluster.Workers()
+	out := make([][]Row, probe.Partitions())
+	err := e.Cluster.RunStage(e.Clock, e.launchBroadcast(), "broadcast join "+name, probe.Partitions(), func(p int) (cluster.TaskStats, error) {
+		var rows []Row
+		for _, pr := range probe.Part(p) {
+			for _, br := range ht[keyString(pr, probeKey)] {
+				if buildIsLeft {
+					rows = append(rows, concatRow(br, pr, keep))
+				} else {
+					rows = append(rows, concatRow(pr, br, keep))
+				}
+			}
+		}
+		out[p] = rows
+		st := cluster.TaskStats{Rows: int64(len(probe.Part(p)) + len(rows))}
+		// Each worker receives one copy of the build side; tasks are
+		// placed round-robin, so the first task on each worker pays it.
+		if p < workers {
+			st.NetBytes = buildBytes
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: outSchema, parts: out, partKey: probe.partKey}, nil
+}
+
+// cartesian computes a cross product by broadcasting the smaller side.
+func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) {
+	small, large := left, right
+	smallIsLeft := true
+	if right.EstimatedBytes() < left.EstimatedBytes() {
+		small, large = right, left
+		smallIsLeft = false
+	}
+	smallRows := small.Rows()
+	outSchema := append(left.schema.Clone(), right.schema...)
+	workers := e.Cluster.Workers()
+	smallBytes := small.EstimatedBytes()
+	out := make([][]Row, large.Partitions())
+	err := e.Cluster.RunStage(e.Clock, e.launchBroadcast(), "cartesian "+name, large.Partitions(), func(p int) (cluster.TaskStats, error) {
+		var rows []Row
+		for _, lr := range large.Part(p) {
+			for _, sr := range smallRows {
+				var a, b Row
+				if smallIsLeft {
+					a, b = sr, lr
+				} else {
+					a, b = lr, sr
+				}
+				nr := make(Row, 0, len(a)+len(b))
+				nr = append(nr, a...)
+				nr = append(nr, b...)
+				rows = append(rows, nr)
+			}
+		}
+		out[p] = rows
+		st := cluster.TaskStats{Rows: int64(len(rows))}
+		if p < workers {
+			st.NetBytes = smallBytes
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(outSchema) != len(left.schema)+len(right.schema) {
+		return nil, fmt.Errorf("engine: cartesian schema construction bug")
+	}
+	return &Relation{schema: outSchema, parts: out}, nil
+}
+
+// keyString packs key column values into a map key.
+func keyString(r Row, keyIdx []int) string {
+	b := make([]byte, 0, len(keyIdx)*4)
+	for _, i := range keyIdx {
+		v := r[i]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// concatRow builds left ++ right[keep].
+func concatRow(left, right Row, keep []int) Row {
+	nr := make(Row, 0, len(left)+len(keep))
+	nr = append(nr, left...)
+	for _, i := range keep {
+		nr = append(nr, right[i])
+	}
+	return nr
+}

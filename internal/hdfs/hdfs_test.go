@@ -1,0 +1,207 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConfigDefaults(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 10})
+	cfg := fs.Config()
+	if cfg.BlockSize != DefaultBlockSize {
+		t.Errorf("BlockSize = %d, want default", cfg.BlockSize)
+	}
+	if cfg.Replication != 3 {
+		t.Errorf("Replication = %d, want 3", cfg.Replication)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{DataNodes: 0}); err == nil {
+		t.Errorf("New with 0 data nodes succeeded")
+	}
+}
+
+func TestReplicationCappedAtNodes(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 2, Replication: 5})
+	if fs.Config().Replication != 2 {
+		t.Errorf("Replication = %d, want capped at 2", fs.Config().Replication)
+	}
+}
+
+func TestWriteSplitsIntoBlocks(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 4, BlockSize: 100, Replication: 2})
+	fi, err := fs.Write("/data/file1", 250)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(fi.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(fi.Blocks))
+	}
+	sizes := []int64{100, 100, 50}
+	for i, b := range fi.Blocks {
+		if b.Size != sizes[i] {
+			t.Errorf("block %d size = %d, want %d", i, b.Size, sizes[i])
+		}
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas, want 2", i, len(b.Replicas))
+		}
+		if b.Replicas[0] == b.Replicas[1] {
+			t.Errorf("block %d replicas on the same node", i)
+		}
+	}
+}
+
+func TestWriteEmptyFile(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 2})
+	fi, err := fs.Write("/empty", 0)
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if fi.Size != 0 || len(fi.Blocks) != 1 || fi.Blocks[0].Size != 0 {
+		t.Errorf("empty file info = %+v", fi)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 2})
+	if _, err := fs.Write("relative/path", 10); err == nil {
+		t.Errorf("Write with relative path succeeded")
+	}
+	if _, err := fs.Write("", 10); err == nil {
+		t.Errorf("Write with empty path succeeded")
+	}
+	if _, err := fs.Write("/x", -1); err == nil {
+		t.Errorf("Write with negative size succeeded")
+	}
+}
+
+func TestStatExistsDelete(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 3})
+	if fs.Exists("/a") {
+		t.Errorf("Exists before write")
+	}
+	if _, err := fs.Stat("/a"); err == nil {
+		t.Errorf("Stat before write succeeded")
+	}
+	if _, err := fs.Write("/a", 10); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	fi, err := fs.Stat("/a")
+	if err != nil || fi.Size != 10 {
+		t.Errorf("Stat = %+v, %v", fi, err)
+	}
+	if err := fs.Delete("/a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if fs.Exists("/a") {
+		t.Errorf("Exists after delete")
+	}
+	if err := fs.Delete("/a"); err == nil {
+		t.Errorf("double Delete succeeded")
+	}
+}
+
+func TestLogicalAndPhysicalBytes(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 5, BlockSize: 1000, Replication: 3})
+	mustWrite(t, fs, "/prost/vp/p1", 500)
+	mustWrite(t, fs, "/prost/pt/part0", 1500)
+	mustWrite(t, fs, "/rya/spo", 700)
+	if got := fs.LogicalBytes("/prost/"); got != 2000 {
+		t.Errorf("LogicalBytes(/prost/) = %d, want 2000", got)
+	}
+	if got := fs.PhysicalBytes("/prost/"); got != 6000 {
+		t.Errorf("PhysicalBytes(/prost/) = %d, want 6000", got)
+	}
+	if got := fs.LogicalBytes("/"); got != 2700 {
+		t.Errorf("LogicalBytes(/) = %d, want 2700", got)
+	}
+}
+
+func TestOverwriteReleasesSpace(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 3, BlockSize: 100, Replication: 1})
+	mustWrite(t, fs, "/f", 300)
+	before := fs.PhysicalBytes("/")
+	mustWrite(t, fs, "/f", 100)
+	after := fs.PhysicalBytes("/")
+	if before != 300 || after != 100 {
+		t.Errorf("physical bytes before/after overwrite = %d/%d, want 300/100", before, after)
+	}
+	var total int64
+	for _, u := range fs.NodeUsage() {
+		total += u
+		if u < 0 {
+			t.Errorf("negative node usage %d", u)
+		}
+	}
+	if total != 100 {
+		t.Errorf("summed node usage = %d, want 100", total)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	fs := MustNew(Config{DataNodes: 2})
+	mustWrite(t, fs, "/b/2", 1)
+	mustWrite(t, fs, "/b/1", 1)
+	mustWrite(t, fs, "/a/1", 1)
+	got := fs.ListPrefix("/b/")
+	if len(got) != 2 || got[0] != "/b/1" || got[1] != "/b/2" {
+		t.Errorf("ListPrefix = %v", got)
+	}
+	if n := len(fs.ListPrefix("/zzz")); n != 0 {
+		t.Errorf("ListPrefix(/zzz) = %d entries", n)
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	// Writing many equal files must spread bytes roughly evenly.
+	fs := MustNew(Config{DataNodes: 5, BlockSize: 10, Replication: 2})
+	for i := 0; i < 100; i++ {
+		mustWrite(t, fs, "/f/"+string(rune('a'+i%26))+string(rune('0'+i/26)), 10)
+	}
+	usage := fs.NodeUsage()
+	for node, u := range usage {
+		if u < 300 || u > 500 {
+			t.Errorf("node %d stores %d bytes; placement unbalanced %v", node, u, usage)
+		}
+	}
+}
+
+func TestPhysicalEqualsLogicalTimesReplication(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		fs := MustNew(Config{DataNodes: 4, BlockSize: 64, Replication: 3})
+		var logical int64
+		for i, s := range sizes {
+			if i > 50 {
+				break
+			}
+			logical += int64(s)
+			if _, err := fs.Write("/p/"+itoa(i), int64(s)); err != nil {
+				return false
+			}
+		}
+		return fs.LogicalBytes("/p/") == logical && fs.PhysicalBytes("/p/") == 3*logical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func mustWrite(t *testing.T, fs *FS, path string, size int64) {
+	t.Helper()
+	if _, err := fs.Write(path, size); err != nil {
+		t.Fatalf("Write(%q, %d): %v", path, size, err)
+	}
+}

@@ -1,0 +1,115 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a dense dictionary-encoded identifier for an RDF term. The engine
+// operates exclusively on IDs; strings only appear at the edges (loading
+// and result rendering). ID 0 is reserved as "no value" (NullID), which
+// lets the Property Table represent missing cells with the zero value.
+type ID uint32
+
+// NullID is the reserved "no value" identifier.
+const NullID ID = 0
+
+// Dictionary is a bidirectional map between RDF terms and dense IDs.
+// It is safe for concurrent use: Encode takes a write lock, Term and
+// related lookups take a read lock. IDs start at 1 and grow densely, so
+// they double as indexes into columnar dictionaries.
+type Dictionary struct {
+	mu    sync.RWMutex
+	terms []Term      // terms[i] is the term for ID(i+1)
+	ids   map[Term]ID // inverse mapping
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[Term]ID, 1024)}
+}
+
+// Encode interns the term and returns its ID, allocating a fresh ID on
+// first sight.
+func (d *Dictionary) Encode(t Term) ID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for a term without interning it. The boolean is
+// false when the term has never been encoded, which query translation
+// uses to answer literal-constrained patterns with an empty result.
+func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Term returns the term for an ID. It panics on NullID or out-of-range
+// IDs, which always indicate an engine bug rather than user input.
+func (d *Dictionary) Term(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NullID || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("rdf: dictionary lookup of invalid ID %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of distinct terms interned so far.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// EncodedTriple is a triple after dictionary encoding.
+type EncodedTriple struct {
+	S, P, O ID
+}
+
+// EncodeTriple interns all three terms of t.
+func (d *Dictionary) EncodeTriple(t Triple) EncodedTriple {
+	return EncodedTriple{S: d.Encode(t.S), P: d.Encode(t.P), O: d.Encode(t.O)}
+}
+
+// DecodeTriple maps an encoded triple back to its terms.
+func (d *Dictionary) DecodeTriple(t EncodedTriple) Triple {
+	return Triple{S: d.Term(t.S), P: d.Term(t.P), O: d.Term(t.O)}
+}
+
+// EncodeGraph encodes every triple of g, preserving order.
+func (d *Dictionary) EncodeGraph(g *Graph) []EncodedTriple {
+	out := make([]EncodedTriple, 0, g.Len())
+	for _, t := range g.Triples() {
+		out = append(out, d.EncodeTriple(t))
+	}
+	return out
+}
+
+// ApproxBytes estimates the in-memory footprint of the dictionary's
+// string data, used by the loading-size experiment to account for the
+// dictionary that every system ships alongside its tables.
+func (d *Dictionary) ApproxBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, t := range d.terms {
+		n += int64(len(t.Value) + len(t.Datatype) + len(t.Lang) + 8)
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryEncodeLookup(t *testing.T) {
+	d := NewDictionary()
+	a := NewIRI("http://a")
+	b := NewLiteral("b")
+
+	ida := d.Encode(a)
+	idb := d.Encode(b)
+	if ida == NullID || idb == NullID {
+		t.Fatalf("Encode returned NullID")
+	}
+	if ida == idb {
+		t.Fatalf("distinct terms share ID %d", ida)
+	}
+	if got := d.Encode(a); got != ida {
+		t.Errorf("re-Encode(a) = %d, want %d", got, ida)
+	}
+	if got := d.Term(ida); got != a {
+		t.Errorf("Term(%d) = %v, want %v", ida, got, a)
+	}
+	if id, ok := d.Lookup(b); !ok || id != idb {
+		t.Errorf("Lookup(b) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup(NewIRI("http://missing")); ok {
+		t.Errorf("Lookup of missing term succeeded")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", d.Len())
+	}
+}
+
+func TestDictionaryDistinguishesLiteralFlavours(t *testing.T) {
+	d := NewDictionary()
+	ids := map[ID]bool{
+		d.Encode(NewLiteral("x")):                 true,
+		d.Encode(NewTypedLiteral("x", XSDString)): true,
+		d.Encode(NewLangLiteral("x", "en")):       true,
+		d.Encode(NewIRI("x")):                     true,
+		d.Encode(NewBlank("x")):                   true,
+	}
+	if len(ids) != 5 {
+		t.Errorf("same-value terms of different kinds collapsed: %d distinct IDs, want 5", len(ids))
+	}
+}
+
+func TestDictionaryTermPanicsOnInvalid(t *testing.T) {
+	d := NewDictionary()
+	d.Encode(NewIRI("http://a"))
+	for _, id := range []ID{NullID, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+}
+
+func TestDictionaryTripleRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	tr := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLangLiteral("o", "de"))
+	enc := d.EncodeTriple(tr)
+	if got := d.DecodeTriple(enc); got != tr {
+		t.Errorf("round trip = %v, want %v", got, tr)
+	}
+}
+
+func TestDictionaryEncodeGraph(t *testing.T) {
+	g := NewGraph(0)
+	g.AddSPO(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("1"))
+	g.AddSPO(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("2"))
+	d := NewDictionary()
+	enc := d.EncodeGraph(g)
+	if len(enc) != 2 {
+		t.Fatalf("encoded %d triples, want 2", len(enc))
+	}
+	if enc[0].S != enc[1].S || enc[0].P != enc[1].P {
+		t.Errorf("shared terms got different IDs: %+v %+v", enc[0], enc[1])
+	}
+	if enc[0].O == enc[1].O {
+		t.Errorf("distinct objects share ID")
+	}
+	// s, p, "1", "2" = 4 distinct terms
+	if d.Len() != 4 {
+		t.Errorf("dictionary Len() = %d, want 4", d.Len())
+	}
+}
+
+func TestDictionaryConcurrentEncode(t *testing.T) {
+	d := NewDictionary()
+	const goroutines = 8
+	const termsPer = 200
+	var wg sync.WaitGroup
+	results := make([][]ID, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			ids := make([]ID, termsPer)
+			for i := 0; i < termsPer; i++ {
+				// All goroutines intern the same term set.
+				ids[i] = d.Encode(NewIRI(fmt.Sprintf("http://t/%d", i)))
+			}
+			results[gi] = ids
+		}(gi)
+	}
+	wg.Wait()
+	if d.Len() != termsPer {
+		t.Fatalf("dictionary has %d terms, want %d", d.Len(), termsPer)
+	}
+	for gi := 1; gi < goroutines; gi++ {
+		for i := range results[0] {
+			if results[gi][i] != results[0][i] {
+				t.Fatalf("goroutine %d saw ID %d for term %d, goroutine 0 saw %d",
+					gi, results[gi][i], i, results[0][i])
+			}
+		}
+	}
+}
+
+func TestDictionaryEncodeDecodePropery(t *testing.T) {
+	d := NewDictionary()
+	f := func(v string, kind uint8) bool {
+		term := Term{Kind: TermKind(kind % 3), Value: v}
+		id := d.Encode(term)
+		return d.Term(id) == term && id != NullID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictionaryApproxBytes(t *testing.T) {
+	d := NewDictionary()
+	if d.ApproxBytes() != 0 {
+		t.Errorf("empty dictionary ApproxBytes() = %d, want 0", d.ApproxBytes())
+	}
+	d.Encode(NewIRI("http://example.org/abcd"))
+	if d.ApproxBytes() <= 0 {
+		t.Errorf("ApproxBytes() = %d, want > 0", d.ApproxBytes())
+	}
+}

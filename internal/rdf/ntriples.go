@@ -1,0 +1,311 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error in an N-Triples document, carrying
+// the 1-based line number where it occurred.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// NTriplesReader streams triples out of an N-Triples document. It accepts
+// the line-based RDF 1.1 N-Triples grammar: one triple per line, '#'
+// comments, blank lines, and the \t \n \r \" \\ \uXXXX \UXXXXXXXX string
+// escapes.
+type NTriplesReader struct {
+	scan *bufio.Scanner
+	line int
+}
+
+// NewNTriplesReader returns a reader consuming r. Lines longer than 1 MiB
+// are rejected by the underlying scanner.
+func NewNTriplesReader(r io.Reader) *NTriplesReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &NTriplesReader{scan: sc}
+}
+
+// Read returns the next triple, or io.EOF when the document is exhausted.
+func (r *NTriplesReader) Read() (Triple, error) {
+	for r.scan.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.scan.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseTripleLine(line, r.line)
+		if err != nil {
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.scan.Err(); err != nil {
+		return Triple{}, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll parses every remaining triple into a Graph.
+func (r *NTriplesReader) ReadAll() (*Graph, error) {
+	g := NewGraph(1024)
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return g, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.Add(t)
+	}
+}
+
+// ParseNTriples parses a complete N-Triples document held in a string.
+func ParseNTriples(doc string) (*Graph, error) {
+	return NewNTriplesReader(strings.NewReader(doc)).ReadAll()
+}
+
+// parseTripleLine parses one non-empty, non-comment N-Triples line.
+func parseTripleLine(line string, lineno int) (Triple, error) {
+	p := &lineParser{s: line, line: lineno}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if err := p.dot(); err != nil {
+		return Triple{}, err
+	}
+	t := Triple{S: s, P: pred, O: o}
+	if !t.Valid() {
+		return Triple{}, &ParseError{Line: lineno, Msg: "not a valid RDF triple: " + t.String()}
+	}
+	return t, nil
+}
+
+// lineParser is a tiny cursor over one line of input.
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// term parses the next IRI, literal or blank node.
+func (p *lineParser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return Term{}, p.errf("unexpected end of line, expected term")
+	}
+	switch c := p.s[p.pos]; {
+	case c == '<':
+		return p.iri()
+	case c == '"':
+		return p.literal()
+	case c == '_':
+		return p.blank()
+	default:
+		return Term{}, p.errf("unexpected character %q at column %d", c, p.pos+1)
+	}
+}
+
+func (p *lineParser) iri() (Term, error) {
+	start := p.pos + 1
+	end := strings.IndexByte(p.s[start:], '>')
+	if end < 0 {
+		return Term{}, p.errf("unterminated IRI")
+	}
+	iri := p.s[start : start+end]
+	if iri == "" {
+		return Term{}, p.errf("empty IRI")
+	}
+	p.pos = start + end + 1
+	return NewIRI(iri), nil
+}
+
+func (p *lineParser) blank() (Term, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return Term{}, p.errf("malformed blank node label")
+	}
+	start := p.pos + 2
+	end := start
+	for end < len(p.s) && !isTermBoundary(p.s[end]) {
+		end++
+	}
+	if end == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	p.pos = end
+	return NewBlank(p.s[start:end]), nil
+}
+
+func isTermBoundary(c byte) bool { return c == ' ' || c == '\t' }
+
+func (p *lineParser) literal() (Term, error) {
+	// Opening quote already verified by caller.
+	p.pos++
+	var sb strings.Builder
+	for {
+		if p.pos >= len(p.s) {
+			return Term{}, p.errf("unterminated literal")
+		}
+		c := p.s[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			if err := p.escape(&sb); err != nil {
+				return Term{}, err
+			}
+			continue
+		}
+		sb.WriteByte(c)
+		p.pos++
+	}
+	lex := sb.String()
+	// Optional language tag or datatype.
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		start := p.pos + 1
+		end := start
+		for end < len(p.s) && !isTermBoundary(p.s[end]) {
+			end++
+		}
+		if end == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		p.pos = end
+		return NewLangLiteral(lex, p.s[start:end]), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.s) || p.s[p.pos] != '<' {
+			return Term{}, p.errf("datatype must be an IRI")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// escape consumes one backslash escape sequence, writing the decoded rune.
+func (p *lineParser) escape(sb *strings.Builder) error {
+	if p.pos+1 >= len(p.s) {
+		return p.errf("dangling backslash")
+	}
+	c := p.s[p.pos+1]
+	switch c {
+	case 't':
+		sb.WriteByte('\t')
+	case 'n':
+		sb.WriteByte('\n')
+	case 'r':
+		sb.WriteByte('\r')
+	case '"':
+		sb.WriteByte('"')
+	case '\\':
+		sb.WriteByte('\\')
+	case 'u', 'U':
+		n := 4
+		if c == 'U' {
+			n = 8
+		}
+		hexStart := p.pos + 2
+		if hexStart+n > len(p.s) {
+			return p.errf("truncated \\%c escape", c)
+		}
+		var r rune
+		for i := 0; i < n; i++ {
+			d := hexDigit(p.s[hexStart+i])
+			if d < 0 {
+				return p.errf("invalid hex digit %q in \\%c escape", p.s[hexStart+i], c)
+			}
+			r = r<<4 | rune(d)
+		}
+		if !utf8.ValidRune(r) {
+			return p.errf("escape \\%c%s is not a valid rune", c, p.s[hexStart:hexStart+n])
+		}
+		sb.WriteRune(r)
+		p.pos = hexStart + n
+		return nil
+	default:
+		return p.errf("unknown escape \\%c", c)
+	}
+	p.pos += 2
+	return nil
+}
+
+func hexDigit(c byte) int {
+	switch {
+	case '0' <= c && c <= '9':
+		return int(c - '0')
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10
+	case 'A' <= c && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}
+
+// dot consumes the terminating '.' and any trailing whitespace.
+func (p *lineParser) dot() error {
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
+		return p.errf("missing terminating '.'")
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return p.errf("trailing garbage after '.'")
+	}
+	return nil
+}
+
+// WriteNTriples serializes the graph to w, one triple per line.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return fmt.Errorf("ntriples: write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("ntriples: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ntriples: flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package sizeenc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func termSet(dict *rdf.Dictionary, terms ...rdf.Term) map[rdf.ID]struct{} {
+	ids := make(map[rdf.ID]struct{}, len(terms))
+	for _, t := range terms {
+		ids[dict.Encode(t)] = struct{}{}
+	}
+	return ids
+}
+
+func TestCompressedTermBytesEmpty(t *testing.T) {
+	d := rdf.NewDictionary()
+	n := CompressedTermBytes(d, nil)
+	if n <= 0 || n > 16 {
+		t.Errorf("empty set compressed to %d bytes, want a small flate header", n)
+	}
+}
+
+func TestCompressedTermBytesGrowsWithContent(t *testing.T) {
+	d := rdf.NewDictionary()
+	small := termSet(d, rdf.NewIRI("http://example.org/a"))
+	big := make(map[rdf.ID]struct{})
+	for i := 0; i < 500; i++ {
+		big[d.Encode(rdf.NewIRI(fmt.Sprintf("http://example.org/entity/%d", i)))] = struct{}{}
+	}
+	sSmall := CompressedTermBytes(d, small)
+	sBig := CompressedTermBytes(d, big)
+	if sBig <= sSmall {
+		t.Errorf("500 terms (%d bytes) not larger than 1 term (%d bytes)", sBig, sSmall)
+	}
+	// Shared prefixes must compress well below the raw string volume.
+	var raw int64
+	for id := range big {
+		raw += int64(len(d.Term(id).Value))
+	}
+	if sBig >= raw {
+		t.Errorf("compressed %d bytes ≥ raw %d bytes; deflate gained nothing", sBig, raw)
+	}
+}
+
+func TestCompressedTermBytesDeterministic(t *testing.T) {
+	d := rdf.NewDictionary()
+	ids := termSet(d,
+		rdf.NewIRI("http://example.org/x"),
+		rdf.NewLiteral("hello"),
+		rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		rdf.NewLangLiteral("chat", "fr"),
+	)
+	a := CompressedTermBytes(d, ids)
+	b := CompressedTermBytes(d, ids)
+	if a != b {
+		t.Errorf("same input compressed to %d then %d bytes", a, b)
+	}
+}
+
+func TestCountingWriter(t *testing.T) {
+	var w CountingWriter
+	n, err := w.Write([]byte("hello"))
+	if err != nil || n != 5 || w.N != 5 {
+		t.Errorf("Write = %d,%v N=%d", n, err, w.N)
+	}
+	w.Write([]byte(" world"))
+	if w.N != 11 {
+		t.Errorf("N = %d, want 11", w.N)
+	}
+}

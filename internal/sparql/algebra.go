@@ -1,0 +1,239 @@
+// Package sparql implements the subset of SPARQL 1.1 exercised by the
+// PRoST paper: SELECT queries over a single Basic Graph Pattern, with
+// PREFIX declarations, DISTINCT, simple FILTER comparisons, LIMIT and
+// OFFSET. The package provides a lexer, a recursive-descent parser, the
+// query algebra consumed by all four engines in this repository, and a
+// structural classifier that buckets queries into the WatDiv shapes
+// (star / linear / snowflake / complex).
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// PatternTerm is one position of a triple pattern: either a variable or a
+// concrete RDF term.
+type PatternTerm struct {
+	// Var is the variable name (without '?') when the position is a
+	// variable; empty otherwise.
+	Var string
+	// Term is the concrete term when the position is bound; ignored when
+	// Var is non-empty.
+	Term rdf.Term
+}
+
+// IsVar reports whether the position is a variable.
+func (p PatternTerm) IsVar() bool { return p.Var != "" }
+
+// String renders the position in SPARQL surface syntax.
+func (p PatternTerm) String() string {
+	if p.IsVar() {
+		return "?" + p.Var
+	}
+	return p.Term.String()
+}
+
+// Variable returns a PatternTerm for variable name (no '?').
+func Variable(name string) PatternTerm { return PatternTerm{Var: name} }
+
+// Bound returns a PatternTerm for a concrete term.
+func Bound(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+// TriplePattern is one pattern of a Basic Graph Pattern.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// String renders the pattern in SPARQL surface syntax.
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s", tp.S, tp.P, tp.O)
+}
+
+// Vars returns the distinct variable names used by the pattern, in S,P,O
+// order.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar() && !seen[pt.Var] {
+			seen[pt.Var] = true
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// HasLiteral reports whether any position of the pattern is bound to a
+// literal term. Patterns with literals receive the highest join priority
+// in PRoST's statistics-based optimizer (paper §3.3).
+func (tp TriplePattern) HasLiteral() bool {
+	return (!tp.S.IsVar() && tp.S.Term.IsLiteral()) ||
+		(!tp.O.IsVar() && tp.O.Term.IsLiteral())
+}
+
+// HasBoundObject reports whether the object position is a concrete term
+// (IRI or literal). Bound objects are strong selectivity signals.
+func (tp TriplePattern) HasBoundObject() bool { return !tp.O.IsVar() }
+
+// CompareOp enumerates the comparison operators allowed in FILTER.
+type CompareOp uint8
+
+// Comparison operators.
+const (
+	OpEQ CompareOp = iota // =
+	OpNE                  // !=
+	OpLT                  // <
+	OpLE                  // <=
+	OpGT                  // >
+	OpGE                  // >=
+)
+
+// String renders the operator in SPARQL surface syntax.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "!="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", uint8(op))
+	}
+}
+
+// Filter is a simple comparison constraint "?var OP value". Conjunctions
+// (FILTER(a && b)) are flattened into multiple Filter entries at parse
+// time.
+type Filter struct {
+	Var   string
+	Op    CompareOp
+	Value rdf.Term
+}
+
+// String renders the filter in SPARQL surface syntax.
+func (f Filter) String() string {
+	return fmt.Sprintf("FILTER(?%s %s %s)", f.Var, f.Op, f.Value)
+}
+
+// Query is a parsed SPARQL SELECT query over a single BGP.
+type Query struct {
+	// Name is an optional label (e.g. "S1") attached by the workload
+	// generator; the parser leaves it empty.
+	Name string
+	// Vars is the projection list (variable names without '?'). Empty
+	// means SELECT * (project every variable in the BGP).
+	Vars []string
+	// Distinct reports whether SELECT DISTINCT was used.
+	Distinct bool
+	// Patterns is the Basic Graph Pattern.
+	Patterns []TriplePattern
+	// Filters holds the flattened FILTER constraints.
+	Filters []Filter
+	// Limit caps the number of result rows; <0 means no limit.
+	Limit int
+	// Offset skips the first rows; 0 means none.
+	Offset int
+}
+
+// AllVars returns every variable mentioned in the BGP, sorted.
+func (q *Query) AllVars() []string {
+	seen := map[string]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Projection returns the effective projection: Vars if present, otherwise
+// all variables of the BGP.
+func (q *Query) Projection() []string {
+	if len(q.Vars) > 0 {
+		return q.Vars
+	}
+	return q.AllVars()
+}
+
+// String renders the query in SPARQL surface syntax (without prefixes;
+// all IRIs are absolute).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if len(q.Vars) == 0 {
+		sb.WriteString("*")
+	} else {
+		for i, v := range q.Vars {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString("?" + v)
+		}
+	}
+	sb.WriteString(" WHERE {\n")
+	for _, tp := range q.Patterns {
+		sb.WriteString("  " + tp.String() + " .\n")
+	}
+	for _, f := range q.Filters {
+		sb.WriteString("  " + f.String() + "\n")
+	}
+	sb.WriteString("}")
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, "\nLIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&sb, "\nOFFSET %d", q.Offset)
+	}
+	return sb.String()
+}
+
+// Validate checks structural well-formedness: at least one pattern, every
+// projected variable and every filtered variable appears in the BGP, and
+// predicate positions are IRIs or variables (no literals).
+func (q *Query) Validate() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("sparql: query has no triple patterns")
+	}
+	inBGP := map[string]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			inBGP[v] = true
+		}
+		if !tp.P.IsVar() && !tp.P.Term.IsIRI() {
+			return fmt.Errorf("sparql: predicate %s is not an IRI", tp.P)
+		}
+		if !tp.S.IsVar() && tp.S.Term.IsLiteral() {
+			return fmt.Errorf("sparql: subject %s is a literal", tp.S)
+		}
+	}
+	for _, v := range q.Vars {
+		if !inBGP[v] {
+			return fmt.Errorf("sparql: projected variable ?%s not in BGP", v)
+		}
+	}
+	for _, f := range q.Filters {
+		if !inBGP[f.Var] {
+			return fmt.Errorf("sparql: filtered variable ?%s not in BGP", f.Var)
+		}
+	}
+	return nil
+}

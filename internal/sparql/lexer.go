@@ -1,0 +1,329 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind uint8
+
+const (
+	tokEOF       tokenKind = iota
+	tokKeyword             // SELECT, WHERE, PREFIX, DISTINCT, FILTER, LIMIT, OFFSET
+	tokVar                 // ?name or $name
+	tokIRI                 // <http://…>
+	tokPName               // prefix:local or prefix:
+	tokString              // "…" with optional @lang / ^^<dt> handled by parser
+	tokNumber              // integer or decimal
+	tokA                   // the keyword 'a' (rdf:type)
+	tokLBrace              // {
+	tokRBrace              // }
+	tokDot                 // .
+	tokSemicolon           // ;
+	tokComma               // ,
+	tokLParen              // (
+	tokRParen              // )
+	tokOp                  // = != < <= > >= && *
+	tokLangTag             // @en
+	tokDTMarker            // ^^
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "EOF", tokKeyword: "keyword", tokVar: "variable", tokIRI: "IRI",
+		tokPName: "prefixed name", tokString: "string", tokNumber: "number",
+		tokA: "'a'", tokLBrace: "'{'", tokRBrace: "'}'", tokDot: "'.'",
+		tokSemicolon: "';'", tokComma: "','", tokLParen: "'('", tokRParen: "')'",
+		tokOp: "operator", tokLangTag: "language tag", tokDTMarker: "'^^'",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string // keyword upper-cased; IRI without <>; string unescaped
+	line int
+	col  int
+}
+
+// lexer turns SPARQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// SyntaxError reports a lexical or grammatical error with position info.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "PREFIX": true, "DISTINCT": true,
+	"FILTER": true, "LIMIT": true, "OFFSET": true, "BASE": true,
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	startLine, startCol := l.line, l.col
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, line: startLine, col: startCol}
+	}
+	if l.pos >= len(l.src) {
+		return mk(tokEOF, ""), nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '{':
+		l.advance()
+		return mk(tokLBrace, "{"), nil
+	case c == '}':
+		l.advance()
+		return mk(tokRBrace, "}"), nil
+	case c == '.':
+		l.advance()
+		return mk(tokDot, "."), nil
+	case c == ';':
+		l.advance()
+		return mk(tokSemicolon, ";"), nil
+	case c == ',':
+		l.advance()
+		return mk(tokComma, ","), nil
+	case c == '(':
+		l.advance()
+		return mk(tokLParen, "("), nil
+	case c == ')':
+		l.advance()
+		return mk(tokRParen, ")"), nil
+	case c == '*':
+		l.advance()
+		return mk(tokOp, "*"), nil
+	case c == '?' || c == '$':
+		l.advance()
+		name := l.takeWhile(isVarNameChar)
+		if name == "" {
+			return token{}, l.errf("empty variable name")
+		}
+		return mk(tokVar, name), nil
+	case c == '<':
+		// Either an IRI (<…>) or a comparison operator (< / <=).
+		if iri, ok := l.tryIRI(); ok {
+			return mk(tokIRI, iri), nil
+		}
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokOp, "<="), nil
+		}
+		return mk(tokOp, "<"), nil
+	case c == '>':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokOp, ">="), nil
+		}
+		return mk(tokOp, ">"), nil
+	case c == '=':
+		l.advance()
+		return mk(tokOp, "="), nil
+	case c == '!':
+		l.advance()
+		if l.peekByte() != '=' {
+			return token{}, l.errf("expected '=' after '!'")
+		}
+		l.advance()
+		return mk(tokOp, "!="), nil
+	case c == '&':
+		l.advance()
+		if l.peekByte() != '&' {
+			return token{}, l.errf("expected '&' after '&'")
+		}
+		l.advance()
+		return mk(tokOp, "&&"), nil
+	case c == '"':
+		s, err := l.stringLiteral()
+		if err != nil {
+			return token{}, err
+		}
+		return mk(tokString, s), nil
+	case c == '@':
+		l.advance()
+		tag := l.takeWhile(func(r rune) bool {
+			return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-'
+		})
+		if tag == "" {
+			return token{}, l.errf("empty language tag")
+		}
+		return mk(tokLangTag, tag), nil
+	case c == '^':
+		l.advance()
+		if l.peekByte() != '^' {
+			return token{}, l.errf("expected '^^'")
+		}
+		l.advance()
+		return mk(tokDTMarker, "^^"), nil
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		num := l.takeWhile(func(r rune) bool {
+			return r >= '0' && r <= '9' || r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E'
+		})
+		return mk(tokNumber, num), nil
+	default:
+		word := l.takeWhile(isNameChar)
+		if word == "" {
+			return token{}, l.errf("unexpected character %q", c)
+		}
+		// Prefixed name: word ends with ':' or is followed by ':'.
+		if l.peekByte() == ':' {
+			l.advance()
+			local := l.takeWhile(isNameChar)
+			return mk(tokPName, word+":"+local), nil
+		}
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return mk(tokKeyword, up), nil
+		}
+		if word == "a" {
+			return mk(tokA, "a"), nil
+		}
+		return token{}, l.errf("unexpected identifier %q", word)
+	}
+}
+
+// tryIRI attempts to lex <…> starting at the current '<'. It succeeds
+// only if a '>' appears before any whitespace, which disambiguates IRIs
+// from the less-than operator in FILTER expressions.
+func (l *lexer) tryIRI() (string, bool) {
+	i := l.pos + 1
+	for i < len(l.src) {
+		c := l.src[i]
+		if c == '>' {
+			iri := l.src[l.pos+1 : i]
+			// Consume up to and including '>'.
+			for l.pos <= i {
+				l.advance()
+			}
+			return iri, true
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			return "", false
+		}
+		i++
+	}
+	return "", false
+}
+
+// stringLiteral lexes a double-quoted string with the standard escapes.
+func (l *lexer) stringLiteral() (string, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return "", l.errf("unterminated string literal")
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return sb.String(), nil
+		case '\\':
+			if l.pos >= len(l.src) {
+				return "", l.errf("dangling backslash in string")
+			}
+			e := l.advance()
+			switch e {
+			case 't':
+				sb.WriteByte('\t')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return "", l.errf("unknown string escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// takeWhile consumes runes while pred holds and returns them.
+func (l *lexer) takeWhile(pred func(rune) bool) string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !pred(r) {
+			break
+		}
+		for i := 0; i < size; i++ {
+			l.advance()
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+func isVarNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}

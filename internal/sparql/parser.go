@@ -1,0 +1,451 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a SPARQL SELECT query and validates it.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: newLexer(src), prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed query sets.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// parser is a recursive-descent parser over the lexer's token stream with
+// one token of lookahead.
+type parser struct {
+	lex      *lexer
+	tok      token
+	prefixes map[string]string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %s, found %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// query = prologue SELECT [DISTINCT] (vars|*) WHERE group [LIMIT n] [OFFSET n]
+func (p *parser) query() (*Query, error) {
+	if err := p.prologue(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokKeyword || p.tok.text != "SELECT" {
+		return nil, p.errf("expected SELECT, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	if p.tok.kind == tokKeyword && p.tok.text == "DISTINCT" {
+		q.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	// Projection: '*' or one or more variables.
+	if p.tok.kind == tokOp && p.tok.text == "*" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for p.tok.kind == tokVar {
+			q.Vars = append(q.Vars, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if len(q.Vars) == 0 {
+			return nil, p.errf("SELECT needs '*' or at least one variable")
+		}
+	}
+	if p.tok.kind != tokKeyword || p.tok.text != "WHERE" {
+		return nil, p.errf("expected WHERE, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.groupGraphPattern(q); err != nil {
+		return nil, err
+	}
+	// Solution modifiers.
+	for p.tok.kind == tokKeyword && (p.tok.text == "LIMIT" || p.tok.text == "OFFSET") {
+		kw := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		var n int
+		if _, err := fmt.Sscanf(num.text, "%d", &n); err != nil || n < 0 {
+			return nil, p.errf("invalid %s value %q", kw, num.text)
+		}
+		if kw == "LIMIT" {
+			q.Limit = n
+		} else {
+			q.Offset = n
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected trailing %s %q", p.tok.kind, p.tok.text)
+	}
+	return q, nil
+}
+
+// prologue = (PREFIX pname: <iri>)*
+func (p *parser) prologue() error {
+	for p.tok.kind == tokKeyword && (p.tok.text == "PREFIX" || p.tok.text == "BASE") {
+		kw := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if kw == "BASE" {
+			if _, err := p.expect(tokIRI); err != nil {
+				return err
+			}
+			continue
+		}
+		name, err := p.expect(tokPName)
+		if err != nil {
+			return err
+		}
+		if !strings.HasSuffix(name.text, ":") {
+			return p.errf("prefix declaration %q must end in ':'", name.text)
+		}
+		iri, err := p.expect(tokIRI)
+		if err != nil {
+			return err
+		}
+		p.prefixes[strings.TrimSuffix(name.text, ":")] = iri.text
+	}
+	return nil
+}
+
+// groupGraphPattern = '{' (triplesBlock | filter)* '}'
+func (p *parser) groupGraphPattern(q *Query) error {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return p.errf("unexpected end of input inside group pattern")
+		}
+		if p.tok.kind == tokKeyword && p.tok.text == "FILTER" {
+			if err := p.filter(q); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.triplesSameSubject(q); err != nil {
+			return err
+		}
+		// Optional '.' separator between triple blocks.
+		if p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := p.expect(tokRBrace)
+	return err
+}
+
+// triplesSameSubject = term (predObjList (';' predObjList)*)
+func (p *parser) triplesSameSubject(q *Query) error {
+	s, err := p.patternTerm(true)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		// Object list: o1, o2, …
+		for {
+			o, err := p.patternTerm(false)
+			if err != nil {
+				return err
+			}
+			q.Patterns = append(q.Patterns, TriplePattern{S: s, P: pred, O: o})
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if p.tok.kind != tokSemicolon {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		// Allow a dangling ';' before '.' or '}'.
+		if p.tok.kind == tokDot || p.tok.kind == tokRBrace {
+			return nil
+		}
+	}
+}
+
+// predicate = 'a' | IRI | pname | var
+func (p *parser) predicate() (PatternTerm, error) {
+	switch p.tok.kind {
+	case tokA:
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(rdf.NewIRI(RDFType)), nil
+	case tokVar:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Variable(v), nil
+	case tokIRI:
+		iri := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(rdf.NewIRI(iri)), nil
+	case tokPName:
+		t, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(t), nil
+	default:
+		return PatternTerm{}, p.errf("expected predicate, found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// RDFType is the IRI bound by the 'a' keyword.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// patternTerm parses a subject (subjectPos) or object position.
+func (p *parser) patternTerm(subjectPos bool) (PatternTerm, error) {
+	switch p.tok.kind {
+	case tokVar:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Variable(v), nil
+	case tokIRI:
+		iri := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(rdf.NewIRI(iri)), nil
+	case tokPName:
+		t, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(t), nil
+	case tokString:
+		if subjectPos {
+			return PatternTerm{}, p.errf("literal in subject position")
+		}
+		return p.literalTail(p.tok.text)
+	case tokNumber:
+		if subjectPos {
+			return PatternTerm{}, p.errf("literal in subject position")
+		}
+		lex := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(rdf.NewTypedLiteral(lex, rdf.XSDInteger)), nil
+	default:
+		return PatternTerm{}, p.errf("expected term, found %s %q", p.tok.kind, p.tok.text)
+	}
+}
+
+// literalTail finishes a string literal: optional @lang or ^^<datatype>.
+func (p *parser) literalTail(lex string) (PatternTerm, error) {
+	if err := p.advance(); err != nil {
+		return PatternTerm{}, err
+	}
+	switch p.tok.kind {
+	case tokLangTag:
+		tag := p.tok.text
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		return Bound(rdf.NewLangLiteral(lex, tag)), nil
+	case tokDTMarker:
+		if err := p.advance(); err != nil {
+			return PatternTerm{}, err
+		}
+		switch p.tok.kind {
+		case tokIRI:
+			dt := p.tok.text
+			if err := p.advance(); err != nil {
+				return PatternTerm{}, err
+			}
+			return Bound(rdf.NewTypedLiteral(lex, dt)), nil
+		case tokPName:
+			t, err := p.expandPName(p.tok.text)
+			if err != nil {
+				return PatternTerm{}, err
+			}
+			if err := p.advance(); err != nil {
+				return PatternTerm{}, err
+			}
+			return Bound(rdf.NewTypedLiteral(lex, t.Value)), nil
+		default:
+			return PatternTerm{}, p.errf("expected datatype IRI after '^^'")
+		}
+	default:
+		return Bound(rdf.NewLiteral(lex)), nil
+	}
+}
+
+// expandPName resolves prefix:local against declared prefixes.
+func (p *parser) expandPName(pname string) (rdf.Term, error) {
+	i := strings.IndexByte(pname, ':')
+	prefix, local := pname[:i], pname[i+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, p.errf("undeclared prefix %q", prefix)
+	}
+	return rdf.NewIRI(base + local), nil
+}
+
+// filter = FILTER '(' comparison ('&&' comparison)* ')'
+func (p *parser) filter(q *Query) error {
+	if err := p.advance(); err != nil { // consume FILTER
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	for {
+		f, err := p.comparison()
+		if err != nil {
+			return err
+		}
+		q.Filters = append(q.Filters, f)
+		if p.tok.kind == tokOp && p.tok.text == "&&" {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(tokRParen)
+	return err
+}
+
+// comparison = var OP value
+func (p *parser) comparison() (Filter, error) {
+	v, err := p.expect(tokVar)
+	if err != nil {
+		return Filter{}, err
+	}
+	if p.tok.kind != tokOp {
+		return Filter{}, p.errf("expected comparison operator, found %s %q", p.tok.kind, p.tok.text)
+	}
+	var op CompareOp
+	switch p.tok.text {
+	case "=":
+		op = OpEQ
+	case "!=":
+		op = OpNE
+	case "<":
+		op = OpLT
+	case "<=":
+		op = OpLE
+	case ">":
+		op = OpGT
+	case ">=":
+		op = OpGE
+	default:
+		return Filter{}, p.errf("unsupported operator %q in FILTER", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return Filter{}, err
+	}
+	// Value: IRI, pname, string literal or number.
+	switch p.tok.kind {
+	case tokIRI:
+		t := rdf.NewIRI(p.tok.text)
+		if err := p.advance(); err != nil {
+			return Filter{}, err
+		}
+		return Filter{Var: v.text, Op: op, Value: t}, nil
+	case tokPName:
+		t, err := p.expandPName(p.tok.text)
+		if err != nil {
+			return Filter{}, err
+		}
+		if err := p.advance(); err != nil {
+			return Filter{}, err
+		}
+		return Filter{Var: v.text, Op: op, Value: t}, nil
+	case tokString:
+		pt, err := p.literalTail(p.tok.text)
+		if err != nil {
+			return Filter{}, err
+		}
+		return Filter{Var: v.text, Op: op, Value: pt.Term}, nil
+	case tokNumber:
+		lex := p.tok.text
+		if err := p.advance(); err != nil {
+			return Filter{}, err
+		}
+		return Filter{Var: v.text, Op: op, Value: rdf.NewTypedLiteral(lex, rdf.XSDInteger)}, nil
+	default:
+		return Filter{}, p.errf("expected FILTER value, found %s %q", p.tok.kind, p.tok.text)
+	}
+}

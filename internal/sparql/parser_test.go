@@ -1,0 +1,245 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseSimpleBGP(t *testing.T) {
+	q, err := Parse(`
+		SELECT ?v0 ?v1 WHERE {
+			?v0 <http://example.org/follows> ?v1 .
+			?v1 <http://example.org/likes> <http://example.org/Product0> .
+		}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(q.Patterns))
+	}
+	if got := q.Patterns[0].S; !got.IsVar() || got.Var != "v0" {
+		t.Errorf("pattern 0 subject = %v", got)
+	}
+	if got := q.Patterns[1].O; got.IsVar() || got.Term.Value != "http://example.org/Product0" {
+		t.Errorf("pattern 1 object = %v", got)
+	}
+	if len(q.Vars) != 2 || q.Vars[0] != "v0" || q.Vars[1] != "v1" {
+		t.Errorf("Vars = %v", q.Vars)
+	}
+	if q.Limit != -1 || q.Distinct {
+		t.Errorf("unexpected modifiers: limit=%d distinct=%v", q.Limit, q.Distinct)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q, err := Parse(`
+		PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+		PREFIX rev: <http://purl.org/stuff/rev#>
+		SELECT * WHERE {
+			?v0 wsdbm:follows ?v1 .
+			?v1 rev:hasReview ?v2 .
+		}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := q.Patterns[0].P.Term.Value; got != "http://db.uwaterloo.ca/~galuc/wsdbm/follows" {
+		t.Errorf("expanded predicate = %q", got)
+	}
+	if got := q.Patterns[1].P.Term.Value; got != "http://purl.org/stuff/rev#hasReview" {
+		t.Errorf("expanded predicate = %q", got)
+	}
+	// SELECT *: projection covers all BGP vars.
+	proj := q.Projection()
+	if len(proj) != 3 {
+		t.Errorf("Projection() = %v, want 3 vars", proj)
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s a <http://example.org/User> . }`)
+	if got := q.Patterns[0].P.Term.Value; got != RDFType {
+		t.Errorf("'a' expanded to %q, want rdf:type", got)
+	}
+}
+
+func TestParseSemicolonAndComma(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://example.org/>
+		SELECT * WHERE {
+			?s ex:p1 ?a ;
+			   ex:p2 ?b , ?c .
+		}`)
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(q.Patterns))
+	}
+	for i, tp := range q.Patterns {
+		if !tp.S.IsVar() || tp.S.Var != "s" {
+			t.Errorf("pattern %d subject = %v, want ?s", i, tp.S)
+		}
+	}
+	if q.Patterns[1].O.Var != "b" || q.Patterns[2].O.Var != "c" {
+		t.Errorf("comma list objects wrong: %v %v", q.Patterns[1].O, q.Patterns[2].O)
+	}
+	if q.Patterns[1].P.Term.Value != "http://example.org/p2" || q.Patterns[2].P.Term.Value != "http://example.org/p2" {
+		t.Errorf("comma list predicates wrong")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := MustParse(`
+		PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+		SELECT * WHERE {
+			?s <http://p1> "plain" .
+			?s <http://p2> "typed"^^xsd:string .
+			?s <http://p3> "tagged"@en .
+			?s <http://p4> 42 .
+		}`)
+	want := []rdf.Term{
+		rdf.NewLiteral("plain"),
+		rdf.NewTypedLiteral("typed", rdf.XSDString),
+		rdf.NewLangLiteral("tagged", "en"),
+		rdf.NewTypedLiteral("42", rdf.XSDInteger),
+	}
+	for i, w := range want {
+		if got := q.Patterns[i].O.Term; got != w {
+			t.Errorf("pattern %d object = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestParseDistinctLimitOffset(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT ?s WHERE { ?s <http://p> ?o . } LIMIT 10 OFFSET 5`)
+	if !q.Distinct {
+		t.Errorf("Distinct = false")
+	}
+	if q.Limit != 10 {
+		t.Errorf("Limit = %d, want 10", q.Limit)
+	}
+	if q.Offset != 5 {
+		t.Errorf("Offset = %d, want 5", q.Offset)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	q := MustParse(`
+		SELECT * WHERE {
+			?s <http://p> ?o .
+			FILTER(?o > 10 && ?o <= 100)
+			FILTER(?s != <http://example.org/x>)
+		}`)
+	if len(q.Filters) != 3 {
+		t.Fatalf("filters = %d, want 3", len(q.Filters))
+	}
+	f0 := q.Filters[0]
+	if f0.Var != "o" || f0.Op != OpGT || f0.Value.Value != "10" {
+		t.Errorf("filter 0 = %v", f0)
+	}
+	f1 := q.Filters[1]
+	if f1.Var != "o" || f1.Op != OpLE || f1.Value.Value != "100" {
+		t.Errorf("filter 1 = %v", f1)
+	}
+	f2 := q.Filters[2]
+	if f2.Var != "s" || f2.Op != OpNE || !f2.Value.IsIRI() {
+		t.Errorf("filter 2 = %v", f2)
+	}
+}
+
+func TestParseFilterLessThanVsIRI(t *testing.T) {
+	// '<' must lex as an operator inside FILTER but as an IRI opener in
+	// pattern position.
+	q := MustParse(`SELECT * WHERE { ?s <http://p> ?o . FILTER(?o < 5) }`)
+	if len(q.Filters) != 1 || q.Filters[0].Op != OpLT {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse(`
+		# leading comment
+		SELECT * WHERE {
+			?s <http://p> ?o . # trailing comment
+		}`)
+	if len(q.Patterns) != 1 {
+		t.Errorf("patterns = %d, want 1", len(q.Patterns))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no where", "SELECT ?s"},
+		{"no brace", "SELECT ?s WHERE ?s <http://p> ?o ."},
+		{"unclosed brace", "SELECT ?s WHERE { ?s <http://p> ?o ."},
+		{"undeclared prefix", "SELECT * WHERE { ?s ex:p ?o . }"},
+		{"empty group", "SELECT ?s WHERE { }"},
+		{"projected var missing", "SELECT ?zzz WHERE { ?s <http://p> ?o . }"},
+		{"filtered var missing", "SELECT * WHERE { ?s <http://p> ?o . FILTER(?zzz = 1) }"},
+		{"literal subject", `SELECT * WHERE { "lit" <http://p> ?o . }`},
+		{"literal predicate", `SELECT * WHERE { ?s "lit" ?o . }`},
+		{"no projection", "SELECT WHERE { ?s <http://p> ?o . }"},
+		{"bad limit", "SELECT * WHERE { ?s <http://p> ?o . } LIMIT x"},
+		{"trailing garbage", "SELECT * WHERE { ?s <http://p> ?o . } BOGUS"},
+		{"filter missing paren", "SELECT * WHERE { ?s <http://p> ?o . FILTER ?o = 1 }"},
+		{"empty var", "SELECT ? WHERE { ?s <http://p> ?o . }"},
+		{"lone ampersand", "SELECT * WHERE { ?s <http://p> ?o . FILTER(?o = 1 & ?o = 2) }"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", tt.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("SELECT * WHERE {\n  ?s <http://p> ?o .\n  bogus\n}")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error %T, want *SyntaxError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3", se.Line)
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	src := `SELECT DISTINCT ?a ?b WHERE {
+		?a <http://p1> ?b .
+		?b <http://p2> "x" .
+	} LIMIT 7`
+	q1 := MustParse(src)
+	q2 := MustParse(q1.String())
+	if q1.String() != q2.String() {
+		t.Errorf("String round trip mismatch:\n%s\nvs\n%s", q1.String(), q2.String())
+	}
+	if !strings.Contains(q1.String(), "LIMIT 7") {
+		t.Errorf("String() lost LIMIT: %s", q1.String())
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	tp := TriplePattern{
+		S: Variable("s"),
+		P: Bound(rdf.NewIRI("http://p")),
+		O: Bound(rdf.NewLiteral("x")),
+	}
+	if !tp.HasLiteral() {
+		t.Errorf("HasLiteral() = false, want true")
+	}
+	if !tp.HasBoundObject() {
+		t.Errorf("HasBoundObject() = false")
+	}
+	if vars := tp.Vars(); len(vars) != 1 || vars[0] != "s" {
+		t.Errorf("Vars() = %v", vars)
+	}
+	tp2 := TriplePattern{S: Variable("x"), P: Variable("x"), O: Variable("y")}
+	if vars := tp2.Vars(); len(vars) != 2 {
+		t.Errorf("Vars() dedup failed: %v", vars)
+	}
+}

@@ -1,0 +1,229 @@
+package sparql
+
+// Shape classifies a BGP's join structure, matching the four WatDiv
+// basic-testing query families used throughout the paper's evaluation.
+type Shape uint8
+
+// The WatDiv query shapes.
+const (
+	// ShapeStar: every triple pattern shares one subject variable.
+	ShapeStar Shape = iota
+	// ShapeLinear: the patterns form a chain where each step's object is
+	// the next step's subject (a path query).
+	ShapeLinear
+	// ShapeSnowflake: several subject-stars joined together acyclically.
+	ShapeSnowflake
+	// ShapeComplex: anything else (cycles, many interconnected stars,
+	// shared objects, …).
+	ShapeComplex
+)
+
+// String implements fmt.Stringer using the paper's single-letter codes.
+func (s Shape) String() string {
+	switch s {
+	case ShapeStar:
+		return "S"
+	case ShapeLinear:
+		return "L"
+	case ShapeSnowflake:
+		return "F"
+	case ShapeComplex:
+		return "C"
+	default:
+		return "?"
+	}
+}
+
+// Label returns the long human-readable label used in tables.
+func (s Shape) Label() string {
+	switch s {
+	case ShapeStar:
+		return "Star"
+	case ShapeLinear:
+		return "Linear"
+	case ShapeSnowflake:
+		return "Snowflake"
+	case ShapeComplex:
+		return "Complex"
+	default:
+		return "Unknown"
+	}
+}
+
+// Shape classifies the query's BGP structure. The classifier is purely
+// structural: it inspects which variables patterns share and in which
+// positions, then distinguishes the four families used by WatDiv.
+func (q *Query) Shape() Shape {
+	pats := q.Patterns
+	if len(pats) == 0 {
+		return ShapeComplex
+	}
+	if len(pats) == 1 {
+		return ShapeLinear // a single pattern is a trivial path
+	}
+
+	// Star: all patterns share one subject variable.
+	if sameSubjectVar(pats) {
+		return ShapeStar
+	}
+
+	// Build star groups keyed by subject position.
+	groups := subjectGroups(pats)
+
+	// Linear: every group is a single pattern and the patterns chain
+	// object→subject without branching.
+	if len(groups) == len(pats) && isChain(pats) {
+		return ShapeLinear
+	}
+
+	// Snowflake: at least one multi-pattern star, and the inter-group
+	// join graph forms a tree (no cycles, connected).
+	if hasMultiPatternGroup(groups) && groupGraphIsTree(groups) {
+		return ShapeSnowflake
+	}
+	return ShapeComplex
+}
+
+// sameSubjectVar reports whether all patterns use one shared subject
+// variable.
+func sameSubjectVar(pats []TriplePattern) bool {
+	if !pats[0].S.IsVar() {
+		return false
+	}
+	v := pats[0].S.Var
+	for _, tp := range pats[1:] {
+		if !tp.S.IsVar() || tp.S.Var != v {
+			return false
+		}
+	}
+	return true
+}
+
+// subjectKey identifies a star group: the subject variable name, or the
+// rendered term for bound subjects.
+func subjectKey(tp TriplePattern) string {
+	if tp.S.IsVar() {
+		return "?" + tp.S.Var
+	}
+	return tp.S.Term.String()
+}
+
+// subjectGroups partitions patterns by subject position.
+func subjectGroups(pats []TriplePattern) map[string][]TriplePattern {
+	groups := make(map[string][]TriplePattern)
+	for _, tp := range pats {
+		k := subjectKey(tp)
+		groups[k] = append(groups[k], tp)
+	}
+	return groups
+}
+
+func hasMultiPatternGroup(groups map[string][]TriplePattern) bool {
+	for _, g := range groups {
+		if len(g) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// isChain reports whether single-subject patterns form a simple
+// object→subject path: exactly one pattern whose subject is not any
+// other pattern's object (the head), and each pattern's object variable
+// is the subject of at most one other pattern.
+func isChain(pats []TriplePattern) bool {
+	subjectOf := map[string]int{} // var -> count as subject
+	objectOf := map[string]int{}  // var -> count as object
+	for _, tp := range pats {
+		if tp.S.IsVar() {
+			subjectOf[tp.S.Var]++
+		}
+		if tp.O.IsVar() {
+			objectOf[tp.O.Var]++
+		}
+	}
+	// In a chain of n patterns, n-1 variables appear as both a subject
+	// and an object (the links), each exactly once in each role.
+	links := 0
+	for v, sc := range subjectOf {
+		oc := objectOf[v]
+		if sc > 1 || oc > 1 {
+			return false // branching
+		}
+		if sc == 1 && oc == 1 {
+			links++
+		}
+	}
+	return links == len(pats)-1
+}
+
+// groupGraphIsTree builds the variable-sharing graph between star groups
+// and reports whether it is a connected tree (acyclic). Snowflakes are
+// exactly the multi-star BGPs whose group graph is a tree.
+func groupGraphIsTree(groups map[string][]TriplePattern) bool {
+	// Give groups stable integer IDs.
+	ids := map[string]int{}
+	var keys []string
+	for k := range groups {
+		ids[k] = len(keys)
+		keys = append(keys, k)
+	}
+	n := len(keys)
+	if n <= 1 {
+		return true
+	}
+	// varUsers[v] = set of group IDs touching variable v.
+	varUsers := map[string]map[int]bool{}
+	for k, pats := range groups {
+		gid := ids[k]
+		for _, tp := range pats {
+			for _, v := range tp.Vars() {
+				if varUsers[v] == nil {
+					varUsers[v] = map[int]bool{}
+				}
+				varUsers[v][gid] = true
+			}
+		}
+	}
+	// Union-find to count connected components and detect cycles.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	edges := 0
+	for _, users := range varUsers {
+		if len(users) < 2 {
+			continue
+		}
+		// Connect all groups sharing this variable pairwise along a
+		// spanning path (len(users)-1 edges).
+		var list []int
+		for g := range users {
+			list = append(list, g)
+		}
+		for i := 1; i < len(list); i++ {
+			a, b := find(list[0]), find(list[i])
+			edges++
+			if a == b {
+				return false // cycle
+			}
+			parent[a] = b
+		}
+	}
+	// Tree: connected (single root) with exactly n-1 edges.
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return false // disconnected
+		}
+	}
+	return edges == n-1
+}

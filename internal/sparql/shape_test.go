@@ -1,0 +1,110 @@
+package sparql
+
+import "testing"
+
+func TestShapeClassification(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want Shape
+	}{
+		{
+			"star 3 patterns",
+			`SELECT * WHERE { ?s <http://p1> ?a . ?s <http://p2> ?b . ?s <http://p3> "x" . }`,
+			ShapeStar,
+		},
+		{
+			"star 2 patterns",
+			`SELECT * WHERE { ?s <http://p1> ?a . ?s <http://p2> <http://o> . }`,
+			ShapeStar,
+		},
+		{
+			"single pattern is linear",
+			`SELECT * WHERE { ?s <http://p1> ?o . }`,
+			ShapeLinear,
+		},
+		{
+			"chain of 3",
+			`SELECT * WHERE { ?a <http://p1> ?b . ?b <http://p2> ?c . ?c <http://p3> ?d . }`,
+			ShapeLinear,
+		},
+		{
+			"chain ending in constant",
+			`SELECT * WHERE { ?a <http://p1> ?b . ?b <http://p2> <http://x> . }`,
+			ShapeLinear,
+		},
+		{
+			"snowflake two stars",
+			`SELECT * WHERE {
+				?a <http://p1> ?x . ?a <http://p2> ?y .
+				?b <http://p3> ?x . ?b <http://p4> ?z .
+			}`,
+			ShapeSnowflake,
+		},
+		{
+			"snowflake star plus tail",
+			`SELECT * WHERE {
+				?a <http://p1> ?b . ?a <http://p2> ?c .
+				?b <http://p3> ?d .
+			}`,
+			ShapeSnowflake,
+		},
+		{
+			"complex cycle",
+			`SELECT * WHERE {
+				?a <http://p1> ?b . ?a <http://p4> ?c .
+				?b <http://p2> ?c . ?b <http://p5> ?d .
+				?c <http://p3> ?a .
+			}`,
+			ShapeComplex,
+		},
+		{
+			"branching path is not linear",
+			`SELECT * WHERE {
+				?a <http://p1> ?b .
+				?a <http://p2> ?c .
+				?c <http://p3> ?d .
+			}`,
+			ShapeSnowflake, // group ?a has 2 patterns, tree-joined to ?c
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := MustParse(tt.src)
+			if got := q.Shape(); got != tt.want {
+				t.Errorf("Shape() = %v (%s), want %v (%s)", got, got.Label(), tt.want, tt.want.Label())
+			}
+		})
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	pairs := []struct {
+		s     Shape
+		code  string
+		label string
+	}{
+		{ShapeStar, "S", "Star"},
+		{ShapeLinear, "L", "Linear"},
+		{ShapeSnowflake, "F", "Snowflake"},
+		{ShapeComplex, "C", "Complex"},
+	}
+	for _, p := range pairs {
+		if p.s.String() != p.code {
+			t.Errorf("String() = %q, want %q", p.s.String(), p.code)
+		}
+		if p.s.Label() != p.label {
+			t.Errorf("Label() = %q, want %q", p.s.Label(), p.label)
+		}
+	}
+	if Shape(99).String() != "?" || Shape(99).Label() != "Unknown" {
+		t.Errorf("invalid shape strings wrong")
+	}
+}
+
+func TestShapeEmptyQuery(t *testing.T) {
+	q := &Query{Limit: -1}
+	if got := q.Shape(); got != ShapeComplex {
+		t.Errorf("empty query Shape() = %v, want Complex", got)
+	}
+}

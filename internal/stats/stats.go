@@ -1,0 +1,128 @@
+// Package stats computes the loader-time statistics PRoST's
+// statistics-based optimizer consumes (paper §3.3): the total number of
+// triples per predicate and the number of distinct subjects per
+// predicate, plus the distinct-object counts used by the inverse
+// Property Table extension. The counts are exact and are gathered in one
+// pass over the encoded triples, mirroring the paper's claim that they
+// are "calculated during the loading phase without any significant
+// overhead".
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Predicate holds the per-predicate statistics.
+type Predicate struct {
+	// Triples is the number of triples using this predicate.
+	Triples int64
+	// DistinctSubjects is the number of distinct subjects appearing
+	// with this predicate.
+	DistinctSubjects int64
+	// DistinctObjects is the number of distinct objects appearing with
+	// this predicate.
+	DistinctObjects int64
+	// MultiValued reports whether some subject has more than one object
+	// under this predicate — such predicates become list columns in the
+	// Property Table.
+	MultiValued bool
+}
+
+// SubjectsPerTriple returns DistinctSubjects/Triples, the selectivity
+// adjustment of the paper's priority formula (≈1 means nearly one triple
+// per subject; small values mean heavy fan-out).
+func (p Predicate) SubjectsPerTriple() float64 {
+	if p.Triples == 0 {
+		return 1
+	}
+	return float64(p.DistinctSubjects) / float64(p.Triples)
+}
+
+// Collection is the full statistics bundle for one loaded dataset.
+type Collection struct {
+	// ByPredicate maps predicate IDs to their statistics.
+	ByPredicate map[rdf.ID]*Predicate
+	// TotalTriples is the dataset's triple count after deduplication.
+	TotalTriples int64
+	// DistinctSubjects is the dataset-wide distinct subject count.
+	DistinctSubjects int64
+	// DistinctObjects is the dataset-wide distinct object count.
+	DistinctObjects int64
+}
+
+// Collect computes the statistics in one pass.
+func Collect(triples []rdf.EncodedTriple) *Collection {
+	c := &Collection{ByPredicate: make(map[rdf.ID]*Predicate)}
+	type pair struct{ a, b rdf.ID }
+	subjSeen := make(map[pair]struct{})
+	objSeen := make(map[pair]struct{})
+	allSubj := make(map[rdf.ID]struct{})
+	allObj := make(map[rdf.ID]struct{})
+	for _, t := range triples {
+		ps, ok := c.ByPredicate[t.P]
+		if !ok {
+			ps = &Predicate{}
+			c.ByPredicate[t.P] = ps
+		}
+		ps.Triples++
+		sk := pair{t.P, t.S}
+		if _, dup := subjSeen[sk]; !dup {
+			subjSeen[sk] = struct{}{}
+			ps.DistinctSubjects++
+		} else {
+			ps.MultiValued = true
+		}
+		ok2 := pair{t.P, t.O}
+		if _, dup := objSeen[ok2]; !dup {
+			objSeen[ok2] = struct{}{}
+			ps.DistinctObjects++
+		}
+		allSubj[t.S] = struct{}{}
+		allObj[t.O] = struct{}{}
+	}
+	c.TotalTriples = int64(len(triples))
+	c.DistinctSubjects = int64(len(allSubj))
+	c.DistinctObjects = int64(len(allObj))
+	return c
+}
+
+// Predicate returns the stats for a predicate; absent predicates return
+// a zero-valued entry (the predicate simply does not occur).
+func (c *Collection) Predicate(p rdf.ID) Predicate {
+	if ps, ok := c.ByPredicate[p]; ok {
+		return *ps
+	}
+	return Predicate{}
+}
+
+// Summary renders a human-readable table of the statistics, sorted by
+// descending triple count, resolving predicate names through dict.
+func (c *Collection) Summary(dict *rdf.Dictionary) string {
+	type row struct {
+		name string
+		p    Predicate
+	}
+	rows := make([]row, 0, len(c.ByPredicate))
+	for id, ps := range c.ByPredicate {
+		rows = append(rows, row{dict.Term(id).Value, *ps})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].p.Triples != rows[j].p.Triples {
+			return rows[i].p.Triples > rows[j].p.Triples
+		}
+		return rows[i].name < rows[j].name
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-60s %12s %12s %12s %s\n", "predicate", "triples", "subjects", "objects", "multi")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-60s %12d %12d %12d %v\n",
+			r.name, r.p.Triples, r.p.DistinctSubjects, r.p.DistinctObjects, r.p.MultiValued)
+	}
+	fmt.Fprintf(&sb, "total: %d triples, %d distinct subjects, %d distinct objects\n",
+		c.TotalTriples, c.DistinctSubjects, c.DistinctObjects)
+	return sb.String()
+}

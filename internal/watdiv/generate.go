@@ -1,0 +1,364 @@
+// Package watdiv generates WatDiv-like RDF datasets and provides the 20
+// basic-testing queries (C1–C3, F1–F5, L1–L5, S1–S7) the paper evaluates
+// with (§4.1). The original Waterloo SPARQL Diversity Test Suite is a
+// C++ tool with proprietary template files; this reimplementation
+// reproduces what the evaluation depends on: the e-commerce schema
+// (users, products, reviews, offers, retailers, websites, geography),
+// per-predicate cardinality and presence skew, multi-valued predicates,
+// and a query set stratified into the four structural families with
+// varying selectivity.
+package watdiv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Namespaces used by the generated data and the query set.
+const (
+	NSwsdbm = "http://db.uwaterloo.ca/~galuc/wsdbm/"
+	NSsorg  = "http://schema.org/"
+	NSrev   = "http://purl.org/stuff/rev#"
+	NSgr    = "http://purl.org/goodrelations/"
+	NSfoaf  = "http://xmlns.com/foaf/"
+	NSgn    = "http://www.geonames.org/ontology#"
+	NSrdf   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+)
+
+// Fixed-cardinality entity pools (scale-independent, as in WatDiv).
+const (
+	NumCountries  = 25
+	NumCities     = 240
+	NumGenres     = 21
+	NumLanguages  = 12
+	NumCategories = 15
+)
+
+// MinScale is the smallest scale at which every constant in the basic
+// query set is guaranteed to exist.
+const MinScale = 100
+
+// Config parameterizes dataset generation.
+type Config struct {
+	// Scale is the number of users; every other entity count derives
+	// from it (products = Scale/2, reviews = Scale, offers = Scale/2,
+	// websites = Scale/20, retailers = Scale/50). Total triples ≈
+	// 21×Scale.
+	Scale int
+	// Seed makes generation deterministic (0 means seed 1).
+	Seed int64
+}
+
+// Generate produces the dataset for the configuration.
+func Generate(cfg Config) (*rdf.Graph, error) {
+	if cfg.Scale < MinScale {
+		return nil, fmt.Errorf("watdiv: scale %d below MinScale %d", cfg.Scale, MinScale)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	g := &generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		graph: rdf.NewGraph(cfg.Scale * 22),
+		scale: cfg.Scale,
+	}
+	g.run()
+	return g.graph, nil
+}
+
+// MustGenerate is Generate that panics on error; for fixtures.
+func MustGenerate(cfg Config) *rdf.Graph {
+	g, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type generator struct {
+	rng   *rand.Rand
+	graph *rdf.Graph
+	scale int
+}
+
+// Entity IRI constructors (exported helpers so tests and examples can
+// reference generated entities).
+
+// UserIRI returns the IRI of user i.
+func UserIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sUser%d", NSwsdbm, i)) }
+
+// ProductIRI returns the IRI of product i.
+func ProductIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sProduct%d", NSwsdbm, i)) }
+
+// ReviewIRI returns the IRI of review i.
+func ReviewIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sReview%d", NSwsdbm, i)) }
+
+// OfferIRI returns the IRI of offer i.
+func OfferIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sOffer%d", NSwsdbm, i)) }
+
+// RetailerIRI returns the IRI of retailer i.
+func RetailerIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sRetailer%d", NSwsdbm, i)) }
+
+// WebsiteIRI returns the IRI of website i.
+func WebsiteIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sWebsite%d", NSwsdbm, i)) }
+
+// CityIRI returns the IRI of city i.
+func CityIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sCity%d", NSwsdbm, i)) }
+
+// CountryIRI returns the IRI of country i.
+func CountryIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sCountry%d", NSwsdbm, i)) }
+
+// GenreIRI returns the IRI of genre i.
+func GenreIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sGenre%d", NSwsdbm, i)) }
+
+// LanguageIRI returns the IRI of language i.
+func LanguageIRI(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sLanguage%d", NSwsdbm, i)) }
+
+// CategoryIRI returns the IRI of product category i.
+func CategoryIRI(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%sProductCategory%d", NSwsdbm, i))
+}
+
+// Counts derived from scale.
+
+// Products returns the product count at the given scale.
+func Products(scale int) int { return max2(scale / 2) }
+
+// Reviews returns the review count at the given scale.
+func Reviews(scale int) int { return scale }
+
+// Offers returns the offer count at the given scale.
+func Offers(scale int) int { return max2(scale / 2) }
+
+// Websites returns the website count at the given scale.
+func Websites(scale int) int { return max2(scale / 20) }
+
+// Retailers returns the retailer count at the given scale.
+func Retailers(scale int) int { return max2(scale / 50) }
+
+func max2(n int) int {
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+func (g *generator) add(s rdf.Term, pred string, o rdf.Term) {
+	g.graph.AddSPO(s, rdf.NewIRI(pred), o)
+}
+
+func (g *generator) with(prob float64) bool { return g.rng.Float64() < prob }
+
+// zipfIndex draws a power-law-biased index in [0, n): low indexes are
+// strongly preferred, giving the cardinality skew WatDiv stresses.
+func (g *generator) zipfIndex(n int) int {
+	i := int(float64(n) * math.Pow(g.rng.Float64(), 3))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func (g *generator) intLit(n int) rdf.Term {
+	return rdf.NewTypedLiteral(fmt.Sprintf("%d", n), rdf.XSDInteger)
+}
+
+var wordPool = []string{
+	"ancient", "basalt", "cobalt", "drift", "ember", "fathom", "glacier",
+	"harbor", "isotope", "juniper", "krypton", "lattice", "meridian",
+	"nimbus", "obsidian", "prism", "quartz", "ripple", "summit", "tundra",
+	"umbra", "vertex", "willow", "xenon", "yonder", "zephyr",
+}
+
+func (g *generator) words(n int) rdf.Term {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += wordPool[g.rng.Intn(len(wordPool))]
+	}
+	return rdf.NewLiteral(out)
+}
+
+func (g *generator) run() {
+	g.cities()
+	g.websites()
+	g.retailers()
+	g.users()
+	g.products()
+	g.reviews()
+	g.offers()
+}
+
+func (g *generator) cities() {
+	for i := 0; i < NumCities; i++ {
+		g.add(CityIRI(i), NSgn+"parentCountry", CountryIRI(i%NumCountries))
+	}
+}
+
+func (g *generator) websites() {
+	for i := 0; i < Websites(g.scale); i++ {
+		w := WebsiteIRI(i)
+		g.add(w, NSsorg+"url", rdf.NewLiteral(fmt.Sprintf("http://www.site%d.example/", i)))
+		g.add(w, NSwsdbm+"hits", g.intLit(g.rng.Intn(1_000_000)))
+		if g.with(0.6) {
+			g.add(w, NSsorg+"language", LanguageIRI(g.rng.Intn(NumLanguages)))
+		}
+	}
+}
+
+func (g *generator) retailers() {
+	for i := 0; i < Retailers(g.scale); i++ {
+		r := RetailerIRI(i)
+		g.add(r, NSsorg+"legalName", g.words(2))
+		if g.with(0.5) {
+			g.add(r, NSsorg+"homepage", WebsiteIRI(g.rng.Intn(Websites(g.scale))))
+		}
+	}
+}
+
+func (g *generator) users() {
+	nUsers := g.scale
+	nProducts := Products(g.scale)
+	nWebsites := Websites(g.scale)
+	for i := 0; i < nUsers; i++ {
+		u := UserIRI(i)
+		g.add(u, NSrdf+"type", rdf.NewIRI(NSwsdbm+"User"))
+		g.add(u, NSwsdbm+"userId", g.intLit(i))
+		// follows: 1–5 targets, popularity-skewed (multi-valued).
+		deg := 1 + g.rng.Intn(5)
+		for k := 0; k < deg; k++ {
+			g.add(u, NSwsdbm+"follows", UserIRI(g.zipfIndex(nUsers)))
+		}
+		if g.with(0.4) {
+			for k := 0; k < 1+g.rng.Intn(2); k++ {
+				g.add(u, NSwsdbm+"friendOf", UserIRI(g.rng.Intn(nUsers)))
+			}
+		}
+		if g.with(0.35) {
+			for k := 0; k < 1+g.rng.Intn(3); k++ {
+				g.add(u, NSwsdbm+"likes", ProductIRI(g.zipfIndex(nProducts)))
+			}
+		}
+		if g.with(0.3) {
+			for k := 0; k < 1+g.rng.Intn(2); k++ {
+				g.add(u, NSwsdbm+"subscribes", WebsiteIRI(g.zipfIndex(nWebsites)))
+			}
+		}
+		if g.with(0.3) {
+			g.add(u, NSsorg+"email", rdf.NewLiteral(fmt.Sprintf("user%d@example.org", i)))
+		}
+		if g.with(0.5) {
+			g.add(u, NSfoaf+"age", g.intLit(18+g.rng.Intn(63)))
+		}
+		if g.with(0.8) {
+			gender := "male"
+			if g.rng.Intn(2) == 0 {
+				gender = "female"
+			}
+			g.add(u, NSwsdbm+"gender", rdf.NewLiteral(gender))
+		}
+		if g.with(0.4) {
+			g.add(u, NSsorg+"nationality", CountryIRI(g.rng.Intn(NumCountries)))
+		}
+		if g.with(0.35) {
+			g.add(u, NSwsdbm+"livesIn", CityIRI(g.rng.Intn(NumCities)))
+		}
+		if g.with(0.7) {
+			g.add(u, NSfoaf+"givenName", g.words(1))
+		}
+		if g.with(0.5) {
+			g.add(u, NSfoaf+"familyName", g.words(1))
+		}
+	}
+}
+
+func (g *generator) products() {
+	nProducts := Products(g.scale)
+	for i := 0; i < nProducts; i++ {
+		p := ProductIRI(i)
+		g.add(p, NSrdf+"type", rdf.NewIRI(NSwsdbm+"Product"))
+		g.add(p, NSrdf+"type", CategoryIRI(i%NumCategories))
+		if g.with(0.8) {
+			g.add(p, NSsorg+"caption", g.words(3))
+		}
+		if g.with(0.6) {
+			g.add(p, NSsorg+"description", g.words(8))
+		}
+		if g.with(0.9) {
+			for k := 0; k < 1+g.rng.Intn(2); k++ {
+				g.add(p, NSwsdbm+"hasGenre", GenreIRI(g.rng.Intn(NumGenres)))
+			}
+		}
+		if g.with(0.4) {
+			ratings := []string{"G", "PG", "PG-13", "R"}
+			g.add(p, NSsorg+"contentRating", rdf.NewLiteral(ratings[g.rng.Intn(len(ratings))]))
+		}
+		if g.with(0.5) {
+			g.add(p, NSsorg+"keywords", g.words(4))
+		}
+		if g.with(0.5) {
+			g.add(p, NSsorg+"language", LanguageIRI(g.rng.Intn(NumLanguages)))
+		}
+		if g.with(0.15) {
+			g.add(p, NSwsdbm+"composedBy", UserIRI(g.rng.Intn(g.scale)))
+		}
+	}
+}
+
+func (g *generator) reviews() {
+	nProducts := Products(g.scale)
+	for i := 0; i < Reviews(g.scale); i++ {
+		r := ReviewIRI(i)
+		// Reviews attach to popularity-skewed products.
+		g.add(ProductIRI(g.zipfIndex(nProducts)), NSrev+"hasReview", r)
+		g.add(r, NSrev+"reviewer", UserIRI(g.rng.Intn(g.scale)))
+		g.add(r, NSrev+"rating", g.intLit(1+g.rng.Intn(10)))
+		if g.with(0.9) {
+			g.add(r, NSrev+"text", g.words(12))
+		}
+		if g.with(0.7) {
+			g.add(r, NSrev+"title", g.words(3))
+		}
+		if g.with(0.4) {
+			g.add(r, NSrev+"totalVotes", g.intLit(g.rng.Intn(500)))
+		}
+	}
+}
+
+func (g *generator) offers() {
+	nProducts := Products(g.scale)
+	nRetailers := Retailers(g.scale)
+	for i := 0; i < Offers(g.scale); i++ {
+		o := OfferIRI(i)
+		g.add(RetailerIRI(i%nRetailers), NSgr+"offers", o)
+		g.add(o, NSgr+"includes", ProductIRI(g.zipfIndex(nProducts)))
+		g.add(o, NSgr+"price", g.intLit(10+g.rng.Intn(9990)))
+		if g.with(0.7) {
+			g.add(o, NSgr+"serialNumber", g.intLit(g.rng.Intn(1_000_000_000)))
+		}
+		if g.with(0.5) {
+			g.add(o, NSgr+"validFrom", rdf.NewTypedLiteral(g.date(), rdf.XSDDate))
+		}
+		if g.with(0.5) {
+			g.add(o, NSgr+"validThrough", rdf.NewTypedLiteral(g.date(), rdf.XSDDate))
+		}
+		if g.with(0.6) {
+			for k := 0; k < 1+g.rng.Intn(3); k++ {
+				g.add(o, NSsorg+"eligibleRegion", CountryIRI(g.rng.Intn(NumCountries)))
+			}
+		}
+		if g.with(0.3) {
+			g.add(o, NSsorg+"priceValidUntil", rdf.NewTypedLiteral(g.date(), rdf.XSDDate))
+		}
+	}
+}
+
+func (g *generator) date() string {
+	return fmt.Sprintf("20%02d-%02d-%02d", 10+g.rng.Intn(10), 1+g.rng.Intn(12), 1+g.rng.Intn(28))
+}

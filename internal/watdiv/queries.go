@@ -1,0 +1,214 @@
+package watdiv
+
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
+
+// Query is one named benchmark query.
+type Query struct {
+	// Name is the query's benchmark identifier (e.g. "S3").
+	Name string
+	// Group is the family letter: "C", "F", "L" or "S".
+	Group string
+	// Text is the SPARQL source.
+	Text string
+	// Parsed is the parsed form, ready for execution.
+	Parsed *sparql.Query
+}
+
+// prologue declares the namespaces used by every query.
+const prologue = `
+PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>
+PREFIX sorg: <http://schema.org/>
+PREFIX rev: <http://purl.org/stuff/rev#>
+PREFIX gr: <http://purl.org/goodrelations/>
+PREFIX foaf: <http://xmlns.com/foaf/>
+PREFIX gn: <http://www.geonames.org/ontology#>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+`
+
+// rawQueries defines the basic testing query set. Shapes follow the
+// WatDiv families the paper reports on (§4.1): C = complex (cyclic,
+// large intermediates), F = snowflake (multiple joined stars), L =
+// linear (paths with a selective endpoint), S = star (single subject,
+// constants of varying selectivity).
+var rawQueries = []struct {
+	name, group, body string
+}{
+	// ---- Complex -------------------------------------------------------
+	// Like WatDiv's C family these are large (7–9 patterns), cyclic and
+	// produce big intermediate results.
+	{"C1", "C", `SELECT ?p ?u ?p2 ?g WHERE {
+		?p rev:hasReview ?r .
+		?r rev:reviewer ?u .
+		?u wsdbm:likes ?p .
+		?u wsdbm:follows ?f .
+		?f wsdbm:likes ?p2 .
+		?p2 sorg:caption ?c .
+		?p wsdbm:hasGenre ?g .
+	}`},
+	{"C2", "C", `SELECT ?u ?f ?p ?rt WHERE {
+		?u wsdbm:follows ?f .
+		?u wsdbm:likes ?p .
+		?f wsdbm:likes ?p .
+		?u foaf:age ?a .
+		?p rev:hasReview ?r .
+		?r rev:rating ?rt .
+	}`},
+	{"C3", "C", `SELECT ?ret ?o ?u ?f WHERE {
+		?ret gr:offers ?o .
+		?o gr:includes ?p .
+		?o gr:price ?pr .
+		?u wsdbm:likes ?p .
+		?u wsdbm:friendOf ?f .
+		?f wsdbm:likes ?p .
+		?p sorg:caption ?c .
+	}`},
+	// ---- Snowflake -----------------------------------------------------
+	{"F1", "F", `SELECT ?p ?c ?rt ?u WHERE {
+		?p wsdbm:hasGenre wsdbm:Genre3 .
+		?p sorg:caption ?c .
+		?p rev:hasReview ?r .
+		?r rev:rating ?rt .
+		?r rev:reviewer ?u .
+	}`},
+	{"F2", "F", `SELECT ?o ?pr ?c ?g WHERE {
+		?o gr:includes ?p .
+		?o gr:price ?pr .
+		?o sorg:eligibleRegion wsdbm:Country1 .
+		?p sorg:caption ?c .
+		?p wsdbm:hasGenre ?g .
+	}`},
+	{"F3", "F", `SELECT ?u ?city ?d WHERE {
+		?u wsdbm:gender "male" .
+		?u wsdbm:livesIn ?city .
+		?u wsdbm:likes ?p .
+		?p sorg:description ?d .
+	}`},
+	{"F4", "F", `SELECT ?u ?url ?h WHERE {
+		?u wsdbm:subscribes ?w .
+		?w sorg:url ?url .
+		?w wsdbm:hits ?h .
+		?u foaf:age ?a .
+	}`},
+	{"F5", "F", `SELECT ?r ?rt ?n WHERE {
+		?r rev:reviewer ?u .
+		?r rev:rating ?rt .
+		?r rev:title ?t .
+		?u sorg:nationality wsdbm:Country4 .
+		?u foaf:givenName ?n .
+	}`},
+	// ---- Linear --------------------------------------------------------
+	{"L1", "L", `SELECT ?p ?c WHERE {
+		wsdbm:User3 wsdbm:likes ?p .
+		?p sorg:caption ?c .
+	}`},
+	{"L2", "L", `SELECT ?f ?u WHERE {
+		?f wsdbm:follows ?u .
+		?u wsdbm:follows wsdbm:User7 .
+	}`},
+	{"L3", "L", `SELECT ?u ?w WHERE {
+		?u wsdbm:subscribes ?w .
+		?w sorg:language wsdbm:Language2 .
+	}`},
+	{"L4", "L", `SELECT ?r ?u ?c WHERE {
+		?r rev:reviewer ?u .
+		?u wsdbm:livesIn ?c .
+		?c gn:parentCountry wsdbm:Country8 .
+	}`},
+	{"L5", "L", `SELECT ?o ?p ?city WHERE {
+		?o gr:includes ?p .
+		?p wsdbm:composedBy ?u .
+		?u wsdbm:livesIn ?city .
+	}`},
+	// ---- Star ----------------------------------------------------------
+	{"S1", "S", `SELECT ?o ?p ?pr ?sn WHERE {
+		?o gr:includes ?p .
+		?o gr:price ?pr .
+		?o gr:serialNumber ?sn .
+		?o sorg:eligibleRegion wsdbm:Country2 .
+	}`},
+	{"S2", "S", `SELECT ?u ?a WHERE {
+		?u wsdbm:gender "male" .
+		?u sorg:nationality wsdbm:Country5 .
+		?u foaf:age ?a .
+		?u a wsdbm:User .
+	}`},
+	{"S3", "S", `SELECT ?p ?c ?r WHERE {
+		?p a wsdbm:ProductCategory1 .
+		?p sorg:caption ?c .
+		?p sorg:contentRating ?r .
+		?p wsdbm:hasGenre ?g .
+	}`},
+	{"S4", "S", `SELECT ?u ?e WHERE {
+		?u foaf:age ?a .
+		?u wsdbm:gender "female" .
+		?u sorg:email ?e .
+		?u wsdbm:livesIn wsdbm:City10 .
+	}`},
+	{"S5", "S", `SELECT ?p ?d ?k WHERE {
+		?p a wsdbm:ProductCategory5 .
+		?p sorg:description ?d .
+		?p sorg:keywords ?k .
+		?p sorg:language wsdbm:Language0 .
+	}`},
+	{"S6", "S", `SELECT ?r ?u ?t WHERE {
+		?r rev:rating "8"^^xsd:integer .
+		?r rev:reviewer ?u .
+		?r rev:text ?t .
+	}`},
+	{"S7", "S", `SELECT ?w ?u ?h WHERE {
+		?w sorg:url ?u .
+		?w wsdbm:hits ?h .
+		?w sorg:language wsdbm:Language1 .
+	}`},
+}
+
+// BasicQuerySet returns the 20 queries in benchmark order (C1..C3,
+// F1..F5, L1..L5, S1..S7), freshly parsed.
+func BasicQuerySet() []Query {
+	out := make([]Query, 0, len(rawQueries))
+	for _, rq := range rawQueries {
+		text := prologue + rq.body
+		parsed, err := sparql.Parse(text)
+		if err != nil {
+			// The query set is a compile-time constant of this package;
+			// a parse failure is a programming error.
+			panic(fmt.Sprintf("watdiv: query %s does not parse: %v", rq.name, err))
+		}
+		parsed.Name = rq.name
+		out = append(out, Query{Name: rq.name, Group: rq.group, Text: text, Parsed: parsed})
+	}
+	return out
+}
+
+// QueryByName returns the named query from the basic set.
+func QueryByName(name string) (Query, error) {
+	for _, q := range BasicQuerySet() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("watdiv: no query named %q", name)
+}
+
+// Groups returns the family letters in benchmark order.
+func Groups() []string { return []string{"C", "F", "L", "S"} }
+
+// GroupLabel expands a family letter to the paper's label.
+func GroupLabel(g string) string {
+	switch g {
+	case "C":
+		return "Complex"
+	case "F":
+		return "Snowflake"
+	case "L":
+		return "Linear"
+	case "S":
+		return "Star"
+	default:
+		return g
+	}
+}

@@ -1,0 +1,171 @@
+package watdiv
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1 := MustGenerate(Config{Scale: 120, Seed: 7})
+	g2 := MustGenerate(Config{Scale: 120, Seed: 7})
+	if g1.Len() != g2.Len() {
+		t.Fatalf("same seed produced %d vs %d triples", g1.Len(), g2.Len())
+	}
+	for i := range g1.Triples() {
+		if g1.Triples()[i] != g2.Triples()[i] {
+			t.Fatalf("triple %d differs between same-seed runs", i)
+		}
+	}
+	g3 := MustGenerate(Config{Scale: 120, Seed: 8})
+	if g3.Len() == g1.Len() {
+		// Lengths can rarely coincide, so compare contents too.
+		same := true
+		for i := range g1.Triples() {
+			if g1.Triples()[i] != g3.Triples()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestGenerateScaleTooSmall(t *testing.T) {
+	if _, err := Generate(Config{Scale: 10}); err == nil {
+		t.Errorf("Generate below MinScale succeeded")
+	}
+}
+
+func TestGenerateTripleVolume(t *testing.T) {
+	scale := 200
+	g := MustGenerate(Config{Scale: scale, Seed: 1})
+	// ≈21 triples per scale unit; accept a generous band.
+	lo, hi := 14*scale, 30*scale
+	if g.Len() < lo || g.Len() > hi {
+		t.Errorf("generated %d triples at scale %d, want within [%d, %d]", g.Len(), scale, lo, hi)
+	}
+}
+
+func TestGenerateValidTriples(t *testing.T) {
+	g := MustGenerate(Config{Scale: MinScale, Seed: 3})
+	for i, tr := range g.Triples() {
+		if !tr.Valid() {
+			t.Fatalf("triple %d invalid: %v", i, tr)
+		}
+	}
+}
+
+func TestGenerateCoversQueryConstants(t *testing.T) {
+	g := MustGenerate(Config{Scale: MinScale, Seed: 1})
+	subjects := make(map[rdf.Term]bool)
+	objects := make(map[rdf.Term]bool)
+	preds := make(map[rdf.Term]bool)
+	for _, tr := range g.Triples() {
+		subjects[tr.S] = true
+		objects[tr.O] = true
+		preds[tr.P] = true
+	}
+	// Every bound term in the query set must exist in the data (as any
+	// position) so the benchmark queries are not trivially empty.
+	for _, q := range BasicQuerySet() {
+		for _, tp := range q.Parsed.Patterns {
+			if !tp.P.IsVar() && !preds[tp.P.Term] {
+				t.Errorf("%s: predicate %v not generated", q.Name, tp.P.Term)
+			}
+			if !tp.S.IsVar() && !subjects[tp.S.Term] {
+				t.Errorf("%s: subject %v not generated", q.Name, tp.S.Term)
+			}
+			if !tp.O.IsVar() && !objects[tp.O.Term] && !subjects[tp.O.Term] {
+				t.Errorf("%s: object constant %v not generated", q.Name, tp.O.Term)
+			}
+		}
+	}
+}
+
+func TestBasicQuerySetComplete(t *testing.T) {
+	qs := BasicQuerySet()
+	if len(qs) != 20 {
+		t.Fatalf("query set has %d queries, want 20", len(qs))
+	}
+	counts := map[string]int{}
+	for _, q := range qs {
+		counts[q.Group]++
+		if q.Parsed == nil || len(q.Parsed.Patterns) == 0 {
+			t.Errorf("%s: not parsed", q.Name)
+		}
+		if q.Parsed.Name != q.Name {
+			t.Errorf("%s: parsed name = %q", q.Name, q.Parsed.Name)
+		}
+	}
+	want := map[string]int{"C": 3, "F": 5, "L": 5, "S": 7}
+	for g, n := range want {
+		if counts[g] != n {
+			t.Errorf("group %s has %d queries, want %d", g, counts[g], n)
+		}
+	}
+}
+
+func TestQueryShapesMatchGroups(t *testing.T) {
+	shapeFor := map[string]sparql.Shape{
+		"C": sparql.ShapeComplex,
+		"F": sparql.ShapeSnowflake,
+		"L": sparql.ShapeLinear,
+		"S": sparql.ShapeStar,
+	}
+	for _, q := range BasicQuerySet() {
+		want := shapeFor[q.Group]
+		if got := q.Parsed.Shape(); got != want {
+			t.Errorf("%s: classified as %s, want %s (group %s)", q.Name, got.Label(), want.Label(), q.Group)
+		}
+	}
+}
+
+func TestQueryByName(t *testing.T) {
+	q, err := QueryByName("S3")
+	if err != nil {
+		t.Fatalf("QueryByName: %v", err)
+	}
+	if q.Name != "S3" || q.Group != "S" {
+		t.Errorf("QueryByName(S3) = %+v", q)
+	}
+	if _, err := QueryByName("Z9"); err == nil {
+		t.Errorf("QueryByName(Z9) succeeded")
+	}
+}
+
+func TestGroupLabels(t *testing.T) {
+	want := map[string]string{"C": "Complex", "F": "Snowflake", "L": "Linear", "S": "Star", "X": "X"}
+	for g, l := range want {
+		if got := GroupLabel(g); got != l {
+			t.Errorf("GroupLabel(%s) = %q, want %q", g, got, l)
+		}
+	}
+	if len(Groups()) != 4 {
+		t.Errorf("Groups() = %v", Groups())
+	}
+}
+
+func TestMultiValuedPredicatesPresent(t *testing.T) {
+	// follows and rdf:type must be multi-valued so the Property Table's
+	// list columns are exercised at every scale.
+	g := MustGenerate(Config{Scale: MinScale, Seed: 2})
+	bySubjPred := map[[2]rdf.Term]int{}
+	for _, tr := range g.Triples() {
+		bySubjPred[[2]rdf.Term{tr.S, tr.P}]++
+	}
+	multi := map[string]bool{}
+	for k, n := range bySubjPred {
+		if n > 1 {
+			multi[k[1].Value] = true
+		}
+	}
+	for _, p := range []string{NSwsdbm + "follows", NSrdf + "type"} {
+		if !multi[p] {
+			t.Errorf("predicate %s never multi-valued at MinScale", p)
+		}
+	}
+}
