@@ -60,8 +60,12 @@ type Cluster struct {
 
 // New returns a cluster with the given configuration. A zero-valued
 // Cost field is replaced with DefaultCostModel so partially specified
-// configs still price work.
+// configs still price work, and a zero DefaultPartitions scales to
+// ScalePartitions(Workers).
 func New(cfg Config) (*Cluster, error) {
+	if cfg.DefaultPartitions == 0 && cfg.Workers > 0 {
+		cfg.DefaultPartitions = ScalePartitions(cfg.Workers)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,6 +73,15 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Cost = DefaultCostModel()
 	}
 	return &Cluster{cfg: cfg}, nil
+}
+
+// ScalePartitions picks a sensible default partition count for a
+// cluster of the given worker count: two waves of tasks per simulated
+// worker (Spark's guidance of 2-3x the core count), deterministic
+// across hosts so simulated placements — and therefore benchmark
+// numbers — do not depend on the machine running the simulation.
+func ScalePartitions(workers int) int {
+	return 2 * workers
 }
 
 // MustNew is New that panics on config errors; for tests and fixtures.

@@ -18,7 +18,7 @@ func TestConfigValidate(t *testing.T) {
 	}{
 		{"default", DefaultConfig(), false},
 		{"zero workers", Config{Workers: 0, DefaultPartitions: 4}, true},
-		{"zero partitions", Config{Workers: 4, DefaultPartitions: 0}, true},
+		{"negative partitions", Config{Workers: 4, DefaultPartitions: -1}, true},
 		{"minimal", Config{Workers: 1, DefaultPartitions: 1}, false},
 	}
 	for _, tt := range tests {
@@ -32,6 +32,21 @@ func TestConfigValidate(t *testing.T) {
 				t.Errorf("New() err = %v, wantErr %v", err, tt.wantErr)
 			}
 		})
+	}
+}
+
+func TestZeroDefaultPartitionsScales(t *testing.T) {
+	c, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.DefaultPartitions(), ScalePartitions(4); got != want {
+		t.Errorf("DefaultPartitions = %d, want %d", got, want)
+	}
+	// The paper's topology: ScalePartitions must reproduce the 18
+	// partitions DefaultConfig documents for 9 workers.
+	if got := ScalePartitions(DefaultConfig().Workers); got != DefaultConfig().DefaultPartitions {
+		t.Errorf("ScalePartitions(9) = %d, want %d", got, DefaultConfig().DefaultPartitions)
 	}
 }
 

@@ -107,7 +107,9 @@ func valueTerm(tp sparql.TriplePattern, mode ptKeyMode) sparql.PatternTerm {
 }
 
 // scanPTPartition scans one PT partition for the node's specs. It
-// returns the emitted rows and the number of keys examined.
+// returns the emitted rows and the number of keys examined. Rows are
+// emitted into a flat engine.RowArena — the same representation the
+// join core produces — sized by the driving column's key count.
 func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Row, int64) {
 	cols := make([]*ptColumn, len(specs))
 	driver := -1
@@ -122,7 +124,7 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Ro
 		}
 	}
 
-	var rows []engine.Row
+	arena := engine.NewRowArena(width, cols[driver].keys())
 	var processed int64
 	scratch := make([]rdf.ID, 1)
 	lists := make([][]rdf.ID, len(specs))
@@ -159,9 +161,7 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Ro
 		var rec func(i int)
 		rec = func(i int) {
 			if i == len(specs) {
-				out := make(engine.Row, width)
-				copy(out, row)
-				rows = append(rows, out)
+				arena.AppendCopy(row)
 				return
 			}
 			sp := specs[i]
@@ -194,7 +194,7 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Ro
 		processed++
 		emit(key)
 	}
-	return rows, processed
+	return arena.Rows(), processed
 }
 
 // containsID reports whether vs contains v.

@@ -30,9 +30,23 @@ func (t *VPTable) Rows() int { return t.Rel.NumRows() }
 // columnar file (IDs plus a local term dictionary, like a Parquet file),
 // write it to HDFS, and charge the shuffle + write to the clock.
 func (s *Store) buildVP(clock *cluster.Clock) error {
-	byPred := make(map[rdf.ID][]engine.Row)
+	// Emit each predicate's (s,o) rows through one pre-sized RowArena —
+	// the engine's flat row representation — instead of allocating a
+	// two-value Row per triple.
+	counts := make(map[rdf.ID]int)
 	for _, t := range s.triples {
-		byPred[t.P] = append(byPred[t.P], engine.Row{t.S, t.O})
+		counts[t.P]++
+	}
+	arenas := make(map[rdf.ID]*engine.RowArena, len(counts))
+	for p, c := range counts {
+		arenas[p] = engine.NewRowArena(2, c)
+	}
+	for _, t := range s.triples {
+		arenas[t.P].AppendCopy(engine.Row{t.S, t.O})
+	}
+	byPred := make(map[rdf.ID][]engine.Row, len(arenas))
+	for p, a := range arenas {
+		byPred[p] = a.Rows()
 	}
 	s.predOrder = sortedPredicates(s.dict, s.stats)
 

@@ -1,0 +1,83 @@
+package engine
+
+import "repro/internal/rdf"
+
+// RowArena accumulates fixed-width output rows in one flat []rdf.ID
+// backing buffer, handing out rows as capacity-clipped slices into it.
+// Operators allocate one arena per partition instead of one Row per
+// output tuple, so emitting n rows costs O(log n) buffer growths
+// rather than n heap allocations. If the buffer grows, already-issued
+// rows keep pointing into the previous backing array, which stays
+// valid — rows are immutable once emitted.
+//
+// The arena is exported so storage layers (property-table and VP
+// scans in internal/core) can emit their scan output in the same
+// representation the join core produces.
+type RowArena struct {
+	width int
+	buf   []rdf.ID
+	rows  []Row
+}
+
+// NewRowArena returns an arena for rows of the given width, pre-sized
+// to hold rowCapHint rows without reallocating. Callers derive the
+// hint from known cardinalities (probe-side row count for joins, exact
+// output size for cartesian products and projections).
+func NewRowArena(width, rowCapHint int) *RowArena {
+	a := &RowArena{width: width}
+	if rowCapHint > 0 {
+		a.buf = make([]rdf.ID, 0, rowCapHint*width)
+		a.rows = make([]Row, 0, rowCapHint)
+	}
+	return a
+}
+
+// seal clips the just-written row out of the buffer tail and records
+// it. The capacity clip guarantees no later append can write into an
+// issued row.
+func (a *RowArena) seal(start int) {
+	a.rows = append(a.rows, a.buf[start:len(a.buf):len(a.buf)])
+}
+
+// AppendJoin emits left ++ right[keep] — the hash-join output shape —
+// as one arena row.
+func (a *RowArena) AppendJoin(left, right Row, keep []int) {
+	start := len(a.buf)
+	a.buf = append(a.buf, left...)
+	for _, i := range keep {
+		a.buf = append(a.buf, right[i])
+	}
+	a.seal(start)
+}
+
+// AppendConcat emits x ++ y (the cartesian-product shape) as one
+// arena row.
+func (a *RowArena) AppendConcat(x, y Row) {
+	start := len(a.buf)
+	a.buf = append(a.buf, x...)
+	a.buf = append(a.buf, y...)
+	a.seal(start)
+}
+
+// AppendCopy emits a copy of r, which the caller may reuse as scratch.
+func (a *RowArena) AppendCopy(r Row) {
+	start := len(a.buf)
+	a.buf = append(a.buf, r...)
+	a.seal(start)
+}
+
+// AppendProjected emits r's columns at idx, in idx order.
+func (a *RowArena) AppendProjected(r Row, idx []int) {
+	start := len(a.buf)
+	for _, j := range idx {
+		a.buf = append(a.buf, r[j])
+	}
+	a.seal(start)
+}
+
+// Len returns the number of rows emitted so far.
+func (a *RowArena) Len() int { return len(a.rows) }
+
+// Rows returns the emitted rows. The arena must not be appended to
+// afterwards.
+func (a *RowArena) Rows() []Row { return a.rows }

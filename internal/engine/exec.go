@@ -132,7 +132,7 @@ func (e *Exec) Filter(rel *Relation, name string, pred func(Row) bool) (*Relatio
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: rel.schema.Clone(), parts: out, partKey: rel.partKey}, nil
+	return &Relation{schema: rel.schema.Clone(), parts: out, partCols: cloneCols(rel.partCols)}, nil
 }
 
 // Project keeps only the named columns, in the given order.
@@ -145,31 +145,29 @@ func (e *Exec) Project(rel *Relation, cols []string) (*Relation, error) {
 		}
 		idx[i] = j
 	}
-	// The partition key survives only if it is still projected.
-	partKey := ""
-	for _, c := range cols {
-		if c == rel.partKey {
-			partKey = c
+	// The partitioning survives only if every partition column is
+	// still projected (placement hashes all of them).
+	partCols := cloneCols(rel.partCols)
+	for _, pc := range partCols {
+		if !Schema(cols).Contains(pc) {
+			partCols = nil
+			break
 		}
 	}
 	out := make([][]Row, rel.Partitions())
 	err := e.Cluster.RunStage(e.Clock, e.Launch(false), "project", rel.Partitions(), func(p int) (cluster.TaskStats, error) {
 		in := rel.Part(p)
-		rows := make([]Row, len(in))
-		for ri, r := range in {
-			nr := make(Row, len(idx))
-			for i, j := range idx {
-				nr[i] = r[j]
-			}
-			rows[ri] = nr
+		arena := NewRowArena(len(idx), len(in))
+		for _, r := range in {
+			arena.AppendProjected(r, idx)
 		}
-		out[p] = rows
+		out[p] = arena.Rows()
 		return cluster.TaskStats{Rows: int64(len(in))}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: Schema(cols).Clone(), parts: out, partKey: partKey}, nil
+	return &Relation{schema: Schema(cols).Clone(), parts: out, partCols: partCols}, nil
 }
 
 // Rename relabels the relation's columns without touching data or
@@ -179,36 +177,43 @@ func (e *Exec) Rename(rel *Relation, newNames []string) (*Relation, error) {
 	if len(newNames) != len(rel.schema) {
 		return nil, fmt.Errorf("engine: rename needs %d names, got %d", len(rel.schema), len(newNames))
 	}
-	partKey := ""
-	if rel.partKey != "" {
-		if i := rel.schema.Index(rel.partKey); i >= 0 {
-			partKey = newNames[i]
+	var partCols []string
+	for _, pc := range rel.partCols {
+		if i := rel.schema.Index(pc); i >= 0 {
+			partCols = append(partCols, newNames[i])
 		}
 	}
-	return &Relation{schema: Schema(newNames).Clone(), parts: rel.parts, partKey: partKey}, nil
+	if len(partCols) != len(rel.partCols) {
+		partCols = nil
+	}
+	return &Relation{schema: Schema(newNames).Clone(), parts: rel.parts, partCols: partCols}, nil
 }
 
 // Distinct removes duplicate rows. It requires a shuffle on all columns
-// so equal rows meet in one partition, exactly as Spark plans it.
+// so equal rows meet in one partition, exactly as Spark plans it; a
+// relation already partitioned on all its columns dedups in place. The
+// output records the all-columns partitioning for downstream reuse.
 func (e *Exec) Distinct(rel *Relation) (*Relation, error) {
 	n := e.Cluster.DefaultPartitions()
-	keyIdx := make([]int, len(rel.schema))
+	width := len(rel.schema)
+	keyIdx := make([]int, width)
 	for i := range keyIdx {
 		keyIdx[i] = i
 	}
-	shuffled, moved := shuffleRows(rel, keyIdx, n)
+	var shuffled [][]Row
+	moved := make([]int64, n)
+	if alignedOnCols(rel, rel.schema, n) {
+		shuffled = rel.parts
+	} else {
+		shuffled, moved = shuffleRows(rel, keyIdx, n)
+	}
 	out := make([][]Row, n)
 	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "distinct", n, func(p int) (cluster.TaskStats, error) {
-		seen := make(map[string]struct{}, len(shuffled[p]))
-		var kept []Row
+		seen := newRowSet(width, len(shuffled[p]))
 		for _, r := range shuffled[p] {
-			k := rowKeyString(r)
-			if _, dup := seen[k]; !dup {
-				seen[k] = struct{}{}
-				kept = append(kept, r)
-			}
+			seen.insert(r)
 		}
-		out[p] = kept
+		out[p] = seen.rows
 		return cluster.TaskStats{
 			Rows:     int64(len(shuffled[p])),
 			NetBytes: moved[p],
@@ -217,16 +222,7 @@ func (e *Exec) Distinct(rel *Relation) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: rel.schema.Clone(), parts: out}, nil
-}
-
-// rowKeyString packs a row into a map key.
-func rowKeyString(r Row) string {
-	b := make([]byte, 0, len(r)*4)
-	for _, v := range r {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(b)
+	return &Relation{schema: rel.schema.Clone(), parts: out, partCols: cloneCols(rel.schema)}, nil
 }
 
 // Union concatenates two relations with identical schemas.

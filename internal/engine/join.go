@@ -78,37 +78,48 @@ func shuffleRows(rel *Relation, keyIdx []int, n int) ([][]Row, []int64) {
 	return parts, moved
 }
 
-// alignedOnKey reports whether rel is already hash-partitioned so that a
-// join on shared needs no shuffle: single-column join key equal to the
-// relation's partition key, and the row-key hash placement must coincide
-// with the stored placement for the requested partition count.
-func alignedOnKey(rel *Relation, shared []string, n int) bool {
-	if len(shared) != 1 || rel.partKey != shared[0] || rel.Partitions() != n {
+// alignedOnCols reports whether rel is already hash-partitioned so that
+// a join shuffling on cols (in that exact order) needs no shuffle: the
+// relation's recorded partition columns must equal cols as a sequence
+// and the partition count must match — shuffleRows, Partition and join
+// outputs all place rows with the engine's canonical row-key hash over
+// the partition columns in recorded order, so an aligned side's
+// placement is already correct.
+func alignedOnCols(rel *Relation, cols []string, n int) bool {
+	// A zero-column key never aligns: placement of width-0 rows is
+	// arbitrary, and hashing no columns sends them all to one
+	// partition, so skipping that shuffle would dedup per-partition.
+	if len(cols) == 0 || len(rel.partCols) != len(cols) || rel.Partitions() != n {
 		return false
+	}
+	for i, c := range cols {
+		if rel.partCols[i] != c {
+			return false
+		}
 	}
 	return true
 }
 
 // shuffleJoin repartitions both sides on the join key and performs a
-// partition-wise hash join.
+// partition-wise hash join. The output records the full (possibly
+// multi-column) join key as its partitioning, so downstream joins on
+// the same key sequence skip their shuffle.
 func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) (*Relation, error) {
 	n := e.Cluster.DefaultPartitions()
 	lKey := keyIndexes(left.schema, shared)
 	rKey := keyIndexes(right.schema, shared)
 
-	// A side already partitioned on the single join column keeps its
-	// layout and pays zero shuffle bytes: Partition(), shuffleRows and
-	// join outputs all place rows with the engine's canonical row-key
-	// hash, so an aligned side's placement is already correct.
+	// A side already partitioned on the join columns keeps its layout
+	// and pays zero shuffle bytes.
 	var lParts, rParts [][]Row
 	lMoved := make([]int64, n)
 	rMoved := make([]int64, n)
-	if alignedOnKey(left, shared, n) {
+	if alignedOnCols(left, shared, n) {
 		lParts = left.parts
 	} else {
 		lParts, lMoved = shuffleRows(left, lKey, n)
 	}
-	if alignedOnKey(right, shared, n) {
+	if alignedOnCols(right, shared, n) {
 		rParts = right.parts
 	} else {
 		rParts, rMoved = shuffleRows(right, rKey, n)
@@ -125,36 +136,31 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) 
 			buildKey, probeKey = probeKey, buildKey
 			buildIsLeft = false
 		}
-		ht := make(map[string][]Row, len(build))
-		for _, r := range build {
-			k := keyString(r, buildKey)
-			ht[k] = append(ht[k], r)
-		}
-		var rows []Row
+		ix := buildJoinIndex(build, buildKey)
+		arena := NewRowArena(len(outSchema), len(probe))
 		for _, pr := range probe {
-			matches := ht[keyString(pr, probeKey)]
-			for _, br := range matches {
-				lr, rr := br, pr
-				if !buildIsLeft {
-					lr, rr = pr, br
+			for i := ix.first(pr, probeKey); i != 0; i = ix.next[i-1] {
+				if !ix.match(i, pr, probeKey) {
+					continue
 				}
-				rows = append(rows, concatRow(lr, rr, rightKeep))
+				br := ix.rows[i-1]
+				if buildIsLeft {
+					arena.AppendJoin(br, pr, rightKeep)
+				} else {
+					arena.AppendJoin(pr, br, rightKeep)
+				}
 			}
 		}
-		out[p] = rows
+		out[p] = arena.Rows()
 		return cluster.TaskStats{
-			Rows:     int64(len(build) + len(probe) + len(rows)),
+			Rows:     int64(len(build) + len(probe) + arena.Len()),
 			NetBytes: lMoved[p] + rMoved[p],
 		}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	partKey := ""
-	if len(shared) == 1 {
-		partKey = shared[0]
-	}
-	return &Relation{schema: outSchema, parts: out, partKey: partKey}, nil
+	return &Relation{schema: outSchema, parts: out, partCols: cloneCols(shared)}, nil
 }
 
 // broadcastJoin ships the (small) build relation to every worker and
@@ -165,14 +171,8 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	probeKey := keyIndexes(probe.schema, shared)
 	buildKey := keyIndexes(build.schema, shared)
 
-	// Hash table over the build side, shared read-only by all tasks.
-	ht := make(map[string][]Row, build.NumRows())
-	for pi := 0; pi < build.Partitions(); pi++ {
-		for _, r := range build.Part(pi) {
-			k := keyString(r, buildKey)
-			ht[k] = append(ht[k], r)
-		}
-	}
+	// Hash index over the build side, shared read-only by all tasks.
+	ix := buildJoinIndex(build.Rows(), buildKey)
 	buildBytes := build.EstimatedBytes()
 
 	var outSchema Schema
@@ -186,18 +186,23 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	workers := e.Cluster.Workers()
 	out := make([][]Row, probe.Partitions())
 	err := e.Cluster.RunStage(e.Clock, e.launchBroadcast(), "broadcast join "+name, probe.Partitions(), func(p int) (cluster.TaskStats, error) {
-		var rows []Row
-		for _, pr := range probe.Part(p) {
-			for _, br := range ht[keyString(pr, probeKey)] {
+		in := probe.Part(p)
+		arena := NewRowArena(len(outSchema), len(in))
+		for _, pr := range in {
+			for i := ix.first(pr, probeKey); i != 0; i = ix.next[i-1] {
+				if !ix.match(i, pr, probeKey) {
+					continue
+				}
+				br := ix.rows[i-1]
 				if buildIsLeft {
-					rows = append(rows, concatRow(br, pr, keep))
+					arena.AppendJoin(br, pr, keep)
 				} else {
-					rows = append(rows, concatRow(pr, br, keep))
+					arena.AppendJoin(pr, br, keep)
 				}
 			}
 		}
-		out[p] = rows
-		st := cluster.TaskStats{Rows: int64(len(probe.Part(p)) + len(rows))}
+		out[p] = arena.Rows()
+		st := cluster.TaskStats{Rows: int64(len(in) + arena.Len())}
 		// Each worker receives one copy of the build side; tasks are
 		// placed round-robin, so the first task on each worker pays it.
 		if p < workers {
@@ -208,7 +213,7 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: outSchema, parts: out, partKey: probe.partKey}, nil
+	return &Relation{schema: outSchema, parts: out, partCols: cloneCols(probe.partCols)}, nil
 }
 
 // cartesian computes a cross product by broadcasting the smaller side.
@@ -225,23 +230,20 @@ func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) 
 	smallBytes := small.EstimatedBytes()
 	out := make([][]Row, large.Partitions())
 	err := e.Cluster.RunStage(e.Clock, e.launchBroadcast(), "cartesian "+name, large.Partitions(), func(p int) (cluster.TaskStats, error) {
-		var rows []Row
-		for _, lr := range large.Part(p) {
+		in := large.Part(p)
+		// The output cardinality is exact, so the arena never regrows.
+		arena := NewRowArena(len(outSchema), len(in)*len(smallRows))
+		for _, lr := range in {
 			for _, sr := range smallRows {
-				var a, b Row
 				if smallIsLeft {
-					a, b = sr, lr
+					arena.AppendConcat(sr, lr)
 				} else {
-					a, b = lr, sr
+					arena.AppendConcat(lr, sr)
 				}
-				nr := make(Row, 0, len(a)+len(b))
-				nr = append(nr, a...)
-				nr = append(nr, b...)
-				rows = append(rows, nr)
 			}
 		}
-		out[p] = rows
-		st := cluster.TaskStats{Rows: int64(len(rows))}
+		out[p] = arena.Rows()
+		st := cluster.TaskStats{Rows: int64(arena.Len())}
 		if p < workers {
 			st.NetBytes = smallBytes
 		}
@@ -256,17 +258,20 @@ func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) 
 	return &Relation{schema: outSchema, parts: out}, nil
 }
 
-// keyString packs key column values into a map key.
-func keyString(r Row, keyIdx []int) string {
-	b := make([]byte, 0, len(keyIdx)*4)
-	for _, i := range keyIdx {
-		v := r[i]
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+// cloneCols copies a partition-column list, sharing nothing with the
+// caller's slice.
+func cloneCols(cols []string) []string {
+	if len(cols) == 0 {
+		return nil
 	}
-	return string(b)
+	out := make([]string, len(cols))
+	copy(out, cols)
+	return out
 }
 
-// concatRow builds left ++ right[keep].
+// concatRow builds left ++ right[keep]. The join operators emit through
+// RowArena instead; this remains as the one-row reference used by the
+// naive model in tests.
 func concatRow(left, right Row, keep []int) Row {
 	nr := make(Row, 0, len(left)+len(keep))
 	nr = append(nr, left...)

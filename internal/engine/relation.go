@@ -9,7 +9,20 @@
 // on (paper §3.3): physical join selection (a build side smaller than
 // the broadcast threshold becomes a broadcast hash join instead of a
 // shuffle join) and shuffle avoidance for co-partitioned inputs (a
-// relation already hash-partitioned on the join key is not moved).
+// relation already hash-partitioned on the join key — single- or
+// multi-column — is not moved).
+//
+// The join/shuffle/distinct hot path is allocation-light by design:
+// rows are dictionary-encoded, so join keys of one or two columns pack
+// losslessly into the hash-table key (no materialization at all) and
+// wider keys fold to a uint64 hash with a column-wise re-check on
+// collision (key.go); hash joins probe a chained index that allocates
+// only its head map and chain (joinIndex); and operators emit output
+// rows into one flat per-partition backing buffer (RowArena) instead
+// of allocating each row separately. Partition tasks run with real
+// goroutine parallelism under cluster.RunStage; all per-partition
+// state (arena, index, output slot) is task-local, and broadcast-join
+// indexes are built once and probed read-only.
 package engine
 
 import (
@@ -66,17 +79,22 @@ const bytesPerValue = 5
 type Relation struct {
 	schema Schema
 	parts  [][]Row
-	// partKey is the column the partitions are hash-distributed by
-	// ("" when unknown or multi-column). Joins on partKey skip the
-	// shuffle for this side.
-	partKey string
+	// partCols are the columns the partitions are hash-distributed by,
+	// in the exact order the shuffle hashed them (nil when the layout
+	// is arbitrary). Joins shuffling on the same column sequence skip
+	// the shuffle for this side.
+	partCols []string
 }
 
 // NewRelation builds a relation directly from pre-partitioned rows. The
 // caller asserts that rows are hash-partitioned by partKey (or passes ""
 // if the layout is arbitrary).
 func NewRelation(schema Schema, parts [][]Row, partKey string) *Relation {
-	return &Relation{schema: schema.Clone(), parts: parts, partKey: partKey}
+	r := &Relation{schema: schema.Clone(), parts: parts}
+	if partKey != "" {
+		r.partCols = []string{partKey}
+	}
+	return r
 }
 
 // Partition hash-distributes rows by the key column into n partitions.
@@ -98,7 +116,7 @@ func Partition(schema Schema, rows []Row, key string, n int) (*Relation, error) 
 		p := cluster.HashPartition(hashRowKey(r, keyIdx), n)
 		parts[p] = append(parts[p], r)
 	}
-	return &Relation{schema: schema.Clone(), parts: parts, partKey: key}, nil
+	return &Relation{schema: schema.Clone(), parts: parts, partCols: []string{key}}, nil
 }
 
 // Schema returns the relation's column names.
@@ -107,9 +125,19 @@ func (r *Relation) Schema() Schema { return r.schema }
 // Partitions returns the partition count.
 func (r *Relation) Partitions() int { return len(r.parts) }
 
-// PartitionKey returns the column the relation is hash-partitioned by,
-// or "".
-func (r *Relation) PartitionKey() string { return r.partKey }
+// PartitionKey returns the single column the relation is
+// hash-partitioned by, or "" when the layout is arbitrary or keyed on
+// multiple columns (see PartitionCols).
+func (r *Relation) PartitionKey() string {
+	if len(r.partCols) == 1 {
+		return r.partCols[0]
+	}
+	return ""
+}
+
+// PartitionCols returns the columns the relation is hash-partitioned
+// by, in shuffle-hash order, or nil. The returned slice is a copy.
+func (r *Relation) PartitionCols() []string { return cloneCols(r.partCols) }
 
 // Part returns one partition's rows. Callers must not mutate them.
 func (r *Relation) Part(i int) []Row { return r.parts[i] }
@@ -166,11 +194,15 @@ func PartitionFor(v rdf.ID, n int) int {
 }
 
 // hashRowKey combines the values at key positions into a shuffle hash.
+// It is the engine's canonical placement hash: Partition, shuffleRows
+// and PartitionFor must all agree on it so co-partitioned relations
+// stay aligned. (Join hash tables use packKey instead, which need not
+// match placement.)
 func hashRowKey(r Row, keyIdx []int) uint64 {
-	var h uint64 = 1469598103934665603 // FNV offset basis
+	h := fnvOffset
 	for _, i := range keyIdx {
 		h ^= uint64(r[i])
-		h *= 1099511628211 // FNV prime
+		h *= fnvPrime
 	}
 	return h
 }
