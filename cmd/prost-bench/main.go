@@ -96,6 +96,11 @@ func run(scale int, seed, extrapolate int64, exp string, verify bool) error {
 			return err
 		}
 		fmt.Println(a2.Table())
+		a3, err := sys.AblationPlanner(queries)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a3.Table())
 	}
 	if want("extension") {
 		fig, err := sys.ExtensionInversePT(bench.ObjectStarQueries())

@@ -1,12 +1,15 @@
 // Command prost-query loads an N-Triples dataset into PRoST and runs a
-// SPARQL query against it, printing the result rows, the Join Tree the
-// translator produced, and the per-stage execution trace with simulated
-// cluster times.
+// SPARQL query against it, printing the result rows and, with -explain,
+// the physical plan (per-node estimated vs actual cardinalities plus a
+// one-line estimation-error summary), the Join Tree the translator
+// produced, and the per-stage execution trace with simulated cluster
+// times.
 //
 // Usage:
 //
 //	prost-query -in dataset.nt -q 'SELECT ?s WHERE { ?s <http://…> ?o . }'
 //	prost-query -in dataset.nt -f query.sparql -strategy vp-only -explain
+//	prost-query -in dataset.nt -f query.sparql -planner heuristic -explain
 package main
 
 import (
@@ -25,18 +28,19 @@ func main() {
 	queryText := flag.String("q", "", "SPARQL query text")
 	queryFile := flag.String("f", "", "file containing the SPARQL query")
 	strategy := flag.String("strategy", "mixed", "query strategy: mixed, vp-only or mixed+ipt")
+	planner := flag.String("planner", "cost", "planner mode: cost, heuristic or naive")
 	workers := flag.Int("workers", 9, "simulated worker machines")
-	explain := flag.Bool("explain", false, "print the Join Tree and stage trace")
+	explain := flag.Bool("explain", false, "print the physical plan (with estimated vs actual cardinalities), the Join Tree and the stage trace")
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	flag.Parse()
 
-	if err := run(*in, *queryText, *queryFile, *strategy, *workers, *explain, *maxRows); err != nil {
+	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, queryText, queryFile, strategy string, workers int, explain bool, maxRows int) error {
+func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -60,6 +64,11 @@ func run(in, queryText, queryFile, strategy string, workers int, explain bool, m
 		strat = core.StrategyMixedIPT
 	default:
 		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	mode, err := core.ParsePlannerMode(planner)
+	if err != nil {
+		return err
 	}
 
 	q, err := sparql.Parse(queryText)
@@ -87,7 +96,7 @@ func run(in, queryText, queryFile, strategy string, workers int, explain bool, m
 		return err
 	}
 
-	res, err := store.Query(q, core.QueryOptions{Strategy: strat})
+	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode})
 	if err != nil {
 		return err
 	}
@@ -107,6 +116,9 @@ func run(in, queryText, queryFile, strategy string, workers int, explain bool, m
 	fmt.Printf("\n%d rows; simulated cluster time %v (wall %v, strategy %s)\n",
 		len(res.Rows), res.SimTime, res.WallTime, strat)
 	if explain {
+		fmt.Println()
+		fmt.Print(res.Plan.String())
+		fmt.Println(res.Plan.ErrorSummary())
 		fmt.Println("\nJoin Tree:")
 		fmt.Print(res.Tree.String())
 		fmt.Println("\nStage trace:")

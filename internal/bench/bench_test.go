@@ -179,6 +179,35 @@ func TestAblationJoinOrder(t *testing.T) {
 	}
 }
 
+func TestAblationPlanner(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.AblationPlanner(queries)
+	if err != nil {
+		t.Fatalf("AblationPlanner: %v", err)
+	}
+	var costTotal, heurTotal time.Duration
+	wins := 0
+	for i, label := range fig.Labels {
+		cost, heur := fig.Series[0].Values[i], fig.Series[1].Values[i]
+		costTotal += cost
+		heurTotal += heur
+		if cost < heur {
+			wins++
+		}
+		// No query may regress more than 5% against the §3.3 heuristic.
+		if float64(cost) > float64(heur)*1.05 {
+			t.Errorf("%s: cost planner (%v) regresses >5%% vs heuristic (%v)", label, cost, heur)
+		}
+	}
+	if wins < 3 {
+		t.Errorf("cost planner beats the heuristic on %d queries, want ≥ 3", wins)
+	}
+	if costTotal >= heurTotal {
+		t.Errorf("cost planner total (%v) not faster than heuristic total (%v)", costTotal, heurTotal)
+	}
+}
+
 func TestAblationBroadcast(t *testing.T) {
 	s := systems(t)
 	queries := watdiv.BasicQuerySet()

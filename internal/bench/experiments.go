@@ -157,7 +157,9 @@ func (s *Systems) AblationJoinOrder(queries []watdiv.Query) (Figure, error) {
 		},
 	}
 	for _, q := range queries {
-		withStats, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		// PlannerHeuristic pins the paper's §3.3 statistics ordering this
+		// ablation measures (the session default is the cost planner).
+		withStats, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerHeuristic})
 		if err != nil {
 			return Figure{}, err
 		}
@@ -168,6 +170,36 @@ func (s *Systems) AblationJoinOrder(queries []watdiv.Query) (Figure, error) {
 		fig.Labels = append(fig.Labels, q.Name)
 		fig.Series[0].Values = append(fig.Series[0].Values, withStats.SimTime)
 		fig.Series[1].Values = append(fig.Series[1].Values, naive.SimTime)
+	}
+	return fig, nil
+}
+
+// AblationPlanner compares the cost-based physical planner against the
+// paper's §3.3 heuristic ordering (ablation A3): same storage, same
+// engine, only join order and per-join physical selection differ.
+func (s *Systems) AblationPlanner(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Ablation A3: cost-based planner vs §3.3 heuristic",
+		Series: []Series{
+			{Name: "cost"},
+			{Name: "heuristic"},
+		},
+	}
+	for _, q := range queries {
+		costRes, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCost})
+		if err != nil {
+			return Figure{}, err
+		}
+		heurRes, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerHeuristic})
+		if err != nil {
+			return Figure{}, err
+		}
+		if len(costRes.Rows) != len(heurRes.Rows) {
+			return Figure{}, fmt.Errorf("bench: planner ablation, %s: cost %d rows vs heuristic %d rows", q.Name, len(costRes.Rows), len(heurRes.Rows))
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, costRes.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, heurRes.SimTime)
 	}
 	return fig, nil
 }

@@ -59,6 +59,32 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// ShuffleJoinTime prices a shuffle hash join candidate on estimated
+// inputs: a full stage launch, the moved bytes spread over the
+// workers, and the per-row processing of both inputs plus the output.
+// The cost-based planner uses it to select physical join methods from
+// cardinality estimates instead of a single global size threshold.
+func (m CostModel) ShuffleJoinTime(movedBytes, rows int64, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	per := TaskStats{NetBytes: movedBytes / int64(workers), Rows: rows / int64(workers)}
+	return m.SQLStageLaunch + m.TaskTime(per)
+}
+
+// BroadcastJoinTime prices a broadcast hash join candidate: a third of
+// a stage launch (the probe side pipelines into the open stage; only
+// the build-side collection job launches), every worker receiving one
+// copy of the build side, and the per-row processing of the probe
+// input plus the output.
+func (m CostModel) BroadcastJoinTime(buildBytes, rows int64, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	per := TaskStats{NetBytes: buildBytes, Rows: rows / int64(workers)}
+	return m.SQLStageLaunch/3 + m.TaskTime(per)
+}
+
 // TaskTime prices one task's recorded work.
 func (m CostModel) TaskTime(s TaskStats) time.Duration {
 	var d time.Duration

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
@@ -15,16 +16,23 @@ import (
 type QueryOptions struct {
 	// Strategy selects the storage structures (default StrategyMixed).
 	Strategy Strategy
+	// Planner selects the planning mode (default PlannerCost). The
+	// heuristic and naive modes keep the paper's §3.3 ordering and the
+	// written-order ablation reproducible.
+	Planner PlannerMode
 	// Clock receives the query's virtual time; a fresh clock is created
 	// when nil.
 	Clock *cluster.Clock
-	// BroadcastThreshold overrides the engine's broadcast-join
-	// threshold (0 = Spark default, negative = disabled) — the ablation
-	// knob for Catalyst's physical join selection.
+	// BroadcastThreshold overrides the broadcast-join threshold
+	// (0 = Spark default, negative = disabled) — the ablation knob for
+	// Catalyst's physical join selection. The heuristic and naive
+	// planners apply it as the runtime build-side cap; the cost-based
+	// planner treats it as a broadcast on/off switch and replaces the
+	// size cap with CostModel pricing, so priced broadcasts may exceed
+	// it.
 	BroadcastThreshold int64
-	// NaiveOrder disables the statistics-based node ordering and joins
-	// nodes in the order the query wrote them — the ablation knob for
-	// the paper's §3.3 optimizer.
+	// NaiveOrder joins nodes in the order the query wrote them — the
+	// legacy spelling of Planner: PlannerNaive (ablation A1).
 	NaiveOrder bool
 }
 
@@ -39,8 +47,12 @@ type Result struct {
 	SimTime time.Duration
 	// WallTime is the real execution time of the simulation.
 	WallTime time.Duration
-	// Tree is the Join Tree the query was executed with.
+	// Tree is the Join Tree the query was executed with, in plan
+	// execution order.
 	Tree *JoinTree
+	// Plan is the physical plan the query executed, with per-node
+	// estimated and actual cardinalities filled in.
+	Plan *plan.Plan
 	// Clock exposes the full stage trace.
 	Clock *cluster.Clock
 }
@@ -61,7 +73,11 @@ func (r *Result) SortedRows() [][]rdf.Term {
 	return rows
 }
 
-// Query translates and executes a SPARQL query against the store.
+// Query translates, plans and executes a SPARQL query against the
+// store: the Join Tree is translated from the BGP (paper §3.2), the
+// planner builds a physical plan with estimated cardinalities, and
+// execution walks the plan bottom-up, recording each operator's actual
+// output cardinality.
 func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 	start := time.Now()
 	clock := opts.Clock
@@ -72,53 +88,36 @@ func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.NaiveOrder {
+	mode := opts.planMode()
+	if mode == plan.ModeNaive {
 		naiveOrder(tree, q)
 	}
-
-	e := engine.NewExec(s.cluster, clock)
-	e.BroadcastThreshold = opts.BroadcastThreshold
 
 	filters, err := s.compileFilters(q)
 	if err != nil {
 		return nil, err
 	}
-
-	// Execute nodes and join left-deep in tree order (bottom-up in the
-	// paper's terms: leaves first, root last).
-	var current *engine.Relation
-	for _, node := range tree.Nodes {
-		rel, err := s.execNode(e, node)
-		if err != nil {
-			return nil, fmt.Errorf("core: executing %s: %w", node.Label(), err)
-		}
-		rel, err = applyFilters(e, rel, filters)
-		if err != nil {
-			return nil, err
-		}
-		if current == nil {
-			current = rel
-			continue
-		}
-		current, err = e.Join(current, rel, node.Label())
-		if err != nil {
-			return nil, fmt.Errorf("core: joining %s: %w", node.Label(), err)
-		}
-	}
-	if current == nil {
+	pl := s.buildPlan(tree, q, mode, opts)
+	if pl == nil {
 		return nil, fmt.Errorf("core: query has no patterns")
 	}
 
-	proj := q.Projection()
-	current, err = e.Project(current, proj)
+	// The plan may have reordered the leaves (cost mode); re-sequence
+	// the displayed Join Tree to match execution order.
+	nodes := append([]*Node(nil), tree.Nodes...)
+	scans := pl.Scans()
+	ordered := make([]*Node, 0, len(scans))
+	for _, sc := range scans {
+		ordered = append(ordered, nodes[sc.Leaf])
+	}
+	tree.Nodes = ordered
+
+	e := engine.NewExec(s.cluster, clock)
+	e.BroadcastThreshold = opts.BroadcastThreshold
+
+	current, err := s.execPlan(e, pl.Root, nodes, filters)
 	if err != nil {
 		return nil, err
-	}
-	if q.Distinct {
-		current, err = e.Distinct(current)
-		if err != nil {
-			return nil, err
-		}
 	}
 	rows, err := e.Limit(current, q.Limit, q.Offset)
 	if err != nil {
@@ -134,13 +133,91 @@ func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 		decoded[i] = terms
 	}
 	return &Result{
-		Vars:     proj,
+		Vars:     q.Projection(),
 		Rows:     decoded,
 		SimTime:  clock.Elapsed(),
 		WallTime: time.Since(start),
 		Tree:     tree,
+		Plan:     pl,
 		Clock:    clock,
 	}, nil
+}
+
+// execPlan evaluates one plan operator bottom-up, recording the actual
+// output cardinality on the node.
+func (s *Store) execPlan(e *engine.Exec, n *plan.Node, nodes []*Node, filters []compiledFilter) (*engine.Relation, error) {
+	var rel *engine.Relation
+	var err error
+	switch n.Op {
+	case plan.OpScan:
+		rel, err = s.execNode(e, nodes[n.Leaf], pickFilters(filters, n.Filters))
+		if err != nil {
+			err = fmt.Errorf("core: executing %s: %w", nodes[n.Leaf].Label(), err)
+		}
+	case plan.OpFilter:
+		rel, err = s.execPlan(e, n.Children[0], nodes, filters)
+		if err == nil {
+			rel, err = applyResidualFilters(e, rel, pickFilters(filters, n.Filters))
+		}
+	case plan.OpJoin:
+		var left, right *engine.Relation
+		left, err = s.execPlan(e, n.Children[0], nodes, filters)
+		if err == nil {
+			right, err = s.execPlan(e, n.Children[1], nodes, filters)
+		}
+		if err == nil {
+			rel, err = e.JoinKeep(left, right, n.Children[1].Label, joinStrategy(n.Method), n.Keep)
+			if err != nil {
+				err = fmt.Errorf("core: joining %s: %w", n.Children[1].Label, err)
+			}
+		}
+	case plan.OpProject:
+		rel, err = s.execPlan(e, n.Children[0], nodes, filters)
+		if err == nil {
+			rel, err = e.Project(rel, n.Cols)
+		}
+	case plan.OpDistinct:
+		rel, err = s.execPlan(e, n.Children[0], nodes, filters)
+		if err == nil {
+			rel, err = e.Distinct(rel)
+		}
+	default:
+		err = fmt.Errorf("core: unknown plan operator %v", n.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.Actual = int64(rel.NumRows())
+	return rel, nil
+}
+
+// joinStrategy maps a planned join method to the engine request. A
+// planned broadcast is forced: the planner priced it cheaper than
+// shuffling even when the build side exceeds the global threshold.
+// Planned shuffle and co-partitioned joins keep the engine's runtime
+// rule, which downgrades to a broadcast when an intermediate result
+// turns out tiny at execution time (the adaptive re-optimization Spark
+// 3 calls AQE) — the planner's static estimate can only be refined,
+// never worsened, by that check.
+func joinStrategy(m plan.JoinMethod) engine.JoinStrategy {
+	switch m {
+	case plan.MethodBroadcast:
+		return engine.StrategyBroadcast
+	default:
+		return engine.StrategyAuto
+	}
+}
+
+// pickFilters selects the compiled filters at the given indexes.
+func pickFilters(filters []compiledFilter, idx []int) []compiledFilter {
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]compiledFilter, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, filters[i])
+	}
+	return out
 }
 
 // naiveOrder rewrites the tree's execution order to follow the query's
@@ -166,7 +243,8 @@ type compiledFilter struct {
 	pred func(rdf.ID) bool
 }
 
-// compileFilters turns the query's FILTER list into ID predicates.
+// compileFilters turns the query's FILTER list into ID predicates, in
+// q.Filters order (plan filter indexes point into this slice).
 func (s *Store) compileFilters(q *sparql.Query) ([]compiledFilter, error) {
 	out := make([]compiledFilter, 0, len(q.Filters))
 	for _, f := range q.Filters {
@@ -206,14 +284,14 @@ func compareFn(op sparql.CompareOp) (func(int) bool, error) {
 	}
 }
 
-// applyFilters pushes every filter whose variable the relation exposes
-// down onto it. Re-applying a filter at multiple nodes is harmless
-// (selections are idempotent) and maximizes early pruning.
-func applyFilters(e *engine.Exec, rel *engine.Relation, filters []compiledFilter) (*engine.Relation, error) {
+// applyResidualFilters applies filters the planner could not push into
+// a scan (defensive: validated queries always expose every filtered
+// variable at some leaf).
+func applyResidualFilters(e *engine.Exec, rel *engine.Relation, filters []compiledFilter) (*engine.Relation, error) {
 	for _, f := range filters {
 		idx := rel.Schema().Index(f.v)
 		if idx < 0 {
-			continue
+			return nil, fmt.Errorf("core: residual filter variable ?%s not in schema %v", f.v, rel.Schema())
 		}
 		var err error
 		i, pred := idx, f.pred
@@ -225,21 +303,54 @@ func applyFilters(e *engine.Exec, rel *engine.Relation, filters []compiledFilter
 	return rel, nil
 }
 
+// rowPredicate compiles pushed filters into one predicate over rows of
+// the given schema, returning nil when there is nothing to test.
+// Filters whose variable the schema lacks are reported as an error —
+// the planner only pushes filters to scans exposing their variable.
+func rowPredicate(schema []string, pushed []compiledFilter) (func(engine.Row) bool, error) {
+	if len(pushed) == 0 {
+		return nil, nil
+	}
+	idx := make([]int, len(pushed))
+	for i, f := range pushed {
+		idx[i] = -1
+		for j, col := range schema {
+			if col == f.v {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("core: pushed filter variable ?%s not in scan schema %v", f.v, schema)
+		}
+	}
+	preds := pushed
+	return func(r engine.Row) bool {
+		for i, f := range preds {
+			if !f.pred(r[idx[i]]) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
 // execNode evaluates one Join Tree node into a relation whose schema is
-// the node's variable list.
-func (s *Store) execNode(e *engine.Exec, n *Node) (*engine.Relation, error) {
+// the node's variable list, applying any pushed-down filters during the
+// scan itself.
+func (s *Store) execNode(e *engine.Exec, n *Node, pushed []compiledFilter) (*engine.Relation, error) {
 	switch n.Kind {
 	case NodeVP:
-		return s.execVPNode(e, n.Patterns[0])
+		return s.execVPNode(e, n.Patterns[0], pushed)
 	case NodePT:
-		return s.execPTNode(e, s.pt, n)
+		return s.execPTNode(e, s.pt, n, pushed)
 	case NodeIPT:
 		if s.ipt == nil {
 			return nil, fmt.Errorf("core: inverse property table not loaded")
 		}
-		return s.execPTNode(e, s.ipt, n)
+		return s.execPTNode(e, s.ipt, n, pushed)
 	case NodeTriples:
-		return s.execTriplesNode(e, n.Patterns[0])
+		return s.execTriplesNode(e, n.Patterns[0], pushed)
 	default:
 		return nil, fmt.Errorf("core: unknown node kind %v", n.Kind)
 	}
@@ -250,11 +361,13 @@ func (s *Store) emptyRelation(vars []string) *engine.Relation {
 	return engine.NewRelation(engine.Schema(vars), make([][]engine.Row, s.parts), "")
 }
 
-// execVPNode answers one bound-predicate pattern from its VP table:
-// scan, filter bound positions, project and rename to the pattern's
+// execVPNode answers one bound-predicate pattern from its VP table with
+// a single filtered scan: bound-position constraints, repeated-variable
+// equality and pushed-down FILTER predicates all run while the table
+// streams off disk, then the surviving rows are shaped to the pattern's
 // variables. Subject-keyed outputs stay subject-partitioned, so later
 // subject joins avoid the shuffle.
-func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern) (*engine.Relation, error) {
+func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern, pushed []compiledFilter) (*engine.Relation, error) {
 	outVars := tp.Vars()
 	pid, ok := s.dict.Lookup(tp.P.Term)
 	if !ok {
@@ -264,40 +377,59 @@ func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern) (*engine.Rel
 	if table == nil {
 		return s.emptyRelation(outVars), nil
 	}
-	rel, err := e.Scan(table.Rel, "VP "+localName(tp.P.Term.Value), table.FileBytes)
-	if err != nil {
-		return nil, err
-	}
 
-	// Bound-position filters.
+	// Assemble the scan-time predicate over the raw (s,o) columns.
+	var checks []func(engine.Row) bool
 	if !tp.S.IsVar() {
 		sid, ok := s.dict.Lookup(tp.S.Term)
 		if !ok {
 			return s.emptyRelation(outVars), nil
 		}
-		rel, err = e.Filter(rel, "s="+localName(tp.S.Term.Value), func(r engine.Row) bool { return r[0] == sid })
-		if err != nil {
-			return nil, err
-		}
+		checks = append(checks, func(r engine.Row) bool { return r[0] == sid })
 	}
 	if !tp.O.IsVar() {
 		oid, ok := s.dict.Lookup(tp.O.Term)
 		if !ok {
 			return s.emptyRelation(outVars), nil
 		}
-		rel, err = e.Filter(rel, "o=const", func(r engine.Row) bool { return r[1] == oid })
-		if err != nil {
-			return nil, err
+		checks = append(checks, func(r engine.Row) bool { return r[1] == oid })
+	}
+	if tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var {
+		checks = append(checks, func(r engine.Row) bool { return r[0] == r[1] })
+	}
+	for _, f := range pushed {
+		col := -1
+		if tp.S.IsVar() && f.v == tp.S.Var {
+			col = 0
+		} else if tp.O.IsVar() && f.v == tp.O.Var {
+			col = 1
 		}
+		if col < 0 {
+			return nil, fmt.Errorf("core: pushed filter variable ?%s not in pattern %s", f.v, tp)
+		}
+		c, pred := col, f.pred
+		checks = append(checks, func(r engine.Row) bool { return pred(r[c]) })
+	}
+	var pred func(engine.Row) bool
+	if len(checks) > 0 {
+		cs := checks
+		pred = func(r engine.Row) bool {
+			for _, c := range cs {
+				if !c(r) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	rel, err := e.ScanFiltered(table.Rel, "VP "+localName(tp.P.Term.Value), table.FileBytes, pred)
+	if err != nil {
+		return nil, err
 	}
 
 	// Shape the output columns.
 	switch {
 	case tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var:
-		rel, err = e.Filter(rel, "s=o", func(r engine.Row) bool { return r[0] == r[1] })
-		if err != nil {
-			return nil, err
-		}
 		rel, err = e.Project(rel, []string{"s"})
 		if err != nil {
 			return nil, err
@@ -336,8 +468,12 @@ func (s *Store) existenceRelation(rel *engine.Relation) *engine.Relation {
 
 // execTriplesNode answers a variable-predicate pattern from the raw
 // triple data — the fallback path outside the WatDiv workload.
-func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern) (*engine.Relation, error) {
+func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern, pushed []compiledFilter) (*engine.Relation, error) {
 	outVars := tp.Vars()
+	rowPred, err := rowPredicate(outVars, pushed)
+	if err != nil {
+		return nil, err
+	}
 	// Resolve bound positions.
 	var sid, oid rdf.ID
 	if !tp.S.IsVar() {
@@ -382,7 +518,7 @@ func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern) (*engin
 			vals[pos.pt.Var] = pos.val
 			row = append(row, pos.val)
 		}
-		if okRow {
+		if okRow && (rowPred == nil || rowPred(row)) {
 			rows = append(rows, row)
 		}
 	}

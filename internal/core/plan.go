@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/sparql"
+)
+
+// PlannerMode selects how a query's physical plan is produced.
+type PlannerMode uint8
+
+// Planner modes.
+const (
+	// PlannerCost (the default) orders joins by greedy cost-based
+	// enumeration over cardinality estimates and selects each join's
+	// physical method by pricing broadcast vs. shuffle on estimated
+	// input sizes.
+	PlannerCost PlannerMode = iota
+	// PlannerHeuristic keeps the paper's §3.3 priority ordering and the
+	// engine's runtime (threshold-based) join selection — the mode that
+	// reproduces the paper's measurements.
+	PlannerHeuristic
+	// PlannerNaive keeps the query's written pattern order (the A1
+	// ablation baseline).
+	PlannerNaive
+)
+
+// String implements fmt.Stringer.
+func (m PlannerMode) String() string {
+	switch m {
+	case PlannerCost:
+		return "cost"
+	case PlannerHeuristic:
+		return "heuristic"
+	case PlannerNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("PlannerMode(%d)", uint8(m))
+	}
+}
+
+// ParsePlannerMode maps a CLI flag value to a PlannerMode.
+func ParsePlannerMode(s string) (PlannerMode, error) {
+	switch s {
+	case "cost", "":
+		return PlannerCost, nil
+	case "heuristic":
+		return PlannerHeuristic, nil
+	case "naive":
+		return PlannerNaive, nil
+	default:
+		return 0, fmt.Errorf("core: unknown planner mode %q (want cost, heuristic or naive)", s)
+	}
+}
+
+// planMode resolves the options' planner selection, honouring the
+// legacy NaiveOrder knob.
+func (o QueryOptions) planMode() plan.Mode {
+	if o.NaiveOrder || o.Planner == PlannerNaive {
+		return plan.ModeNaive
+	}
+	if o.Planner == PlannerHeuristic {
+		return plan.ModeHeuristic
+	}
+	return plan.ModeCost
+}
+
+// Plan translates a query and builds its physical plan without
+// executing it — the entry point for EXPLAIN and planner benchmarks.
+func (s *Store) Plan(q *sparql.Query, opts QueryOptions) (*plan.Plan, error) {
+	tree, err := s.Translate(q, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	mode := opts.planMode()
+	if mode == plan.ModeNaive {
+		naiveOrder(tree, q)
+	}
+	return s.buildPlan(tree, q, mode, opts), nil
+}
+
+// buildPlan converts the ordered Join Tree to planner leaves and runs
+// the optimizer passes.
+func (s *Store) buildPlan(tree *JoinTree, q *sparql.Query, mode plan.Mode, opts QueryOptions) *plan.Plan {
+	leaves := s.planLeaves(tree)
+	specs := filterSpecs(q, leaves)
+	return plan.Build(leaves, specs, q.Projection(), q.Distinct, mode, s.planCosts(opts))
+}
+
+// planLeaves describes each Join Tree node to the planner: output
+// schema in engine column order, statistics-based cardinality and
+// distinct estimates, and the partitioning its scan will produce.
+func (s *Store) planLeaves(tree *JoinTree) []plan.Leaf {
+	leaves := make([]plan.Leaf, len(tree.Nodes))
+	for i, n := range tree.Nodes {
+		size, dist := s.nodeEstimate(n)
+		leaves[i] = plan.Leaf{
+			Label:    n.Label(),
+			Vars:     leafVars(n),
+			Est:      size,
+			Dist:     dist,
+			PartCols: leafPartCols(n),
+			Anchor:   leafAnchor(n),
+		}
+	}
+	return leaves
+}
+
+// leafVars returns a node's output schema in the exact column order
+// its scan produces. PT/IPT selects emit the key column first and the
+// value variables in pattern order — which differs from Node.Vars()
+// pattern order for inverse-PT nodes, whose key is the object.
+func leafVars(n *Node) []string {
+	switch n.Kind {
+	case NodePT:
+		return append([]string{n.Key}, nodeValueVars(n, keyOnSubject)...)
+	case NodeIPT:
+		return append([]string{n.Key}, nodeValueVars(n, keyOnObject)...)
+	default:
+		return n.Vars()
+	}
+}
+
+// leafPartCols predicts the partitioning a node's scan output carries:
+// PT/IPT selects stay partitioned on their key variable, VP scans on
+// their subject variable (the layout VP tables are stored in), and the
+// triple-table fallback on its first output variable.
+func leafPartCols(n *Node) []string {
+	switch n.Kind {
+	case NodePT, NodeIPT:
+		return []string{n.Key}
+	case NodeVP:
+		if tp := n.Patterns[0]; tp.S.IsVar() {
+			return []string{tp.S.Var}
+		}
+		return nil
+	case NodeTriples:
+		if vars := n.Patterns[0].Vars(); len(vars) > 0 {
+			return []string{vars[0]}
+		}
+	}
+	return nil
+}
+
+// leafAnchor grades a node's constant constraints for the planner's
+// start selection, mirroring the §3.3 boosts: bound literals rank
+// above bound IRI objects, which rank above unconstrained patterns.
+func leafAnchor(n *Node) int {
+	anchor := 0
+	for _, tp := range n.Patterns {
+		switch {
+		case tp.HasLiteral():
+			return 2
+		case tp.HasBoundObject():
+			anchor = 1
+		}
+	}
+	return anchor
+}
+
+// filterSpecs estimates each FILTER's selectivity from the distinct
+// counts of the leaves exposing its variable: equality keeps one of d
+// values, inequality keeps the rest, and range comparisons use the
+// standard one-third guess.
+func filterSpecs(q *sparql.Query, leaves []plan.Leaf) []plan.FilterSpec {
+	specs := make([]plan.FilterSpec, 0, len(q.Filters))
+	for _, f := range q.Filters {
+		d := 0.0
+		for _, l := range leaves {
+			dv, ok := l.Dist[f.Var]
+			if !ok {
+				continue
+			}
+			if d == 0 || dv < d {
+				d = dv
+			}
+		}
+		if d < 1 {
+			d = 1
+		}
+		var sel float64
+		switch f.Op {
+		case sparql.OpEQ:
+			sel = 1 / d
+		case sparql.OpNE:
+			sel = 1 - 1/d
+		default:
+			sel = 1.0 / 3
+		}
+		value := f.Value.Value
+		if f.Value.IsIRI() {
+			value = "<" + value + ">"
+		}
+		specs = append(specs, plan.FilterSpec{
+			Var:         f.Var,
+			Selectivity: sel,
+			Label:       fmt.Sprintf("?%s%s%s", f.Var, f.Op, value),
+		})
+	}
+	return specs
+}
+
+// planCosts bundles the cluster facts physical selection prices with.
+func (s *Store) planCosts(opts QueryOptions) plan.Costs {
+	threshold := opts.BroadcastThreshold
+	if threshold == 0 {
+		threshold = engine.DefaultBroadcastThreshold
+	}
+	if threshold < 0 {
+		threshold = 0 // disabled
+	}
+	return plan.Costs{
+		Workers:            s.cluster.Workers(),
+		BroadcastThreshold: threshold,
+		BytesPerValue:      engine.BytesPerValue,
+		Model:              s.cluster.Config().Cost,
+	}
+}

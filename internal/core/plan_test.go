@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/plan"
+	"repro/internal/sparql"
+	"repro/internal/watdiv"
+)
+
+// planFor translates and plans src without executing it.
+func planFor(t *testing.T, s *Store, src string, opts QueryOptions) *plan.Plan {
+	t.Helper()
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pl, err := s.Plan(q, opts)
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	return pl
+}
+
+// TestEstimatorExactOnSinglePatterns checks the cardinality estimator
+// against exact counts on the small test graph: unconstrained VP scans
+// are estimated from per-predicate triple counts and must match the
+// actual scan output exactly.
+func TestEstimatorExactOnSinglePatterns(t *testing.T) {
+	s := testStore(t, false)
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		// follows has 3 triples.
+		{`SELECT * WHERE { ?a <http://example.org/follows> ?b . }`, 3},
+		// likes has 4 triples.
+		{`SELECT * WHERE { ?a <http://example.org/likes> ?b . }`, 4},
+		// hasGenre has 3 triples.
+		{`SELECT * WHERE { ?a <http://example.org/hasGenre> ?b . }`, 3},
+		// likes with bound object prodB: 4 triples / 2 distinct objects.
+		{`SELECT ?u WHERE { ?u <http://example.org/likes> <http://example.org/prodB> . }`, 2},
+		// unseen predicate: empty.
+		{`SELECT ?a WHERE { ?a <http://example.org/nonexistent> ?b . }`, 0},
+	}
+	for _, tt := range cases {
+		pl := planFor(t, s, tt.src, QueryOptions{Strategy: StrategyVPOnly})
+		scans := pl.Scans()
+		if len(scans) != 1 {
+			t.Fatalf("%s: %d scans, want 1", tt.src, len(scans))
+		}
+		if scans[0].Est != tt.want {
+			t.Errorf("%s: scan est = %g, want %g", tt.src, scans[0].Est, tt.want)
+		}
+	}
+}
+
+// TestEstimatorActualsRecordedAndExactForScans executes a query and
+// checks the plan carries actual cardinalities, with scans of single
+// unfiltered patterns estimated exactly.
+func TestEstimatorActualsRecordedAndExactForScans(t *testing.T) {
+	s := testStore(t, false)
+	q := sparql.MustParse(`SELECT ?a ?g WHERE {
+		?a <http://example.org/likes> ?p .
+		?p <http://example.org/hasGenre> ?g .
+	}`)
+	res, err := s.Query(q, QueryOptions{Strategy: StrategyVPOnly})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Plan == nil {
+		t.Fatalf("Result.Plan is nil")
+	}
+	for _, sc := range res.Plan.Scans() {
+		if sc.Actual < 0 {
+			t.Errorf("scan %s has no actual cardinality", sc.Label)
+		}
+		if sc.Est != float64(sc.Actual) {
+			t.Errorf("scan %s: est %g != actual %d (single unfiltered patterns are exact)", sc.Label, sc.Est, sc.Actual)
+		}
+	}
+	if res.Plan.Root.Actual != 6 {
+		t.Errorf("root actual = %d, want 6 result rows", res.Plan.Root.Actual)
+	}
+	ratio, at := res.Plan.MaxErrorRatio()
+	if at == nil || ratio < 1 {
+		t.Errorf("MaxErrorRatio = %g at %v", ratio, at)
+	}
+	if !strings.Contains(res.Plan.ErrorSummary(), "max ratio") {
+		t.Errorf("ErrorSummary = %q", res.Plan.ErrorSummary())
+	}
+}
+
+// TestFilterOnSharedVariableAppliedOnce is the duplicate-filter
+// regression test: a filter whose variable several nodes expose must be
+// pushed to exactly one scan and still produce correct rows.
+func TestFilterOnSharedVariableAppliedOnce(t *testing.T) {
+	s := testStore(t, false)
+	src := `SELECT * WHERE {
+		?u <http://example.org/age> ?a .
+		?v <http://example.org/age> ?a .
+		FILTER(?a > 26)
+	}`
+	for _, mode := range []PlannerMode{PlannerCost, PlannerHeuristic, PlannerNaive} {
+		pl := planFor(t, s, src, QueryOptions{Strategy: StrategyVPOnly, Planner: mode})
+		applied := 0
+		for _, sc := range pl.Scans() {
+			applied += len(sc.Filters)
+		}
+		if applied != 1 {
+			t.Errorf("planner %v: filter applied at %d scans, want exactly 1:\n%s", mode, applied, pl)
+		}
+		got := runQuery(t, s, src, StrategyVPOnly)
+		// Only user1 has age 30 > 26; SELECT * projects a,u,v sorted.
+		eqStrings(t, got, []string{"30|user1|user1"}, fmt.Sprintf("planner %v", mode))
+	}
+}
+
+// TestPlannerModesByteIdenticalOnWatDiv is the plan-correctness
+// property test: for every WatDiv query, under all three strategies,
+// the cost-based and heuristic planners must return byte-identical
+// sorted rows to the naive written-order execution.
+func TestPlannerModesByteIdenticalOnWatDiv(t *testing.T) {
+	g := watdiv.MustGenerate(watdiv.Config{Scale: 120, Seed: 11})
+	c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
+	s, err := Load(g, Options{Cluster: c, BuildInversePT: true})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	render := func(res *Result) string {
+		var sb strings.Builder
+		for _, row := range res.SortedRows() {
+			for i, term := range row {
+				if i > 0 {
+					sb.WriteByte('\t')
+				}
+				sb.WriteString(term.String())
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	strategies := []Strategy{StrategyMixed, StrategyVPOnly, StrategyMixedIPT}
+	for _, q := range watdiv.BasicQuerySet() {
+		for _, strat := range strategies {
+			baseline, err := s.Query(q.Parsed, QueryOptions{Strategy: strat, Planner: PlannerNaive})
+			if err != nil {
+				t.Fatalf("%s/%s naive: %v", q.Name, strat, err)
+			}
+			want := render(baseline)
+			for _, mode := range []PlannerMode{PlannerCost, PlannerHeuristic} {
+				res, err := s.Query(q.Parsed, QueryOptions{Strategy: strat, Planner: mode})
+				if err != nil {
+					t.Fatalf("%s/%s %v: %v", q.Name, strat, mode, err)
+				}
+				if got := render(res); got != want {
+					t.Errorf("%s/%s: %v planner rows differ from naive order\nplan:\n%s", q.Name, strat, mode, res.Plan)
+				}
+			}
+		}
+	}
+}
+
+// TestIPTLeafVarsMatchScanSchema guards the planner's schema-order
+// contract: an inverse-PT leaf emits its key (the object variable)
+// first, even though pattern order lists the subject first.
+func TestIPTLeafVarsMatchScanSchema(t *testing.T) {
+	s := testStore(t, true)
+	pl := planFor(t, s, `SELECT ?a ?b WHERE {
+		?a <http://example.org/likes> ?p .
+		?b <http://example.org/likes> ?p .
+	}`, QueryOptions{Strategy: StrategyMixedIPT})
+	scans := pl.Scans()
+	if len(scans) != 1 {
+		t.Fatalf("%d scans, want 1 IPT scan:\n%s", len(scans), pl)
+	}
+	got := pl.Leaves[scans[0].Leaf].Vars
+	want := []string{"p", "a", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("IPT leaf vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IPT leaf vars = %v, want %v (key first)", got, want)
+		}
+	}
+}
+
+// TestPlannerModeParsing covers the CLI flag mapping.
+func TestPlannerModeParsing(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want PlannerMode
+	}{{"cost", PlannerCost}, {"", PlannerCost}, {"heuristic", PlannerHeuristic}, {"naive", PlannerNaive}} {
+		got, err := ParsePlannerMode(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("ParsePlannerMode(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+	if _, err := ParsePlannerMode("bogus"); err == nil {
+		t.Errorf("ParsePlannerMode(bogus) succeeded")
+	}
+	if PlannerCost.String() != "cost" || PlannerHeuristic.String() != "heuristic" || PlannerNaive.String() != "naive" {
+		t.Errorf("PlannerMode names wrong")
+	}
+}
+
+// TestCostPlannerNotSlowerThanNaive sanity-checks the optimizer's
+// reason to exist on a real dataset.
+func TestCostPlannerNotSlowerThanNaive(t *testing.T) {
+	g := watdiv.MustGenerate(watdiv.Config{Scale: 120, Seed: 11})
+	c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
+	s, err := Load(g, Options{Cluster: c, BuildInversePT: false})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var cost, naive int64
+	for _, q := range watdiv.BasicQuerySet() {
+		rc, err := s.Query(q.Parsed, QueryOptions{})
+		if err != nil {
+			t.Fatalf("%s cost: %v", q.Name, err)
+		}
+		rn, err := s.Query(q.Parsed, QueryOptions{Planner: PlannerNaive})
+		if err != nil {
+			t.Fatalf("%s naive: %v", q.Name, err)
+		}
+		cost += int64(rc.SimTime)
+		naive += int64(rn.SimTime)
+	}
+	// Individual queries may regress by estimation luck; the total must
+	// stay within a whisker of naive and normally beats it well.
+	if float64(cost) > float64(naive)*1.01 {
+		t.Errorf("cost-based total %d > naive total %d (+1%% slack)", cost, naive)
+	}
+}

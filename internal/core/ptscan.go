@@ -30,8 +30,10 @@ type patSpec struct {
 // the (inverse) Property Table with a single partition-parallel select:
 // for every key holding all the required predicates, emit the cartesian
 // combination of the (flattened) value lists — the flatten step the
-// paper charges to multi-valued attributes (§3.1).
-func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node) (*engine.Relation, error) {
+// paper charges to multi-valued attributes (§3.1). Pushed-down FILTER
+// predicates are tested on each candidate row inside the same scan
+// stage, before it is materialized.
+func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node, pushed []compiledFilter) (*engine.Relation, error) {
 	keyVar := n.Key
 	schema := engine.Schema{keyVar}
 	specs := make([]patSpec, 0, len(n.Patterns))
@@ -66,10 +68,14 @@ func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node) (*engine.
 		preds = append(preds, pid)
 	}
 
+	rowPred, err := rowPredicate(schema, pushed)
+	if err != nil {
+		return nil, err
+	}
 	perPartDisk := pt.scanBytes(preds) / int64(len(pt.parts))
 	outParts := make([][]engine.Row, len(pt.parts))
-	err := s.cluster.RunStage(e.Clock, e.Launch(false), "scan "+n.Label(), len(pt.parts), func(p int) (cluster.TaskStats, error) {
-		rows, processed := scanPTPartition(pt.parts[p], specs, len(schema))
+	err = s.cluster.RunStage(e.Clock, e.Launch(false), "scan "+n.Label(), len(pt.parts), func(p int) (cluster.TaskStats, error) {
+		rows, processed := scanPTPartition(pt.parts[p], specs, len(schema), rowPred)
 		outParts[p] = rows
 		return cluster.TaskStats{
 			DiskBytes: perPartDisk,
@@ -109,8 +115,10 @@ func valueTerm(tp sparql.TriplePattern, mode ptKeyMode) sparql.PatternTerm {
 // scanPTPartition scans one PT partition for the node's specs. It
 // returns the emitted rows and the number of keys examined. Rows are
 // emitted into a flat engine.RowArena — the same representation the
-// join core produces — sized by the driving column's key count.
-func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Row, int64) {
+// join core produces — sized by the driving column's key count. A
+// non-nil rowPred (pushed-down FILTER predicates) gates each candidate
+// row before emission.
+func scanPTPartition(part *ptPartition, specs []patSpec, width int, rowPred func(engine.Row) bool) ([]engine.Row, int64) {
 	cols := make([]*ptColumn, len(specs))
 	driver := -1
 	for i, sp := range specs {
@@ -161,7 +169,9 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int) ([]engine.Ro
 		var rec func(i int)
 		rec = func(i int) {
 			if i == len(specs) {
-				arena.AppendCopy(row)
+				if rowPred == nil || rowPred(row) {
+					arena.AppendCopy(row)
+				}
 				return
 			}
 			sp := specs[i]

@@ -50,6 +50,19 @@ func (a *RowArena) AppendJoin(left, right Row, keep []int) {
 	a.seal(start)
 }
 
+// AppendJoinPruned emits left[lKeep] ++ right[rKeep] — the hash-join
+// output shape with fused column pruning — as one arena row.
+func (a *RowArena) AppendJoinPruned(left, right Row, lKeep, rKeep []int) {
+	start := len(a.buf)
+	for _, i := range lKeep {
+		a.buf = append(a.buf, left[i])
+	}
+	for _, i := range rKeep {
+		a.buf = append(a.buf, right[i])
+	}
+	a.seal(start)
+}
+
 // AppendConcat emits x ++ y (the cartesian-product shape) as one
 // arena row.
 func (a *RowArena) AppendConcat(x, y Row) {

@@ -115,6 +115,41 @@ func (e *Exec) Scan(table *Relation, name string, diskBytes int64) (*Relation, e
 	return table, nil
 }
 
+// ScanFiltered charges a table scan like Scan and applies a
+// pushed-down row predicate inside the same stage: rows are tested as
+// they stream off disk, so the filter costs no extra stage and no
+// materialized intermediate. A nil pred degenerates to Scan. The
+// output keeps the table's partitioning (filtering moves no rows).
+func (e *Exec) ScanFiltered(table *Relation, name string, diskBytes int64, pred func(Row) bool) (*Relation, error) {
+	if pred == nil {
+		return e.Scan(table, name, diskBytes)
+	}
+	n := table.Partitions()
+	if n == 0 {
+		return table, nil
+	}
+	perPart := diskBytes / int64(n)
+	out := make([][]Row, n)
+	err := e.Cluster.RunStage(e.Clock, e.Launch(false), "scan "+name, n, func(p int) (cluster.TaskStats, error) {
+		in := table.Part(p)
+		var kept []Row
+		for _, r := range in {
+			if pred(r) {
+				kept = append(kept, r)
+			}
+		}
+		out[p] = kept
+		return cluster.TaskStats{
+			DiskBytes: perPart,
+			Rows:      int64(len(in)),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: table.schema.Clone(), parts: out, partCols: cloneCols(table.partCols)}, nil
+}
+
 // Filter keeps the rows satisfying pred, partition-wise (no shuffle).
 func (e *Exec) Filter(rel *Relation, name string, pred func(Row) bool) (*Relation, error) {
 	out := make([][]Row, rel.Partitions())

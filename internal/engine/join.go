@@ -2,8 +2,30 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
+)
+
+// JoinStrategy is the physical method an explicit join request uses.
+type JoinStrategy uint8
+
+// Join strategies.
+const (
+	// StrategyAuto selects the method at runtime the way Catalyst does:
+	// a side below the broadcast threshold becomes the build side of a
+	// broadcast hash join, otherwise the join shuffles.
+	StrategyAuto JoinStrategy = iota
+	// StrategyBroadcast forces a broadcast hash join; the smaller side
+	// (by estimated bytes) becomes the build side.
+	StrategyBroadcast
+	// StrategyShuffle forces a shuffle hash join, with sides already
+	// partitioned on the join key still skipping their movement. Note
+	// that the cost planner maps its planned shuffles to StrategyAuto
+	// instead, keeping the runtime's broadcast downgrade for tiny
+	// actual intermediates; StrategyShuffle pins the physical method
+	// outright (ablations, tests).
+	StrategyShuffle
 )
 
 // Join performs a natural join on the columns shared by the two inputs,
@@ -15,38 +37,110 @@ import (
 // product via broadcast (BGPs are connected, so this only serves
 // robustness).
 func (e *Exec) Join(left, right *Relation, name string) (*Relation, error) {
+	return e.JoinWith(left, right, name, StrategyAuto)
+}
+
+// JoinWith is Join with an explicit physical strategy, the entry point
+// for cost-based plans that price broadcast vs. shuffle per join on
+// estimated input sizes instead of relying on the runtime threshold.
+// Inputs without shared columns always produce a cartesian product.
+func (e *Exec) JoinWith(left, right *Relation, name string, strategy JoinStrategy) (*Relation, error) {
+	return e.JoinKeep(left, right, name, strategy, nil)
+}
+
+// JoinKeep is JoinWith with fused column pruning: when keep is
+// non-nil, only the named output columns are emitted, inside the same
+// join stage — no extra projection pass and no materialized wide
+// intermediate. Planners use it to drop variables no later operator
+// reads, shrinking every downstream shuffle and broadcast.
+func (e *Exec) JoinKeep(left, right *Relation, name string, strategy JoinStrategy, keep []string) (*Relation, error) {
 	shared := left.schema.Shared(right.schema)
 	if len(shared) == 0 {
-		return e.cartesian(left, right, name)
+		return e.cartesian(left, right, name, keep)
+	}
+	switch strategy {
+	case StrategyBroadcast:
+		probe, build := left, right
+		buildIsLeft := false
+		if left.EstimatedBytes() < right.EstimatedBytes() {
+			probe, build = right, left
+			buildIsLeft = true
+		}
+		// Skew guard: a broadcast join runs in the probe's existing
+		// layout, so a heavily skewed probe concentrates the whole join
+		// on one worker. When the planner's forced broadcast meets such
+		// a layout at runtime and the serialized row work would cost
+		// more than rebalancing, shuffle instead (the adaptive
+		// protection Spark's AQE applies to skewed joins).
+		if e.skewDowngrade(probe) {
+			return e.shuffleJoin(left, right, shared, name, keep)
+		}
+		return e.broadcastJoin(probe, build, shared, name, buildIsLeft, keep)
+	case StrategyShuffle:
+		return e.shuffleJoin(left, right, shared, name, keep)
 	}
 	bt := e.broadcastThreshold()
 	if bt > 0 {
 		lb, rb := left.EstimatedBytes(), right.EstimatedBytes()
 		if rb <= bt && rb <= lb {
-			return e.broadcastJoin(left, right, shared, name, false)
+			return e.broadcastJoin(left, right, shared, name, false, keep)
 		}
 		if lb <= bt {
-			return e.broadcastJoin(right, left, shared, name, true)
+			return e.broadcastJoin(right, left, shared, name, true, keep)
 		}
 	}
-	return e.shuffleJoin(left, right, shared, name)
+	return e.shuffleJoin(left, right, shared, name, keep)
 }
 
-// joinedSchema is left's schema followed by right's non-join columns.
-func joinedSchema(left, right Schema, shared []string) (Schema, []int) {
+// joinLayout computes a join's output schema and emission index lists.
+// With keep == nil the output is left ++ right-non-join and lKeep is
+// nil, marking the bulk-copy fast path (AppendJoin); otherwise only
+// columns named in keep survive, in the same relative order, and rows
+// are emitted through AppendJoinPruned.
+func joinLayout(left, right Schema, shared, keep []string) (out Schema, lKeep, rKeep []int) {
 	isJoinCol := map[string]bool{}
 	for _, c := range shared {
 		isJoinCol[c] = true
 	}
-	out := left.Clone()
-	var rightKeep []int
-	for i, c := range right {
-		if !isJoinCol[c] {
+	if keep == nil {
+		out = left.Clone()
+		for i, c := range right {
+			if !isJoinCol[c] {
+				out = append(out, c)
+				rKeep = append(rKeep, i)
+			}
+		}
+		return out, nil, rKeep
+	}
+	retain := map[string]bool{}
+	for _, c := range keep {
+		retain[c] = true
+	}
+	lKeep = make([]int, 0, len(left))
+	for i, c := range left {
+		if retain[c] {
 			out = append(out, c)
-			rightKeep = append(rightKeep, i)
+			lKeep = append(lKeep, i)
 		}
 	}
-	return out, rightKeep
+	for i, c := range right {
+		if !isJoinCol[c] && retain[c] {
+			out = append(out, c)
+			rKeep = append(rKeep, i)
+		}
+	}
+	return out, lKeep, rKeep
+}
+
+// survivingCols returns cols when the schema retains every one of
+// them (the partitioning survives), nil otherwise.
+func survivingCols(cols []string, schema Schema) []string {
+	for _, c := range cols {
+		if !schema.Contains(c) {
+			return nil
+		}
+	}
+	return cloneCols(cols)
 }
 
 // keyIndexes maps the shared columns into each schema.
@@ -102,9 +196,9 @@ func alignedOnCols(rel *Relation, cols []string, n int) bool {
 
 // shuffleJoin repartitions both sides on the join key and performs a
 // partition-wise hash join. The output records the full (possibly
-// multi-column) join key as its partitioning, so downstream joins on
-// the same key sequence skip their shuffle.
-func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) (*Relation, error) {
+// multi-column) join key as its partitioning (when pruning keeps it),
+// so downstream joins on the same key sequence skip their shuffle.
+func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string, keep []string) (*Relation, error) {
 	n := e.Cluster.DefaultPartitions()
 	lKey := keyIndexes(left.schema, shared)
 	rKey := keyIndexes(right.schema, shared)
@@ -125,7 +219,7 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) 
 		rParts, rMoved = shuffleRows(right, rKey, n)
 	}
 
-	outSchema, rightKeep := joinedSchema(left.schema, right.schema, shared)
+	outSchema, lKeep, rKeep := joinLayout(left.schema, right.schema, shared, keep)
 	out := make([][]Row, n)
 	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "join "+name, n, func(p int) (cluster.TaskStats, error) {
 		build, probe := lParts[p], rParts[p]
@@ -144,10 +238,14 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) 
 					continue
 				}
 				br := ix.rows[i-1]
-				if buildIsLeft {
-					arena.AppendJoin(br, pr, rightKeep)
+				lr, rr := br, pr
+				if !buildIsLeft {
+					lr, rr = pr, br
+				}
+				if lKeep == nil {
+					arena.AppendJoin(lr, rr, rKeep)
 				} else {
-					arena.AppendJoin(pr, br, rightKeep)
+					arena.AppendJoinPruned(lr, rr, lKeep, rKeep)
 				}
 			}
 		}
@@ -160,14 +258,14 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string) 
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: outSchema, parts: out, partCols: cloneCols(shared)}, nil
+	return &Relation{schema: outSchema, parts: out, partCols: survivingCols(shared, outSchema)}, nil
 }
 
 // broadcastJoin ships the (small) build relation to every worker and
 // probes the large side in place, preserving its partitioning.
 // buildIsLeft records that build is semantically the LEFT input, so
 // output columns keep left-to-right order.
-func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name string, buildIsLeft bool) (*Relation, error) {
+func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name string, buildIsLeft bool, pruneTo []string) (*Relation, error) {
 	probeKey := keyIndexes(probe.schema, shared)
 	buildKey := keyIndexes(build.schema, shared)
 
@@ -176,11 +274,11 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	buildBytes := build.EstimatedBytes()
 
 	var outSchema Schema
-	var keep []int
+	var lKeep, rKeep []int
 	if buildIsLeft {
-		outSchema, keep = joinedSchema(build.schema, probe.schema, shared)
+		outSchema, lKeep, rKeep = joinLayout(build.schema, probe.schema, shared, pruneTo)
 	} else {
-		outSchema, keep = joinedSchema(probe.schema, build.schema, shared)
+		outSchema, lKeep, rKeep = joinLayout(probe.schema, build.schema, shared, pruneTo)
 	}
 
 	workers := e.Cluster.Workers()
@@ -194,10 +292,14 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 					continue
 				}
 				br := ix.rows[i-1]
-				if buildIsLeft {
-					arena.AppendJoin(br, pr, keep)
+				lr, rr := br, pr
+				if !buildIsLeft {
+					lr, rr = pr, br
+				}
+				if lKeep == nil {
+					arena.AppendJoin(lr, rr, rKeep)
 				} else {
-					arena.AppendJoin(pr, br, keep)
+					arena.AppendJoinPruned(lr, rr, lKeep, rKeep)
 				}
 			}
 		}
@@ -213,11 +315,11 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: outSchema, parts: out, partCols: cloneCols(probe.partCols)}, nil
+	return &Relation{schema: outSchema, parts: out, partCols: survivingCols(probe.partCols, outSchema)}, nil
 }
 
 // cartesian computes a cross product by broadcasting the smaller side.
-func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) {
+func (e *Exec) cartesian(left, right *Relation, name string, keep []string) (*Relation, error) {
 	small, large := left, right
 	smallIsLeft := true
 	if right.EstimatedBytes() < left.EstimatedBytes() {
@@ -225,7 +327,7 @@ func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) 
 		smallIsLeft = false
 	}
 	smallRows := small.Rows()
-	outSchema := append(left.schema.Clone(), right.schema...)
+	outSchema, lKeep, rKeep := joinLayout(left.schema, right.schema, nil, keep)
 	workers := e.Cluster.Workers()
 	smallBytes := small.EstimatedBytes()
 	out := make([][]Row, large.Partitions())
@@ -235,10 +337,14 @@ func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) 
 		arena := NewRowArena(len(outSchema), len(in)*len(smallRows))
 		for _, lr := range in {
 			for _, sr := range smallRows {
-				if smallIsLeft {
-					arena.AppendConcat(sr, lr)
+				l, r := sr, lr
+				if !smallIsLeft {
+					l, r = lr, sr
+				}
+				if lKeep == nil {
+					arena.AppendConcat(l, r)
 				} else {
-					arena.AppendConcat(lr, sr)
+					arena.AppendJoinPruned(l, r, lKeep, rKeep)
 				}
 			}
 		}
@@ -252,10 +358,44 @@ func (e *Exec) cartesian(left, right *Relation, name string) (*Relation, error) 
 	if err != nil {
 		return nil, err
 	}
-	if len(outSchema) != len(left.schema)+len(right.schema) {
+	if keep == nil && len(outSchema) != len(left.schema)+len(right.schema) {
 		return nil, fmt.Errorf("engine: cartesian schema construction bug")
 	}
 	return &Relation{schema: outSchema, parts: out}, nil
+}
+
+// skewDowngrade reports whether probing the relation in its existing
+// layout would serialize on one worker badly enough that repartitioning
+// pays for itself: the probe must be concentrated (largest partition ≥
+// 3× the mean on a non-trivial row count) and the serialized row time
+// must exceed the extra launch and movement a rebalancing shuffle
+// costs.
+func (e *Exec) skewDowngrade(probe *Relation) bool {
+	n := probe.Partitions()
+	total := probe.NumRows()
+	if n == 0 || total < 4*n {
+		return false
+	}
+	maxPart := 0
+	for i := 0; i < n; i++ {
+		if l := len(probe.Part(i)); l > maxPart {
+			maxPart = l
+		}
+	}
+	if maxPart*n < 3*total {
+		return false
+	}
+	cost := e.Cluster.Config().Cost
+	workers := e.Cluster.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	penalty := time.Duration(maxPart-total/workers) * cost.RowTime
+	extra := e.BoundaryLaunch - e.BoundaryLaunch/3
+	if cost.NetworkBytesPerSec > 0 {
+		extra += time.Duration(float64(probe.EstimatedBytes()) / float64(workers) / cost.NetworkBytesPerSec * float64(time.Second))
+	}
+	return penalty > extra
 }
 
 // cloneCols copies a partition-column list, sharing nothing with the

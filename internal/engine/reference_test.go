@@ -13,7 +13,7 @@ import (
 // model for the engine's distributed joins.
 func refJoin(lSchema Schema, lRows []Row, rSchema Schema, rRows []Row) (Schema, []Row) {
 	shared := lSchema.Shared(rSchema)
-	outSchema, keep := joinedSchema(lSchema, rSchema, shared)
+	outSchema, _, keep := joinLayout(lSchema, rSchema, shared, nil)
 	lKey := keyIndexes(lSchema, shared)
 	rKey := keyIndexes(rSchema, shared)
 	var out []Row

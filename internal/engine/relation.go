@@ -70,9 +70,14 @@ func (s Schema) Clone() Schema {
 	return out
 }
 
-// bytesPerValue is the average wire/disk footprint of one encoded value,
-// used for shuffle and broadcast size estimates.
-const bytesPerValue = 5
+// BytesPerValue is the average wire/disk footprint of one encoded
+// value, used for shuffle and broadcast size estimates. The planner
+// prices candidate joins with the same constant so its estimates and
+// the engine's runtime selection agree on byte sizes.
+const BytesPerValue = 5
+
+// bytesPerValue is the package-internal alias.
+const bytesPerValue = BytesPerValue
 
 // Relation is an immutable, partitioned table of rows. Operators never
 // mutate their inputs; they build new relations.

@@ -1,0 +1,617 @@
+package plan
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Leaf describes one translated Join Tree node as the planner sees it:
+// its output schema (in the exact order the scan will produce), its
+// statistics-estimated cardinality and per-variable distinct counts,
+// and the partitioning its scan output will carry.
+type Leaf struct {
+	// Label is the Join Tree node's display name.
+	Label string
+	// Vars is the scan's output schema, in engine column order.
+	Vars []string
+	// Est is the estimated scan output cardinality before filters.
+	Est float64
+	// Dist estimates the distinct-value count per output variable.
+	Dist map[string]float64
+	// PartCols is the partitioning the scan output will be hashed on
+	// (nil when arbitrary).
+	PartCols []string
+	// Anchor grades the leaf's constant constraints (2 = bound literal,
+	// 1 = bound IRI object, 0 = none). Constant-anchored patterns are
+	// more selective than the independence assumption credits (the
+	// observation behind the paper's §3.3 priority boosts), so the
+	// cost-based start prefers them within a bounded estimate window.
+	Anchor int
+}
+
+// FilterSpec is one FILTER constraint as the planner sees it.
+type FilterSpec struct {
+	// Var is the constrained variable.
+	Var string
+	// Selectivity estimates the fraction of rows the predicate keeps.
+	Selectivity float64
+	// Label renders the constraint in EXPLAIN output.
+	Label string
+}
+
+// Costs carries the cluster facts physical selection prices with.
+type Costs struct {
+	// Workers is the simulated worker count.
+	Workers int
+	// BroadcastThreshold enables broadcast-join candidates when
+	// positive and disables them entirely when <= 0. Unlike the
+	// engine's runtime rule it is NOT a hard build-side cap: the
+	// pricing replaces the size threshold, so a build side above it
+	// still broadcasts when shipping it prices clearly cheaper than
+	// shuffling both inputs.
+	BroadcastThreshold int64
+	// BytesPerValue is the wire footprint of one encoded value.
+	BytesPerValue int64
+	// Model prices shuffle and broadcast exchanges.
+	Model cluster.CostModel
+}
+
+// Build assembles a physical plan from the translated leaves.
+//
+// In ModeCost the leaves are reordered by greedy cost-based
+// enumeration; in ModeHeuristic and ModeNaive the given order (the
+// §3.3 priority order, or the query's written order) is kept. Filters
+// are pushed into the earliest scan of the final order that exposes
+// their variable. Join methods are priced per join in ModeCost and
+// left to the engine's runtime rule otherwise.
+func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bool, mode Mode, c Costs) *Plan {
+	if len(leaves) == 0 {
+		return nil
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BytesPerValue <= 0 {
+		c.BytesPerValue = 5
+	}
+
+	p := &Plan{Mode: mode, Leaves: leaves}
+	for _, f := range filters {
+		p.FilterLabels = append(p.FilterLabels, f.Label)
+	}
+
+	order := make([]int, len(leaves))
+	for i := range order {
+		order[i] = i
+	}
+	if mode == ModeCost {
+		order = costOrder(leaves, filters, c)
+	}
+
+	// Pass 1: push each filter into the earliest scan (in the final
+	// order) exposing its variable, so it runs exactly once, during
+	// that scan.
+	pushed := make([][]int, len(leaves))
+	var residual []int
+	for fi, f := range filters {
+		assigned := false
+		for _, li := range order {
+			if containsVar(leaves[li].Vars, f.Var) {
+				pushed[li] = append(pushed[li], fi)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			residual = append(residual, fi)
+		}
+	}
+
+	// Build the left-deep operator tree in the chosen order, carrying
+	// estimated cardinality, per-variable distinct counts and the
+	// predicted partitioning through every join.
+	cur := scanState(leaves[order[0]], order[0], pushed[order[0]], filters)
+	for pos, li := range order[1:] {
+		next := scanState(leaves[li], li, pushed[li], filters)
+		var retain map[string]bool
+		if mode == ModeCost {
+			retain = retainSet(projection, leaves, order[pos+2:])
+		}
+		cur = joinStates(cur, next, mode, c, retain)
+	}
+	root := cur.node
+
+	// Residual filters (defensive: a filter whose variable no leaf
+	// exposes cannot occur for validated queries).
+	if len(residual) > 0 {
+		sel := 1.0
+		for _, fi := range residual {
+			sel *= filters[fi].Selectivity
+		}
+		root = &Node{
+			Op:       OpFilter,
+			Vars:     cur.vars,
+			Est:      cur.est * sel,
+			Actual:   -1,
+			Children: []*Node{root},
+			Filters:  residual,
+		}
+		cur.est = root.Est
+	}
+
+	// Projection and distinct mirror the execution epilogue.
+	root = &Node{
+		Op:       OpProject,
+		Vars:     append([]string(nil), projection...),
+		Cols:     append([]string(nil), projection...),
+		Est:      cur.est,
+		Actual:   -1,
+		Children: []*Node{root},
+	}
+	if distinct {
+		est := distinctEstimate(cur, projection)
+		root = &Node{
+			Op:       OpDistinct,
+			Vars:     append([]string(nil), projection...),
+			Est:      est,
+			Actual:   -1,
+			Children: []*Node{root},
+		}
+	}
+	p.Root = root
+	return p
+}
+
+// state tracks the running left-deep chain during construction.
+type state struct {
+	node     *Node
+	vars     []string
+	est      float64
+	dist     map[string]float64
+	partCols []string
+}
+
+// scanState builds the Scan node for one leaf with its pushed filters
+// applied to the estimate.
+func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec) state {
+	est := l.Est
+	dist := make(map[string]float64, len(l.Dist))
+	for v, d := range l.Dist {
+		dist[v] = d
+	}
+	for _, fi := range pushedFilters {
+		f := filters[fi]
+		est *= f.Selectivity
+		if d, ok := dist[f.Var]; ok {
+			dist[f.Var] = math.Max(d*f.Selectivity, 1)
+		}
+	}
+	capDist(dist, est)
+	n := &Node{
+		Op:      OpScan,
+		Label:   l.Label,
+		Vars:    append([]string(nil), l.Vars...),
+		Est:     est,
+		Actual:  -1,
+		Leaf:    idx,
+		Filters: pushedFilters,
+	}
+	return state{
+		node:     n,
+		vars:     n.Vars,
+		est:      est,
+		dist:     dist,
+		partCols: append([]string(nil), l.PartCols...),
+	}
+}
+
+// joinStates attaches right to the running chain, estimating the join
+// output and selecting the physical method. A non-nil retain set
+// enables fused column pruning: output variables absent from it (no
+// later leaf or the projection reads them) are dropped inside the
+// join, shrinking every downstream exchange.
+func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) state {
+	shared := sharedVars(left.vars, right.vars)
+	outVars := joinVars(left.vars, right.vars, shared)
+
+	var est float64
+	method := MethodAuto
+	var partCols []string
+	if len(shared) == 0 {
+		est = left.est * right.est
+		method = MethodCartesian
+	} else {
+		est = joinEstimate(left, right, shared)
+		if mode == ModeCost {
+			method, partCols = selectMethod(left, right, shared, est, c)
+		} else {
+			// The engine's runtime rule decides; predict its layout as a
+			// shuffle output so downstream co-partition detection stays
+			// conservative but usable.
+			partCols = append([]string(nil), shared...)
+		}
+	}
+
+	var keep []string
+	if retain != nil {
+		pruned := make([]string, 0, len(outVars))
+		for _, v := range outVars {
+			if retain[v] {
+				pruned = append(pruned, v)
+			}
+		}
+		if len(pruned) < len(outVars) {
+			keep = pruned
+			outVars = pruned
+			partCols = survivingPartCols(partCols, outVars)
+		}
+	}
+
+	dist := make(map[string]float64, len(left.dist)+len(right.dist))
+	for _, v := range outVars {
+		dl, okL := left.dist[v]
+		dr, okR := right.dist[v]
+		switch {
+		case okL && okR:
+			dist[v] = math.Min(dl, dr)
+		case okL:
+			dist[v] = dl
+		case okR:
+			dist[v] = dr
+		}
+	}
+	capDist(dist, est)
+
+	n := &Node{
+		Op:       OpJoin,
+		Label:    varList(shared),
+		Vars:     outVars,
+		Est:      est,
+		Actual:   -1,
+		Children: []*Node{left.node, right.node},
+		Method:   method,
+		JoinVars: shared,
+		Keep:     keep,
+	}
+	return state{node: n, vars: outVars, est: est, dist: dist, partCols: partCols}
+}
+
+// retainSet is the set of variables later operators still need: the
+// projection plus every variable of the leaves not yet joined.
+func retainSet(projection []string, leaves []Leaf, future []int) map[string]bool {
+	retain := make(map[string]bool, len(projection))
+	for _, v := range projection {
+		retain[v] = true
+	}
+	for _, li := range future {
+		for _, v := range leaves[li].Vars {
+			retain[v] = true
+		}
+	}
+	return retain
+}
+
+// survivingPartCols keeps the predicted partitioning only when pruning
+// retains every partition column.
+func survivingPartCols(partCols, vars []string) []string {
+	for _, c := range partCols {
+		if !containsVar(vars, c) {
+			return nil
+		}
+	}
+	return partCols
+}
+
+// joinEstimate applies the textbook independence assumption:
+// |A ⋈ B| ≈ |A|·|B| / max over shared v of max(d_A(v), d_B(v)).
+func joinEstimate(left, right state, shared []string) float64 {
+	denom := 1.0
+	for _, v := range shared {
+		d := math.Max(left.dist[v], right.dist[v])
+		if d > denom {
+			denom = d
+		}
+	}
+	return left.est * right.est / denom
+}
+
+// selectMethod prices the candidate physical joins on estimated input
+// sizes and returns the cheapest, plus the output partitioning it
+// produces.
+func selectMethod(left, right state, shared []string, outEst float64, c Costs) (JoinMethod, []string) {
+	lBytes := estBytes(left, c)
+	rBytes := estBytes(right, c)
+	alignedL := colsEqual(left.partCols, shared)
+	alignedR := colsEqual(right.partCols, shared)
+
+	var moved int64
+	if !alignedL {
+		moved += lBytes
+	}
+	if !alignedR {
+		moved += rBytes
+	}
+	rows := estRows(left.est) + estRows(right.est) + estRows(outEst)
+	shuffleTime := c.Model.ShuffleJoinTime(moved, rows, c.Workers)
+
+	method := MethodShuffle
+	if alignedL && alignedR {
+		method = MethodCoPartitioned
+	}
+	partCols := append([]string(nil), shared...)
+
+	// A broadcast is considered whenever broadcasting is enabled at
+	// all: the pricing itself replaces the global size threshold, so a
+	// build side above the threshold still broadcasts when shipping it
+	// is cheaper than shuffling both inputs. Forcing a broadcast on a
+	// marginal price difference is not worth the estimate risk (the
+	// shuffle path keeps the runtime's adaptive selection), so the
+	// broadcast must win by a clear margin.
+	if c.BroadcastThreshold > 0 {
+		buildBytes, probe := rBytes, left
+		if lBytes < rBytes {
+			buildBytes, probe = lBytes, right
+		}
+		bRows := estRows(probe.est) + estRows(outEst)
+		if bt := c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers); bt < shuffleTime*9/10 {
+			method = MethodBroadcast
+			partCols = append([]string(nil), probe.partCols...)
+		}
+	}
+	return method, partCols
+}
+
+// costOrder produces the cost-based greedy join order: start from the
+// smallest filter-adjusted leaf, then repeatedly attach the connected
+// leaf whose estimated join output is smallest, breaking ties by the
+// priced join time (which prefers joins that avoid shuffles and cheap
+// broadcasts). Cardinality propagation follows the same arithmetic as
+// the §3.3 heuristic — per-variable distinct counts min-merged from
+// the raw leaf statistics, with the independence-assumption
+// denominator — so the enumeration differs from the heuristic in its
+// start (filter-adjusted size instead of constant boosts) and its
+// tie-breaking (priced time), never in the estimate formula.
+// Disconnected leaves fall back to the smallest remaining (cartesian
+// product either way).
+func costOrder(leaves []Leaf, filters []FilterSpec, c Costs) []int {
+	states := make([]state, len(leaves))
+	for i, l := range leaves {
+		var pushed []int
+		for fi, f := range filters {
+			if containsVar(l.Vars, f.Var) {
+				pushed = append(pushed, fi)
+			}
+		}
+		// For ordering purposes every exposing leaf is estimated as
+		// filtered; the final single-site assignment happens after the
+		// order is fixed.
+		states[i] = scanState(l, i, pushed, filters)
+	}
+
+	remaining := make([]int, len(leaves))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	start := startLeaf(leaves, states, remaining)
+	order := []int{remaining[start]}
+	cur := states[remaining[start]]
+	curSize := cur.est
+	curDist := make(map[string]float64, len(cur.dist))
+	for v, d := range cur.dist {
+		curDist[v] = d
+	}
+	remaining = append(remaining[:start], remaining[start+1:]...)
+
+	for len(remaining) > 0 {
+		best := -1
+		var bestTime time.Duration
+		var bestEst float64
+		for pos, li := range remaining {
+			shared := sharedVars(cur.vars, states[li].vars)
+			if len(shared) == 0 {
+				continue
+			}
+			denom := 1.0
+			for _, v := range shared {
+				d := math.Max(curDist[v], states[li].dist[v])
+				if d > denom {
+					denom = d
+				}
+			}
+			est := curSize * states[li].est / denom
+			t := joinTime(cur, states[li], shared, est, c)
+			if best < 0 || est < bestEst || (est == bestEst && t < bestTime) {
+				best, bestTime, bestEst = pos, t, est
+			}
+		}
+		if best < 0 {
+			// Disconnected BGP: take the smallest remaining leaf.
+			best = 0
+			for pos := 1; pos < len(remaining); pos++ {
+				if states[remaining[pos]].est < states[remaining[best]].est {
+					best = pos
+				}
+			}
+			bestEst = curSize * states[remaining[best]].est
+		}
+		li := remaining[best]
+		order = append(order, li)
+		// Advance the running chain: the structural state (schema,
+		// partitioning) comes from joinStates; the size and distinct
+		// propagation follows the heuristic's arithmetic.
+		cur = joinStates(cur, states[li], ModeCost, c, nil)
+		if bestEst < 1 {
+			bestEst = 1
+		}
+		curSize = bestEst
+		cur.est = bestEst
+		for v, d := range states[li].dist {
+			if prev, ok := curDist[v]; !ok || d < prev {
+				curDist[v] = d
+			}
+		}
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return order
+}
+
+// startLeaf picks the chain's first leaf: the smallest filter-adjusted
+// estimate, except that a constant-anchored leaf (bound literal, then
+// bound IRI) within twice the minimum estimate wins — constants are
+// more selective than independence-based estimates credit, which is
+// exactly why §3.3 boosts them.
+func startLeaf(leaves []Leaf, states []state, remaining []int) int {
+	minEst := states[remaining[0]].est
+	for _, li := range remaining[1:] {
+		if states[li].est < minEst {
+			minEst = states[li].est
+		}
+	}
+	best := -1
+	bestAnchor := -1
+	for pos, li := range remaining {
+		if states[li].est > 2*minEst && states[li].est > minEst+1 {
+			continue
+		}
+		a := leaves[li].Anchor
+		if best < 0 || a > bestAnchor || (a == bestAnchor && states[li].est < states[remaining[best]].est) {
+			best, bestAnchor = pos, a
+		}
+	}
+	return best
+}
+
+// joinTime prices one candidate join the way selectMethod does and
+// returns the cheaper of its physical alternatives.
+func joinTime(left, right state, shared []string, outEst float64, c Costs) time.Duration {
+	lBytes := estBytes(left, c)
+	rBytes := estBytes(right, c)
+	var moved int64
+	if !colsEqual(left.partCols, shared) {
+		moved += lBytes
+	}
+	if !colsEqual(right.partCols, shared) {
+		moved += rBytes
+	}
+	rows := estRows(left.est) + estRows(right.est) + estRows(outEst)
+	best := c.Model.ShuffleJoinTime(moved, rows, c.Workers)
+	if c.BroadcastThreshold > 0 {
+		buildBytes, probeEst := rBytes, left.est
+		if lBytes < rBytes {
+			buildBytes, probeEst = lBytes, right.est
+		}
+		bRows := estRows(probeEst) + estRows(outEst)
+		if bt := c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers); bt < best {
+			best = bt
+		}
+	}
+	return best
+}
+
+// distinctEstimate bounds a Distinct's output by the product of the
+// projected columns' distinct counts, capped at the input estimate.
+func distinctEstimate(in state, projection []string) float64 {
+	prod := 1.0
+	for _, v := range projection {
+		d, ok := in.dist[v]
+		if !ok || d < 1 {
+			d = 1
+		}
+		prod *= d
+		if prod >= in.est {
+			return in.est
+		}
+	}
+	return math.Min(prod, in.est)
+}
+
+// estBytes is a state's estimated wire footprint, clamped so that
+// astronomically large estimates (cartesian chains) stay finite
+// positive numbers instead of overflowing int64.
+func estBytes(s state, c Costs) int64 {
+	w := len(s.vars)
+	if w == 0 {
+		w = 1
+	}
+	b := s.est * float64(w) * float64(c.BytesPerValue)
+	if b < 0 {
+		return 0
+	}
+	if b > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(b)
+}
+
+// estRows converts a cardinality estimate to a row count for pricing.
+func estRows(est float64) int64 {
+	if est < 0 {
+		return 0
+	}
+	if est > math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(est)
+}
+
+// capDist clamps distinct estimates to the row estimate: no variable
+// can have more distinct values than the relation has rows.
+func capDist(dist map[string]float64, est float64) {
+	for v, d := range dist {
+		if d > est {
+			dist[v] = est
+		}
+		if dist[v] < 1 {
+			dist[v] = 1
+		}
+	}
+}
+
+// sharedVars returns the variables present in both schemas, in a's
+// order — the order the engine's shuffle hashes.
+func sharedVars(a, b []string) []string {
+	var out []string
+	for _, v := range a {
+		if containsVar(b, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// joinVars is a's schema followed by b's non-shared columns — the
+// engine's join output schema.
+func joinVars(a, b, shared []string) []string {
+	out := append([]string(nil), a...)
+	for _, v := range b {
+		if !containsVar(shared, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// colsEqual reports whether two column sequences are identical.
+func colsEqual(a, b []string) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsVar reports whether vars contains v.
+func containsVar(vars []string, v string) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

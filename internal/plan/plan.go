@@ -1,0 +1,311 @@
+// Package plan is PRoST's physical planning layer: an explicit plan IR
+// sitting between Join Tree translation (internal/core) and relational
+// execution (internal/engine). A Plan is a tree of operators — Scan,
+// Filter, Join, Project, Distinct — each carrying an estimated output
+// cardinality derived from loader-time statistics, and, once executed,
+// the actual cardinality observed, so EXPLAIN can show estimation error
+// per node.
+//
+// Build runs three optimization passes over the translated leaves
+// (paper §3.3, extended):
+//
+//  1. Filter pushdown — every FILTER constraint is attached to the
+//     earliest scan in execution order that exposes its variable, so
+//     the predicate runs during the scan instead of on a materialized
+//     intermediate, and runs exactly once.
+//  2. Join ordering — in ModeCost, greedy enumeration over the
+//     cardinality-estimated join graph: start from the smallest
+//     (filter-adjusted) leaf and repeatedly attach the connected leaf
+//     whose priced join is cheapest. ModeHeuristic keeps the §3.3
+//     priority order the translator produced; ModeNaive keeps the
+//     query's written order (the ablation baselines).
+//  3. Physical join selection — each join is priced as a broadcast
+//     exchange and as a shuffle exchange on its *estimated* input
+//     sizes using cluster.CostModel, choosing the cheaper, instead of
+//     applying one global size threshold at runtime. Sides whose
+//     predicted partitioning already matches the join key are priced
+//     as co-partitioned (zero shuffle movement).
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Op identifies a physical operator.
+type Op uint8
+
+// Physical operators.
+const (
+	// OpScan reads one Join Tree leaf (a VP table select, a Property
+	// Table select, or the triple-table fallback), applying any pushed
+	// filters during the scan.
+	OpScan Op = iota
+	// OpFilter applies FILTER predicates to a materialized relation —
+	// produced only when a predicate cannot be pushed into a scan.
+	OpFilter
+	// OpJoin is a natural join with an explicit physical method.
+	OpJoin
+	// OpProject keeps the projected columns.
+	OpProject
+	// OpDistinct removes duplicate rows.
+	OpDistinct
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpScan:
+		return "Scan"
+	case OpFilter:
+		return "Filter"
+	case OpJoin:
+		return "Join"
+	case OpProject:
+		return "Project"
+	case OpDistinct:
+		return "Distinct"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// JoinMethod is the physical strategy a Join node executes with.
+type JoinMethod uint8
+
+// Join methods.
+const (
+	// MethodAuto defers the choice to the engine's runtime rule (the
+	// Catalyst-style broadcast threshold on actual sizes). Heuristic and
+	// naive plans use it so the paper's behaviour is reproduced exactly.
+	MethodAuto JoinMethod = iota
+	// MethodBroadcast ships the smaller side to every worker.
+	MethodBroadcast
+	// MethodShuffle repartitions both sides on the join key.
+	MethodShuffle
+	// MethodCoPartitioned is a shuffle join whose sides are predicted to
+	// already be partitioned on the join key, so no rows move.
+	MethodCoPartitioned
+	// MethodCartesian marks a join without shared variables.
+	MethodCartesian
+)
+
+// String implements fmt.Stringer.
+func (m JoinMethod) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodBroadcast:
+		return "broadcast"
+	case MethodShuffle:
+		return "shuffle"
+	case MethodCoPartitioned:
+		return "co-partitioned"
+	case MethodCartesian:
+		return "cartesian"
+	default:
+		return fmt.Sprintf("JoinMethod(%d)", uint8(m))
+	}
+}
+
+// Mode selects the planner variant.
+type Mode uint8
+
+// Planner modes.
+const (
+	// ModeCost is the cost-based planner (the default): join order and
+	// physical methods chosen by estimated cardinality and priced time.
+	ModeCost Mode = iota
+	// ModeHeuristic keeps the paper's §3.3 priority ordering and the
+	// engine's runtime join selection.
+	ModeHeuristic
+	// ModeNaive keeps the query's written pattern order (ablation A1).
+	ModeNaive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeCost:
+		return "cost"
+	case ModeHeuristic:
+		return "heuristic"
+	case ModeNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Node is one operator of a physical plan.
+type Node struct {
+	// Op is the operator kind.
+	Op Op
+	// Label is a short human-readable description (e.g. the leaf label
+	// for scans, the join variables for joins).
+	Label string
+	// Vars is the operator's output schema, in the exact column order
+	// the engine produces.
+	Vars []string
+	// Est is the estimated output cardinality (rows).
+	Est float64
+	// Actual is the observed output cardinality, filled in during
+	// execution; -1 until then.
+	Actual int64
+	// Children are the operator inputs (0 for Scan, 1 for
+	// Filter/Project/Distinct, 2 for Join).
+	Children []*Node
+
+	// Leaf is the index of the Join Tree leaf a Scan reads.
+	Leaf int
+	// Filters are the indexes (into the builder's filter list) of the
+	// predicates this Scan or Filter node applies.
+	Filters []int
+	// Method is the Join node's physical strategy.
+	Method JoinMethod
+	// JoinVars are the Join node's equi-join columns, in left-schema
+	// order (the order the engine shuffles on).
+	JoinVars []string
+	// Keep, when non-nil, lists the output columns the Join retains —
+	// fused column pruning of variables no later operator reads. Nil
+	// keeps the full join output.
+	Keep []string
+	// Cols are the Project node's output columns.
+	Cols []string
+}
+
+// Plan is a complete physical plan for one query.
+type Plan struct {
+	// Root is the plan's root operator.
+	Root *Node
+	// Mode is the planner variant that produced the plan.
+	Mode Mode
+	// Leaves are the scan descriptions the plan was built from, in
+	// builder input order (Node.Leaf indexes into it).
+	Leaves []Leaf
+	// FilterLabels render the builder's filter specs for EXPLAIN.
+	FilterLabels []string
+}
+
+// Scans returns the plan's Scan nodes in execution (left-deep) order.
+func (p *Plan) Scans() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if n.Op == OpScan {
+			out = append(out, n)
+		}
+	}
+	walk(p.Root)
+	return out
+}
+
+// String renders the plan as an indented operator tree with estimated
+// and (when executed) actual cardinalities per node.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Physical plan (%s planner):\n", p.Mode)
+	p.render(&sb, p.Root, "")
+	return sb.String()
+}
+
+func (p *Plan) render(sb *strings.Builder, n *Node, indent string) {
+	desc := n.Op.String()
+	switch n.Op {
+	case OpScan:
+		desc = fmt.Sprintf("Scan %s", n.Label)
+		if len(n.Filters) > 0 {
+			desc += " [" + p.filterList(n.Filters) + "]"
+		}
+	case OpFilter:
+		desc = "Filter [" + p.filterList(n.Filters) + "]"
+	case OpJoin:
+		desc = fmt.Sprintf("Join[%s] on %s", n.Method, varList(n.JoinVars))
+		if n.Keep != nil {
+			desc += " keep " + varList(n.Keep)
+		}
+	case OpProject:
+		desc = "Project " + varList(n.Cols)
+	case OpDistinct:
+		desc = "Distinct"
+	}
+	actual := "actual=?"
+	if n.Actual >= 0 {
+		actual = fmt.Sprintf("actual=%d", n.Actual)
+	}
+	fmt.Fprintf(sb, "%s%-52s est=%-10.4g %s\n", indent, desc, n.Est, actual)
+	child := indent + "  "
+	for _, c := range n.Children {
+		p.render(sb, c, child)
+	}
+}
+
+// filterList renders the filter labels at the given indexes.
+func (p *Plan) filterList(idx []int) string {
+	parts := make([]string, 0, len(idx))
+	for _, i := range idx {
+		if i >= 0 && i < len(p.FilterLabels) {
+			parts = append(parts, p.FilterLabels[i])
+		} else {
+			parts = append(parts, fmt.Sprintf("filter#%d", i))
+		}
+	}
+	return strings.Join(parts, " && ")
+}
+
+// varList renders variable names with SPARQL question marks.
+func varList(vars []string) string {
+	if len(vars) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = "?" + v
+	}
+	return strings.Join(parts, ",")
+}
+
+// MaxErrorRatio returns the worst per-node estimation error of an
+// executed plan — max over nodes of max(est,1)/max(actual,1) or its
+// inverse, whichever exceeds 1 — plus the node it occurs at. Plans
+// with no executed nodes return (1, nil).
+func (p *Plan) MaxErrorRatio() (float64, *Node) {
+	worst, at := 1.0, (*Node)(nil)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Actual >= 0 {
+			est := math.Max(n.Est, 1)
+			act := math.Max(float64(n.Actual), 1)
+			r := est / act
+			if r < 1 {
+				r = 1 / r
+			}
+			if at == nil || r > worst {
+				worst, at = r, n
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return worst, at
+}
+
+// ErrorSummary renders MaxErrorRatio as the one-line EXPLAIN footer.
+func (p *Plan) ErrorSummary() string {
+	ratio, at := p.MaxErrorRatio()
+	if at == nil {
+		return "estimation error: plan not executed"
+	}
+	desc := at.Op.String()
+	if at.Label != "" {
+		desc += " " + at.Label
+	}
+	return fmt.Sprintf("estimation error: max ratio %.2fx (est=%.4g actual=%d at %s)",
+		ratio, at.Est, at.Actual, desc)
+}
