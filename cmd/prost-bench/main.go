@@ -101,6 +101,11 @@ func run(scale int, seed, extrapolate int64, exp string, verify bool) error {
 			return err
 		}
 		fmt.Println(a3.Table())
+		a4, err := sys.AblationBushy(queries)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a4.Table())
 	}
 	if want("extension") {
 		fig, err := sys.ExtensionInversePT(bench.ObjectStarQueries())

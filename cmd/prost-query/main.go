@@ -27,8 +27,8 @@ func main() {
 	in := flag.String("in", "", "input N-Triples file (required)")
 	queryText := flag.String("q", "", "SPARQL query text")
 	queryFile := flag.String("f", "", "file containing the SPARQL query")
-	strategy := flag.String("strategy", "mixed", "query strategy: mixed, vp-only or mixed+ipt")
-	planner := flag.String("planner", "cost", "planner mode: cost, heuristic or naive")
+	strategy := flag.String("strategy", "mixed", "query strategy: "+strings.Join(core.StrategyNames(), ", "))
+	planner := flag.String("planner", "cost", "planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
 	workers := flag.Int("workers", 9, "simulated worker machines")
 	explain := flag.Bool("explain", false, "print the physical plan (with estimated vs actual cardinalities), the Join Tree and the stage trace")
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
@@ -54,18 +54,10 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		}
 		queryText = string(b)
 	}
-	var strat core.Strategy
-	switch strategy {
-	case "mixed":
-		strat = core.StrategyMixed
-	case "vp-only":
-		strat = core.StrategyVPOnly
-	case "mixed+ipt":
-		strat = core.StrategyMixedIPT
-	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+	strat, err := core.ParseStrategy(strategy)
+	if err != nil {
+		return err
 	}
-
 	mode, err := core.ParsePlannerMode(planner)
 	if err != nil {
 		return err

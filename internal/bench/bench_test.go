@@ -115,7 +115,7 @@ func TestFigure3AndTable2Shape(t *testing.T) {
 	rya := GroupAverages(fig, queries, SysRya)
 	gx := GroupAverages(fig, queries, SysSPARQLGX)
 
-	// Paper Table 2 orderings per group:
+	// Paper Table 2 orderings per group (paper-era PRoST):
 	//   Complex:   S2RDF < PRoST ≪ SPARQLGX ≪ Rya
 	//   Snowflake: S2RDF < PRoST ≪ SPARQLGX ≪ Rya
 	//   Linear:    S2RDF < PRoST ≪ SPARQLGX ≪ Rya
@@ -131,9 +131,17 @@ func TestFigure3AndTable2Shape(t *testing.T) {
 	if !(prost["S"] < gx["S"]) {
 		t.Errorf("star: PRoST (%v) not faster than SPARQLGX (%v)", prost["S"], gx["S"])
 	}
-	// S2RDF beats PRoST on complex queries (its ExtVP advantage).
-	if !(s2rdf["C"] < prost["C"]) {
-		t.Errorf("complex: S2RDF (%v) not faster than PRoST (%v)", s2rdf["C"], prost["C"])
+	// The paper measured S2RDF ahead of PRoST on complex queries (its
+	// ExtVP advantage). That held here until the DAG executor: PRoST
+	// now runs independent join subtrees concurrently and its
+	// complex-query critical path drops below S2RDF's sequential
+	// execution, so the modern assertion is the reverse. S2RDF keeps
+	// its paper position against the non-Spark-SQL systems.
+	if !(prost["C"] < s2rdf["C"]) {
+		t.Errorf("complex: PRoST with DAG executor (%v) not faster than S2RDF (%v)", prost["C"], s2rdf["C"])
+	}
+	if !(s2rdf["C"] < gx["C"]) {
+		t.Errorf("complex: S2RDF (%v) not faster than SPARQLGX (%v)", s2rdf["C"], gx["C"])
 	}
 	// PRoST beats SPARQLGX by roughly an order of magnitude overall.
 	var prostTotal, gxTotal time.Duration
@@ -205,6 +213,41 @@ func TestAblationPlanner(t *testing.T) {
 	}
 	if costTotal >= heurTotal {
 		t.Errorf("cost planner total (%v) not faster than heuristic total (%v)", costTotal, heurTotal)
+	}
+}
+
+func TestAblationBushy(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.AblationBushy(queries)
+	if err != nil {
+		t.Fatalf("AblationBushy: %v", err)
+	}
+	var bushyTotal, ldTotal time.Duration
+	wins := 0
+	for i, label := range fig.Labels {
+		bushy, ld := fig.Series[0].Values[i], fig.Series[1].Values[i]
+		bushyTotal += bushy
+		ldTotal += ld
+		// The bushy win must come from the snowflake/complex families
+		// — multi-arm shapes where sibling subtrees shorten the
+		// critical path measurably (>2%).
+		if (strings.HasPrefix(label, "F") || strings.HasPrefix(label, "C")) && float64(bushy) < float64(ld)*0.98 {
+			wins++
+		}
+		// Zero regressions: the planner only keeps a bushy shape when
+		// its priced critical path beats the chain, so no query may run
+		// slower than left-deep beyond pricing noise (1%).
+		if float64(bushy) > float64(ld)*1.01 {
+			t.Errorf("%s: bushy (%v) regresses vs left-deep (%v)", label, bushy, ld)
+		}
+		t.Logf("%-4s bushy=%12v left-deep=%12v (%+.2f%%)", label, bushy, ld, 100*(float64(bushy)/float64(ld)-1))
+	}
+	if wins < 1 {
+		t.Errorf("bushy execution shortens no snowflake/complex query by >2%%")
+	}
+	if bushyTotal > ldTotal {
+		t.Errorf("bushy total (%v) slower than left-deep total (%v)", bushyTotal, ldTotal)
 	}
 }
 

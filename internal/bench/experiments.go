@@ -204,6 +204,39 @@ func (s *Systems) AblationPlanner(queries []watdiv.Query) (Figure, error) {
 	return fig, nil
 }
 
+// AblationBushy compares bushy DAG execution (PlannerCost, the
+// default: independent subtrees become sibling subplans priced and run
+// as parallel branches) against the same cost-based planner restricted
+// to left-deep chains (ablation A4). Same storage, same engine, same
+// join arithmetic — only the plan shape differs, so the delta is the
+// critical-path saving of running snowflake arms concurrently.
+func (s *Systems) AblationBushy(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Ablation A4: bushy DAG execution vs left-deep chains",
+		Series: []Series{
+			{Name: "bushy"},
+			{Name: "left-deep"},
+		},
+	}
+	for _, q := range queries {
+		bushy, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCost})
+		if err != nil {
+			return Figure{}, err
+		}
+		ld, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCostLeftDeep})
+		if err != nil {
+			return Figure{}, err
+		}
+		if len(bushy.Rows) != len(ld.Rows) {
+			return Figure{}, fmt.Errorf("bench: bushy ablation, %s: bushy %d rows vs left-deep %d rows", q.Name, len(bushy.Rows), len(ld.Rows))
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, bushy.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, ld.SimTime)
+	}
+	return fig, nil
+}
+
 // AblationBroadcast compares PRoST with Catalyst-style broadcast joins
 // enabled (default) and disabled (ablation A2 in DESIGN.md).
 func (s *Systems) AblationBroadcast(queries []watdiv.Query) (Figure, error) {

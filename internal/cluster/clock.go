@@ -24,9 +24,11 @@ type StageRecord struct {
 }
 
 // Clock accumulates the virtual elapsed time of one query or one loading
-// run. Stages are assumed sequential (each stage consumes the previous
-// stage's output), matching how a Spark job DAG materializes shuffle
-// boundaries. Clock is safe for concurrent use.
+// run. Stages charged directly are assumed sequential (each stage
+// consumes the previous stage's output), matching how a Spark job DAG
+// materializes shuffle boundaries; the DAG scheduler instead computes a
+// critical path over per-task clocks and publishes it with MergeTrace.
+// Clock is safe for concurrent use.
 type Clock struct {
 	mu     sync.Mutex
 	total  time.Duration
@@ -64,6 +66,29 @@ func (c *Clock) Stages() []StageRecord {
 	out := make([]StageRecord, len(c.stages))
 	copy(out, c.stages)
 	return out
+}
+
+// Absorb appends stage records collected on another clock (the DAG
+// scheduler runs each task against its own clock, then merges the
+// traces in deterministic plan order). The total advances by the
+// stages' elapsed sum.
+func (c *Clock) Absorb(stages []StageRecord) {
+	for _, s := range stages {
+		c.chargeStage(s)
+	}
+}
+
+// MergeTrace appends a pre-assembled trace whose stages overlapped,
+// advancing the total by the given critical-path elapsed rather than
+// the stages' sum. The DAG scheduler uses it to publish one query's
+// record into a possibly shared clock in a single atomic step, so
+// concurrent queries accumulating into the same clock never lose
+// updates.
+func (c *Clock) MergeTrace(stages []StageRecord, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = append(c.stages, stages...)
+	c.total += elapsed
 }
 
 // Reset zeroes the clock and discards the trace.

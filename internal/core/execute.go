@@ -34,6 +34,13 @@ type QueryOptions struct {
 	// NaiveOrder joins nodes in the order the query wrote them — the
 	// legacy spelling of Planner: PlannerNaive (ablation A1).
 	NaiveOrder bool
+	// Parallelism bounds the scheduler's worker pool: how many plan
+	// operators may execute concurrently (0 = GOMAXPROCS). Independent
+	// subtrees of the plan run in parallel up to this bound.
+	Parallelism int
+	// NoPlanCache bypasses the store's plan cache for this query: the
+	// plan is built from scratch and not inserted.
+	NoPlanCache bool
 }
 
 // Result is one query's answer plus its execution record.
@@ -73,56 +80,82 @@ func (r *Result) SortedRows() [][]rdf.Term {
 	return rows
 }
 
-// Query translates, plans and executes a SPARQL query against the
-// store: the Join Tree is translated from the BGP (paper §3.2), the
-// planner builds a physical plan with estimated cardinalities, and
-// execution walks the plan bottom-up, recording each operator's actual
-// output cardinality.
+// Query plans and executes a SPARQL query against the store. Planning
+// first consults the plan cache (keyed on the normalized BGP, the
+// options, and the loader-statistics fingerprint); on a miss the Join
+// Tree is translated from the BGP (paper §3.2) and the planner builds
+// a physical plan with estimated cardinalities. Execution runs the
+// plan as a task DAG on a bounded worker pool: independent subtrees
+// (bushy arms, sibling scans) execute concurrently, each operator's
+// actual output cardinality is recorded into a per-execution
+// observation, and the simulated time is the critical path through the
+// DAG. Query is safe for concurrent callers — cached plans are shared
+// read-only, and all execution state is per-call.
 func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 	start := time.Now()
 	clock := opts.Clock
 	if clock == nil {
 		clock = cluster.NewClock()
 	}
-	tree, err := s.Translate(q, opts.Strategy)
+	mode := opts.planMode()
+	entry, err := s.planEntry(q, mode, opts)
 	if err != nil {
 		return nil, err
 	}
-	mode := opts.planMode()
-	if mode == plan.ModeNaive {
-		naiveOrder(tree, q)
-	}
+	pl := entry.plan
 
 	filters, err := s.compileFilters(q)
 	if err != nil {
 		return nil, err
 	}
-	pl := s.buildPlan(tree, q, mode, opts)
-	if pl == nil {
-		return nil, fmt.Errorf("core: query has no patterns")
-	}
 
-	// The plan may have reordered the leaves (cost mode); re-sequence
-	// the displayed Join Tree to match execution order.
-	nodes := append([]*Node(nil), tree.Nodes...)
+	// The plan may have reordered (or bushed) the leaves; present the
+	// Join Tree in scan execution order, in a fresh slice so the cached
+	// node list is never touched.
 	scans := pl.Scans()
 	ordered := make([]*Node, 0, len(scans))
 	for _, sc := range scans {
-		ordered = append(ordered, nodes[sc.Leaf])
+		ordered = append(ordered, entry.nodes[sc.Leaf])
 	}
-	tree.Nodes = ordered
+	tree := &JoinTree{Nodes: ordered}
 
-	e := engine.NewExec(s.cluster, clock)
+	obs := plan.NewObservation(pl)
+	sched := &scheduler{
+		store:     s,
+		nodes:     entry.nodes,
+		filters:   filters,
+		opts:      opts,
+		obs:       obs,
+		startCost: s.cluster.Config().Cost.SQLPlanning,
+	}
+	rootTask, err := sched.execute(pl)
+	if err != nil {
+		return nil, err
+	}
+
+	// Epilogue: collect with offset/limit, priced on its own clock and
+	// sequenced after the root task on the virtual timeline.
+	epiClock := cluster.NewClock()
+	e := engine.NewExec(s.cluster, epiClock)
+	e.StartCost = 0
 	e.BroadcastThreshold = opts.BroadcastThreshold
+	rows, err := e.Limit(rootTask.rel, q.Limit, q.Offset)
+	if err != nil {
+		return nil, err
+	}
 
-	current, err := s.execPlan(e, pl.Root, nodes, filters)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := e.Limit(current, q.Limit, q.Offset)
-	if err != nil {
-		return nil, err
-	}
+	// Assemble the query's trace on a private clock — the stages in
+	// deterministic plan order — then publish it into the result clock
+	// in one atomic step, advancing by the DAG's critical path rather
+	// than the stage sum (stages of independent subtrees overlap), so
+	// a caller-shared opts.Clock accumulates correctly under
+	// concurrent queries.
+	trace := cluster.NewClock()
+	trace.Charge("query planning", sched.startCost)
+	absorbTrace(trace, rootTask)
+	trace.Absorb(epiClock.Stages())
+	simTime := rootTask.done + epiClock.Elapsed()
+	clock.MergeTrace(trace.Stages(), simTime)
 
 	decoded := make([][]rdf.Term, len(rows))
 	for i, r := range rows {
@@ -135,60 +168,50 @@ func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 	return &Result{
 		Vars:     q.Projection(),
 		Rows:     decoded,
-		SimTime:  clock.Elapsed(),
+		SimTime:  simTime,
 		WallTime: time.Since(start),
 		Tree:     tree,
-		Plan:     pl,
+		Plan:     pl.Stamp(obs),
 		Clock:    clock,
 	}, nil
 }
 
-// execPlan evaluates one plan operator bottom-up, recording the actual
-// output cardinality on the node.
-func (s *Store) execPlan(e *engine.Exec, n *plan.Node, nodes []*Node, filters []compiledFilter) (*engine.Relation, error) {
-	var rel *engine.Relation
-	var err error
-	switch n.Op {
-	case plan.OpScan:
-		rel, err = s.execNode(e, nodes[n.Leaf], pickFilters(filters, n.Filters))
-		if err != nil {
-			err = fmt.Errorf("core: executing %s: %w", nodes[n.Leaf].Label(), err)
+// planEntry resolves the (translate + plan) pipeline through the plan
+// cache: a hit returns the shared immutable entry; a miss translates,
+// plans, inserts and returns.
+func (s *Store) planEntry(q *sparql.Query, mode plan.Mode, opts QueryOptions) (*cachedPlan, error) {
+	useCache := !opts.NoPlanCache && s.planCache != nil
+	var key string
+	if useCache {
+		key = planCacheKey(q, mode, opts, s.statsFP)
+		if e, ok := s.planCache.get(key); ok {
+			return e, nil
 		}
-	case plan.OpFilter:
-		rel, err = s.execPlan(e, n.Children[0], nodes, filters)
-		if err == nil {
-			rel, err = applyResidualFilters(e, rel, pickFilters(filters, n.Filters))
-		}
-	case plan.OpJoin:
-		var left, right *engine.Relation
-		left, err = s.execPlan(e, n.Children[0], nodes, filters)
-		if err == nil {
-			right, err = s.execPlan(e, n.Children[1], nodes, filters)
-		}
-		if err == nil {
-			rel, err = e.JoinKeep(left, right, n.Children[1].Label, joinStrategy(n.Method), n.Keep)
-			if err != nil {
-				err = fmt.Errorf("core: joining %s: %w", n.Children[1].Label, err)
-			}
-		}
-	case plan.OpProject:
-		rel, err = s.execPlan(e, n.Children[0], nodes, filters)
-		if err == nil {
-			rel, err = e.Project(rel, n.Cols)
-		}
-	case plan.OpDistinct:
-		rel, err = s.execPlan(e, n.Children[0], nodes, filters)
-		if err == nil {
-			rel, err = e.Distinct(rel)
-		}
-	default:
-		err = fmt.Errorf("core: unknown plan operator %v", n.Op)
 	}
+	tree, err := s.Translate(q, opts.Strategy)
 	if err != nil {
 		return nil, err
 	}
-	n.Actual = int64(rel.NumRows())
-	return rel, nil
+	if mode == plan.ModeNaive {
+		naiveOrder(tree, q)
+	}
+	pl := s.buildPlan(tree, q, mode, opts)
+	if pl == nil {
+		return nil, fmt.Errorf("core: query has no patterns")
+	}
+	entry := &cachedPlan{nodes: tree.Nodes, plan: pl}
+	if useCache {
+		s.planCache.put(key, entry)
+	}
+	return entry, nil
+}
+
+// PlanCacheMetrics snapshots the store's plan-cache counters.
+func (s *Store) PlanCacheMetrics() CacheMetrics {
+	if s.planCache == nil {
+		return CacheMetrics{}
+	}
+	return s.planCache.metrics()
 }
 
 // joinStrategy maps a planned join method to the engine request. A

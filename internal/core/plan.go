@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/plan"
@@ -25,6 +26,10 @@ const (
 	// PlannerNaive keeps the query's written pattern order (the A1
 	// ablation baseline).
 	PlannerNaive
+	// PlannerCostLeftDeep is the cost-based planner restricted to
+	// left-deep chains — the ablation baseline the bushy planner is
+	// measured against.
+	PlannerCostLeftDeep
 )
 
 // String implements fmt.Stringer.
@@ -36,22 +41,35 @@ func (m PlannerMode) String() string {
 		return "heuristic"
 	case PlannerNaive:
 		return "naive"
+	case PlannerCostLeftDeep:
+		return "cost-leftdeep"
 	default:
 		return fmt.Sprintf("PlannerMode(%d)", uint8(m))
 	}
 }
 
-// ParsePlannerMode maps a CLI flag value to a PlannerMode.
+// PlannerModeNames lists the values ParsePlannerMode accepts, in
+// documentation order — the single source CLI flags and error messages
+// quote, so an invalid -planner value always names every valid one.
+func PlannerModeNames() []string {
+	return []string{"cost", "cost-leftdeep", "heuristic", "naive"}
+}
+
+// ParsePlannerMode maps a CLI flag value to a PlannerMode. Unknown
+// values are rejected with an error listing every valid mode.
 func ParsePlannerMode(s string) (PlannerMode, error) {
 	switch s {
 	case "cost", "":
 		return PlannerCost, nil
+	case "cost-leftdeep":
+		return PlannerCostLeftDeep, nil
 	case "heuristic":
 		return PlannerHeuristic, nil
 	case "naive":
 		return PlannerNaive, nil
 	default:
-		return 0, fmt.Errorf("core: unknown planner mode %q (want cost, heuristic or naive)", s)
+		return 0, fmt.Errorf("core: unknown planner mode %q (valid modes: %s)",
+			s, strings.Join(PlannerModeNames(), ", "))
 	}
 }
 
@@ -61,10 +79,14 @@ func (o QueryOptions) planMode() plan.Mode {
 	if o.NaiveOrder || o.Planner == PlannerNaive {
 		return plan.ModeNaive
 	}
-	if o.Planner == PlannerHeuristic {
+	switch o.Planner {
+	case PlannerHeuristic:
 		return plan.ModeHeuristic
+	case PlannerCostLeftDeep:
+		return plan.ModeCostLeftDeep
+	default:
+		return plan.ModeCost
 	}
-	return plan.ModeCost
 }
 
 // Plan translates a query and builds its physical plan without

@@ -151,7 +151,7 @@ func TestPlannerModesByteIdenticalOnWatDiv(t *testing.T) {
 				t.Fatalf("%s/%s naive: %v", q.Name, strat, err)
 			}
 			want := render(baseline)
-			for _, mode := range []PlannerMode{PlannerCost, PlannerHeuristic} {
+			for _, mode := range []PlannerMode{PlannerCost, PlannerCostLeftDeep, PlannerHeuristic} {
 				res, err := s.Query(q.Parsed, QueryOptions{Strategy: strat, Planner: mode})
 				if err != nil {
 					t.Fatalf("%s/%s %v: %v", q.Name, strat, mode, err)
@@ -194,17 +194,49 @@ func TestPlannerModeParsing(t *testing.T) {
 	for _, tt := range []struct {
 		in   string
 		want PlannerMode
-	}{{"cost", PlannerCost}, {"", PlannerCost}, {"heuristic", PlannerHeuristic}, {"naive", PlannerNaive}} {
+	}{{"cost", PlannerCost}, {"", PlannerCost}, {"heuristic", PlannerHeuristic}, {"naive", PlannerNaive}, {"cost-leftdeep", PlannerCostLeftDeep}} {
 		got, err := ParsePlannerMode(tt.in)
 		if err != nil || got != tt.want {
 			t.Errorf("ParsePlannerMode(%q) = %v, %v", tt.in, got, err)
 		}
 	}
-	if _, err := ParsePlannerMode("bogus"); err == nil {
-		t.Errorf("ParsePlannerMode(bogus) succeeded")
+	// An invalid mode must be rejected with an error naming every
+	// valid value (the CLI relies on this instead of silently falling
+	// back).
+	_, err := ParsePlannerMode("bogus")
+	if err == nil {
+		t.Fatalf("ParsePlannerMode(bogus) succeeded")
 	}
-	if PlannerCost.String() != "cost" || PlannerHeuristic.String() != "heuristic" || PlannerNaive.String() != "naive" {
+	for _, name := range PlannerModeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid mode %q", err, name)
+		}
+	}
+	if PlannerCost.String() != "cost" || PlannerHeuristic.String() != "heuristic" ||
+		PlannerNaive.String() != "naive" || PlannerCostLeftDeep.String() != "cost-leftdeep" {
 		t.Errorf("PlannerMode names wrong")
+	}
+}
+
+// TestStrategyParsing covers the shared strategy flag mapping.
+func TestStrategyParsing(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want Strategy
+	}{{"mixed", StrategyMixed}, {"", StrategyMixed}, {"vp-only", StrategyVPOnly}, {"mixed+ipt", StrategyMixedIPT}} {
+		got, err := ParseStrategy(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+	_, err := ParseStrategy("bogus")
+	if err == nil {
+		t.Fatalf("ParseStrategy(bogus) succeeded")
+	}
+	for _, name := range StrategyNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list valid strategy %q", err, name)
+		}
 	}
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/sparql"
+)
+
+// defaultPlanCacheSize bounds the plan cache when Options.PlanCacheSize
+// is zero. Plans are a few KiB each, so the default costs ~1 MiB while
+// covering far more distinct query shapes than any benchmark workload.
+const defaultPlanCacheSize = 256
+
+// cachedPlan is one immutable plan-cache entry: the translated Join
+// Tree nodes (the scan descriptors the plan's Leaf indexes point into)
+// and the physical plan built over them. Entries are shared by every
+// execution that hits the cache and must never be mutated — actual
+// cardinalities go into per-execution plan.Observations, and the
+// display Join Tree is re-sequenced into a fresh slice per query.
+type cachedPlan struct {
+	nodes []*Node
+	plan  *plan.Plan
+}
+
+// CacheMetrics is a point-in-time snapshot of plan-cache behaviour.
+type CacheMetrics struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64
+	// Misses counts lookups that had to plan from scratch.
+	Misses uint64
+	// Evictions counts entries dropped to respect the size bound.
+	Evictions uint64
+	// Entries is the current number of cached plans.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
+func (m CacheMetrics) HitRate() float64 {
+	total := m.Hits + m.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Hits) / float64(total)
+}
+
+// planCache memoizes (translate + plan) results keyed on the
+// normalized query plus every input planning depends on. It is safe
+// for concurrent use; a racing double-miss builds the same plan twice
+// and the second insert wins, which is correct because entries for one
+// key are interchangeable.
+type planCache struct {
+	mu        sync.Mutex
+	max       int
+	entries   map[string]*cachedPlan
+	order     []string // insertion order, for FIFO eviction
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// newPlanCache returns a cache bounded to max entries. Callers wanting
+// no cache keep a nil *planCache instead (the query path skips key
+// construction entirely then); the max < 1 guard in put is defensive.
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, entries: make(map[string]*cachedPlan)}
+}
+
+// get looks a key up, counting the hit or miss.
+func (c *planCache) get(key string) (*cachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// put inserts an entry, evicting the oldest insertions beyond the
+// bound.
+func (c *planCache) put(key string, e *cachedPlan) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+	for len(c.entries) > c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		if _, ok := c.entries[oldest]; ok {
+			delete(c.entries, oldest)
+			c.evictions++
+		}
+	}
+}
+
+// metrics snapshots the counters.
+func (c *planCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+// planCacheKey renders everything a plan depends on into a lookup key:
+// the BGP patterns and filters in written order, the effective
+// projection and DISTINCT flag, the strategy, planner mode and
+// broadcast threshold, and the loader-statistics fingerprint, so a
+// statistics reload invalidates every previously cached plan. Written
+// pattern order is kept for every mode — the naive planner keys on it
+// outright, and the heuristic/cost orderings break estimate ties by
+// translation order, so two equivalent queries written differently may
+// legitimately plan differently and must not share an entry. LIMIT
+// and OFFSET are excluded: they apply after execution and do not
+// affect the plan.
+func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP uint64) string {
+	var sb strings.Builder
+	sb.WriteString(mode.String())
+	sb.WriteByte('|')
+	sb.WriteString(opts.Strategy.String())
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatInt(opts.BroadcastThreshold, 10))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatUint(statsFP, 16))
+	sb.WriteByte('|')
+	if q.Distinct {
+		sb.WriteString("distinct")
+	}
+	sb.WriteByte('|')
+	for i, v := range q.Projection() {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(v)
+	}
+	sb.WriteByte('|')
+	for _, tp := range q.Patterns {
+		sb.WriteString(tp.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte('|')
+	for _, f := range q.Filters {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

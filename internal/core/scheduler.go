@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// execTask is one schedulable unit of a query: a plan operator plus
+// its input dependencies. Tasks form a tree mirroring the plan; a task
+// becomes runnable when every dependency has produced its relation.
+type execTask struct {
+	node   *plan.Node
+	deps   []*execTask
+	parent *execTask
+	// pending counts unfinished dependencies; the task is enqueued when
+	// it reaches zero.
+	pending int32
+
+	// rel is the task's output relation, nil until the task ran (or
+	// forever, when execution failed before it could run).
+	rel *engine.Relation
+	// done is the task's virtual completion time: max over dependency
+	// completions plus the task's own stage time.
+	done time.Duration
+	// stages is the task's priced stage trace.
+	stages []cluster.StageRecord
+}
+
+// scheduler executes one physical plan as a task DAG on a bounded
+// worker pool. Independent subtrees (the arms of a bushy plan, or the
+// scans of any plan) run concurrently, both for real — goroutines
+// execute the partition work — and on the virtual clock, where a
+// task's start is the maximum of its dependencies' completion times,
+// so the query's simulated time is the critical path through the DAG
+// rather than the sum of its stages.
+//
+// All mutable state is per-execution: each task gets its own
+// engine.Exec and cluster.Clock, and actual cardinalities are recorded
+// into a per-execution plan.Observation, never onto the (possibly
+// cached and shared) plan nodes. This is what makes Store.Query safe
+// for concurrent callers.
+type scheduler struct {
+	store   *Store
+	nodes   []*Node
+	filters []compiledFilter
+	opts    QueryOptions
+	obs     *plan.Observation
+	// startCost is the per-query planning charge; every leaf task
+	// starts after it.
+	startCost time.Duration
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
+}
+
+// buildTasks flattens the plan into tasks, children before parents.
+func buildTasks(root *plan.Node) (rootTask *execTask, all []*execTask) {
+	var walk func(n *plan.Node, parent *execTask) *execTask
+	walk = func(n *plan.Node, parent *execTask) *execTask {
+		t := &execTask{node: n, parent: parent, pending: int32(len(n.Children))}
+		for _, c := range n.Children {
+			t.deps = append(t.deps, walk(c, t))
+		}
+		all = append(all, t)
+		return t
+	}
+	rootTask = walk(root, nil)
+	return rootTask, all
+}
+
+// execute runs the DAG and returns the root task.
+func (sc *scheduler) execute(pl *plan.Plan) (*execTask, error) {
+	rootTask, tasks := buildTasks(pl.Root)
+
+	par := sc.opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(tasks) {
+		par = len(tasks)
+	}
+
+	// The ready queue is buffered to the task count so completions can
+	// enqueue parents without blocking.
+	ready := make(chan *execTask, len(tasks))
+	for _, t := range tasks {
+		if t.pending == 0 {
+			ready <- t
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for i := 0; i < par; i++ {
+		go func() {
+			for t := range ready {
+				sc.run(t)
+				if p := t.parent; p != nil && atomic.AddInt32(&p.pending, -1) == 0 {
+					ready <- p
+				}
+				wg.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ready)
+
+	if sc.err != nil {
+		return nil, sc.err
+	}
+	return rootTask, nil
+}
+
+// fail records the first error and stops further work.
+func (sc *scheduler) fail(err error) {
+	sc.errOnce.Do(func() { sc.err = err })
+	sc.failed.Store(true)
+}
+
+// run executes one task against its own virtual clock and records its
+// observed cardinality and completion time. Tasks scheduled after a
+// failure complete immediately without doing work, so the DAG drains.
+func (sc *scheduler) run(t *execTask) {
+	if sc.failed.Load() {
+		return
+	}
+	clk := cluster.NewClock()
+	e := engine.NewExec(sc.store.cluster, clk)
+	// The per-query planning cost is charged once at the scheduler
+	// level, not per task.
+	e.StartCost = 0
+	e.BroadcastThreshold = sc.opts.BroadcastThreshold
+
+	rel, err := sc.execOp(e, t)
+	if err != nil {
+		sc.fail(err)
+		return
+	}
+	t.rel = rel
+	sc.obs.Record(t.node, int64(rel.NumRows()))
+	t.stages = clk.Stages()
+	start := sc.startCost
+	for _, d := range t.deps {
+		if d.done > start {
+			start = d.done
+		}
+		// The dependency's relation has been consumed; release it so
+		// large intermediates do not outlive the join that read them.
+		d.rel = nil
+	}
+	t.done = start + clk.Elapsed()
+}
+
+// execOp evaluates one plan operator over its dependencies' relations.
+func (sc *scheduler) execOp(e *engine.Exec, t *execTask) (*engine.Relation, error) {
+	n := t.node
+	switch n.Op {
+	case plan.OpScan:
+		rel, err := sc.store.execNode(e, sc.nodes[n.Leaf], pickFilters(sc.filters, n.Filters))
+		if err != nil {
+			return nil, fmt.Errorf("core: executing %s: %w", sc.nodes[n.Leaf].Label(), err)
+		}
+		return rel, nil
+	case plan.OpFilter:
+		return applyResidualFilters(e, t.deps[0].rel, pickFilters(sc.filters, n.Filters))
+	case plan.OpJoin:
+		rel, err := e.JoinKeep(t.deps[0].rel, t.deps[1].rel, n.Children[1].Label, joinStrategy(n.Method), n.Keep)
+		if err != nil {
+			return nil, fmt.Errorf("core: joining %s: %w", n.Children[1].Label, err)
+		}
+		return rel, nil
+	case plan.OpProject:
+		return e.Project(t.deps[0].rel, n.Cols)
+	case plan.OpDistinct:
+		return e.Distinct(t.deps[0].rel)
+	default:
+		return nil, fmt.Errorf("core: unknown plan operator %v", n.Op)
+	}
+}
+
+// absorbTrace merges the tasks' stage records into the result clock in
+// deterministic plan preorder (independent of the real interleaving
+// the pool happened to run), so EXPLAIN traces are stable.
+func absorbTrace(clock *cluster.Clock, rootTask *execTask) {
+	var walk func(t *execTask)
+	walk = func(t *execTask) {
+		for _, d := range t.deps {
+			walk(d)
+		}
+		clock.Absorb(t.stages)
+	}
+	walk(rootTask)
+}

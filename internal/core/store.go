@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -54,6 +55,28 @@ func (s Strategy) String() string {
 	}
 }
 
+// StrategyNames lists the values ParseStrategy accepts — the single
+// source CLI flags and error messages quote.
+func StrategyNames() []string {
+	return []string{"mixed", "vp-only", "mixed+ipt"}
+}
+
+// ParseStrategy maps a CLI flag or request parameter to a Strategy.
+// Unknown values are rejected with an error listing every valid one.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "mixed", "":
+		return StrategyMixed, nil
+	case "vp-only":
+		return StrategyVPOnly, nil
+	case "mixed+ipt":
+		return StrategyMixedIPT, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q (valid strategies: %s)",
+			s, strings.Join(StrategyNames(), ", "))
+	}
+}
+
 // Options configures a Store.
 type Options struct {
 	// Cluster is the simulated cluster to load and query on. Required.
@@ -71,6 +94,9 @@ type Options struct {
 	// by StrategyMixedIPT. It costs extra loading time and storage,
 	// which is why the paper leaves it as future work.
 	BuildInversePT bool
+	// PlanCacheSize bounds the store's plan cache (entries). 0 uses the
+	// default; negative disables plan caching entirely.
+	PlanCacheSize int
 }
 
 // Store is a loaded PRoST database.
@@ -93,6 +119,12 @@ type Store struct {
 	// triples retains the encoded dataset for variable-predicate
 	// patterns (the triple-table fallback).
 	triples []rdf.EncodedTriple
+
+	// planCache memoizes physical plans across queries; statsFP is the
+	// loader-statistics fingerprint its keys embed, so replacing the
+	// statistics invalidates every cached plan.
+	planCache *planCache
+	statsFP   uint64
 
 	load LoadReport
 }
@@ -122,6 +154,16 @@ func (s *Store) Dictionary() *rdf.Dictionary { return s.dict }
 
 // Stats exposes the loader-time statistics.
 func (s *Store) Stats() *stats.Collection { return s.stats }
+
+// swapStats replaces the loader statistics and refreshes their
+// fingerprint. Cached plans keyed on the old fingerprint become
+// unreachable, which is how a statistics reload invalidates the plan
+// cache. Not safe to call concurrently with Query; it exists for the
+// loader and for tests modelling a reload.
+func (s *Store) swapStats(st *stats.Collection) {
+	s.stats = st
+	s.statsFP = st.Fingerprint()
+}
 
 // LoadReport returns the loading summary.
 func (s *Store) LoadReport() LoadReport { return s.load }
@@ -193,8 +235,18 @@ func Load(g *rdf.Graph, opts Options) (*Store, error) {
 
 	// Phase 3: statistics (paper §3.3 — "without any significant
 	// overhead": one extra pass).
-	s.stats = stats.Collect(s.triples)
+	s.swapStats(stats.Collect(s.triples))
 	clock.Charge("statistics", time.Duration(len(s.triples))*s.cluster.Config().Cost.RowTime)
+
+	cacheSize := opts.PlanCacheSize
+	if cacheSize == 0 {
+		cacheSize = defaultPlanCacheSize
+	}
+	if cacheSize > 0 {
+		// A negative size disables caching outright: planCache stays
+		// nil, so queries skip key construction and locking entirely.
+		s.planCache = newPlanCache(cacheSize)
+	}
 
 	// Phase 4: Vertical Partitioning tables.
 	if err := s.buildVP(clock); err != nil {

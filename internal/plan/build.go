@@ -60,12 +60,17 @@ type Costs struct {
 
 // Build assembles a physical plan from the translated leaves.
 //
-// In ModeCost the leaves are reordered by greedy cost-based
-// enumeration; in ModeHeuristic and ModeNaive the given order (the
-// §3.3 priority order, or the query's written order) is kept. Filters
-// are pushed into the earliest scan of the final order that exposes
-// their variable. Join methods are priced per join in ModeCost and
-// left to the engine's runtime rule otherwise.
+// In ModeCost and ModeCostLeftDeep the leaves are reordered by greedy
+// cost-based enumeration; in ModeHeuristic and ModeNaive the given
+// order (the §3.3 priority order, or the query's written order) is
+// kept. ModeCost additionally enumerates a bushy shape (greedy
+// operator ordering over connected components, so independent subtrees
+// — snowflake arms, multi-star branches — become sibling subplans
+// joined at the top) and keeps it when its estimated critical path
+// (max of parallel branches plus the joining spine, not the sum of all
+// stages) beats the left-deep chain's. Filters are pushed into exactly
+// one scan exposing their variable. Join methods are priced per join
+// in the cost modes and left to the engine's runtime rule otherwise.
 func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bool, mode Mode, c Costs) *Plan {
 	if len(leaves) == 0 {
 		return nil
@@ -82,19 +87,54 @@ func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bo
 		p.FilterLabels = append(p.FilterLabels, f.Label)
 	}
 
+	// ModeCostLeftDeep is ModeCost's chain construction without the
+	// bushy candidate; internal passes treat the two identically.
+	effMode := mode
+	if mode == ModeCostLeftDeep {
+		effMode = ModeCost
+	}
+
 	order := make([]int, len(leaves))
 	for i := range order {
 		order[i] = i
 	}
-	if mode == ModeCost {
+	if effMode == ModeCost {
 		order = costOrder(leaves, filters, c)
 	}
 
 	// Pass 1: push each filter into the earliest scan (in the final
 	// order) exposing its variable, so it runs exactly once, during
 	// that scan.
-	pushed := make([][]int, len(leaves))
-	var residual []int
+	pushed, residual := pushFilters(leaves, filters, order)
+
+	// Pass 2: build the left-deep operator tree in the chosen order,
+	// carrying estimated cardinality, per-variable distinct counts and
+	// the predicted partitioning through every join.
+	cur := buildChain(leaves, filters, order, pushed, projection, effMode, c)
+
+	// Pass 3 (ModeCost only): enumerate a bushy candidate and keep it
+	// when its priced critical path is strictly shorter — a tie keeps
+	// the chain, whose runtime behaviour is better understood.
+	if mode == ModeCost && len(leaves) > 2 {
+		bPushed, bResidual := pushFiltersBushy(leaves, filters)
+		if bushy := buildBushy(leaves, filters, bPushed, projection, c); bushy.crit < cur.crit {
+			cur = bushy
+			residual = bResidual
+			p.Bushy = true
+		}
+	}
+	p.EstCritPath = cur.crit
+
+	p.Root = epilogue(cur, residual, filters, projection, distinct)
+	p.assignIDs()
+	return p
+}
+
+// pushFilters assigns each filter to the earliest leaf in execution
+// order that exposes its variable. Filters no leaf exposes are returned
+// as residual (defensive: validated queries cannot produce them).
+func pushFilters(leaves []Leaf, filters []FilterSpec, order []int) (pushed [][]int, residual []int) {
+	pushed = make([][]int, len(leaves))
 	for fi, f := range filters {
 		assigned := false
 		for _, li := range order {
@@ -108,23 +148,127 @@ func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bo
 			residual = append(residual, fi)
 		}
 	}
+	return pushed, residual
+}
 
-	// Build the left-deep operator tree in the chosen order, carrying
-	// estimated cardinality, per-variable distinct counts and the
-	// predicted partitioning through every join.
-	cur := scanState(leaves[order[0]], order[0], pushed[order[0]], filters)
+// pushFiltersBushy assigns each filter to the smallest exposing leaf —
+// a bushy tree has no global execution order, so the most selective
+// placement (cheapest scan shrinks further) stands in for "earliest".
+func pushFiltersBushy(leaves []Leaf, filters []FilterSpec) (pushed [][]int, residual []int) {
+	pushed = make([][]int, len(leaves))
+	for fi, f := range filters {
+		best := -1
+		for li, l := range leaves {
+			if !containsVar(l.Vars, f.Var) {
+				continue
+			}
+			if best < 0 || l.Est < leaves[best].Est {
+				best = li
+			}
+		}
+		if best < 0 {
+			residual = append(residual, fi)
+			continue
+		}
+		pushed[best] = append(pushed[best], fi)
+	}
+	return pushed, residual
+}
+
+// buildChain constructs the left-deep join chain over the given order.
+func buildChain(leaves []Leaf, filters []FilterSpec, order []int, pushed [][]int, projection []string, effMode Mode, c Costs) state {
+	cur := scanState(leaves[order[0]], order[0], pushed[order[0]], filters, c)
 	for pos, li := range order[1:] {
-		next := scanState(leaves[li], li, pushed[li], filters)
+		next := scanState(leaves[li], li, pushed[li], filters, c)
 		var retain map[string]bool
-		if mode == ModeCost {
+		if effMode == ModeCost {
 			retain = retainSet(projection, leaves, order[pos+2:])
 		}
-		cur = joinStates(cur, next, mode, c, retain)
+		cur = joinStates(cur, next, effMode, c, retain)
 	}
-	root := cur.node
+	return cur
+}
 
-	// Residual filters (defensive: a filter whose variable no leaf
-	// exposes cannot occur for validated queries).
+// buildBushy is greedy operator ordering (GOO) over connected
+// components: every leaf starts as its own component, and the pair of
+// connected components whose estimated join output is smallest (ties
+// broken by priced join time, then input order) merges, until one
+// component remains. Independent subtrees therefore grow as siblings
+// and meet at the top instead of being threaded through one chain, and
+// each component's crit field prices the critical path of its subtree.
+func buildBushy(leaves []Leaf, filters []FilterSpec, pushed [][]int, projection []string, c Costs) state {
+	comps := make([]state, len(leaves))
+	leafSets := make([][]int, len(leaves))
+	for i, l := range leaves {
+		comps[i] = scanState(l, i, pushed[i], filters, c)
+		leafSets[i] = []int{i}
+	}
+
+	for len(comps) > 1 {
+		bi, bj := -1, -1
+		var bestEst float64
+		var bestTime time.Duration
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				shared := sharedVars(comps[i].vars, comps[j].vars)
+				if len(shared) == 0 {
+					continue
+				}
+				est := joinEstimate(comps[i], comps[j], shared)
+				t := joinTime(comps[i], comps[j], shared, est, c)
+				if bi < 0 || est < bestEst || (est == bestEst && t < bestTime) {
+					bi, bj, bestEst, bestTime = i, j, est, t
+				}
+			}
+		}
+		if bi < 0 {
+			// Disconnected BGP: cartesian-join the two smallest
+			// components.
+			bi, bj = 0, 1
+			if comps[1].est < comps[0].est {
+				bi, bj = 1, 0
+			}
+			for k := 2; k < len(comps); k++ {
+				if comps[k].est < comps[bi].est {
+					bi, bj = k, bi
+				} else if comps[k].est < comps[bj].est {
+					bj = k
+				}
+			}
+			if bi > bj {
+				bi, bj = bj, bi
+			}
+		}
+
+		retain := make(map[string]bool, len(projection))
+		for _, v := range projection {
+			retain[v] = true
+		}
+		for k := range comps {
+			if k == bi || k == bj {
+				continue
+			}
+			for _, li := range leafSets[k] {
+				for _, v := range leaves[li].Vars {
+					retain[v] = true
+				}
+			}
+		}
+
+		merged := joinStates(comps[bi], comps[bj], ModeCost, c, retain)
+		comps[bi] = merged
+		leafSets[bi] = append(leafSets[bi], leafSets[bj]...)
+		comps = append(comps[:bj], comps[bj+1:]...)
+		leafSets = append(leafSets[:bj], leafSets[bj+1:]...)
+	}
+	return comps[0]
+}
+
+// epilogue appends residual filters, the projection and DISTINCT on top
+// of the finished join tree — the execution epilogue shared by every
+// plan shape.
+func epilogue(cur state, residual []int, filters []FilterSpec, projection []string, distinct bool) *Node {
+	root := cur.node
 	if len(residual) > 0 {
 		sel := 1.0
 		for _, fi := range residual {
@@ -141,7 +285,6 @@ func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bo
 		cur.est = root.Est
 	}
 
-	// Projection and distinct mirror the execution epilogue.
 	root = &Node{
 		Op:       OpProject,
 		Vars:     append([]string(nil), projection...),
@@ -160,22 +303,26 @@ func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bo
 			Children: []*Node{root},
 		}
 	}
-	p.Root = root
-	return p
+	return root
 }
 
-// state tracks the running left-deep chain during construction.
+// state tracks one subplan during construction: its root node, running
+// estimates, predicted layout, and the priced critical path of its
+// subtree.
 type state struct {
 	node     *Node
 	vars     []string
 	est      float64
 	dist     map[string]float64
 	partCols []string
+	// crit is the subtree's priced completion time under parallel
+	// execution: own priced time plus max over the children's crit.
+	crit time.Duration
 }
 
 // scanState builds the Scan node for one leaf with its pushed filters
 // applied to the estimate.
-func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec) state {
+func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec, c Costs) state {
 	est := l.Est
 	dist := make(map[string]float64, len(l.Dist))
 	for v, d := range l.Dist {
@@ -198,39 +345,54 @@ func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec) state
 		Leaf:    idx,
 		Filters: pushedFilters,
 	}
-	return state{
+	s := state{
 		node:     n,
 		vars:     n.Vars,
 		est:      est,
 		dist:     dist,
 		partCols: append([]string(nil), l.PartCols...),
 	}
+	// Scans pipeline (no stage launch); their priced time is the raw
+	// read before filtering plus per-row work, spread over the workers.
+	// The pre-filter leaf size prices the read: filters drop rows after
+	// they stream off disk.
+	s.crit = c.Model.TaskTime(cluster.TaskStats{
+		DiskBytes: estBytesFor(l.Est, len(l.Vars), c) / int64(c.Workers),
+		Rows:      estRows(l.Est) / int64(c.Workers),
+	})
+	return s
 }
 
-// joinStates attaches right to the running chain, estimating the join
-// output and selecting the physical method. A non-nil retain set
-// enables fused column pruning: output variables absent from it (no
-// later leaf or the projection reads them) are dropped inside the
+// joinStates attaches right to left, estimating the join output,
+// selecting the physical method, and extending the priced critical
+// path (max of the two inputs plus this join's own priced time). A
+// non-nil retain set enables fused column pruning: output variables
+// absent from it (no later operator reads them) are dropped inside the
 // join, shrinking every downstream exchange.
 func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) state {
 	shared := sharedVars(left.vars, right.vars)
 	outVars := joinVars(left.vars, right.vars, shared)
 
 	var est float64
+	var ownTime time.Duration
 	method := MethodAuto
 	var partCols []string
 	if len(shared) == 0 {
 		est = left.est * right.est
 		method = MethodCartesian
+		ownTime = c.Model.ShuffleJoinTime(
+			estBytes(left, c)+estBytes(right, c),
+			estRows(left.est)+estRows(right.est)+estRows(est), c.Workers)
 	} else {
 		est = joinEstimate(left, right, shared)
 		if mode == ModeCost {
-			method, partCols = selectMethod(left, right, shared, est, c)
+			method, partCols, ownTime = selectMethod(left, right, shared, est, c)
 		} else {
 			// The engine's runtime rule decides; predict its layout as a
 			// shuffle output so downstream co-partition detection stays
-			// conservative but usable.
+			// conservative but usable, and price the cheaper alternative.
 			partCols = append([]string(nil), shared...)
+			ownTime = joinTime(left, right, shared, est, c)
 		}
 	}
 
@@ -275,7 +437,11 @@ func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) s
 		JoinVars: shared,
 		Keep:     keep,
 	}
-	return state{node: n, vars: outVars, est: est, dist: dist, partCols: partCols}
+	crit := left.crit
+	if right.crit > crit {
+		crit = right.crit
+	}
+	return state{node: n, vars: outVars, est: est, dist: dist, partCols: partCols, crit: crit + ownTime}
 }
 
 // retainSet is the set of variables later operators still need: the
@@ -318,9 +484,9 @@ func joinEstimate(left, right state, shared []string) float64 {
 }
 
 // selectMethod prices the candidate physical joins on estimated input
-// sizes and returns the cheapest, plus the output partitioning it
-// produces.
-func selectMethod(left, right state, shared []string, outEst float64, c Costs) (JoinMethod, []string) {
+// sizes and returns the cheapest, plus the output partitioning and the
+// priced time it contributes to the critical path.
+func selectMethod(left, right state, shared []string, outEst float64, c Costs) (JoinMethod, []string, time.Duration) {
 	lBytes := estBytes(left, c)
 	rBytes := estBytes(right, c)
 	alignedL := colsEqual(left.partCols, shared)
@@ -341,6 +507,7 @@ func selectMethod(left, right state, shared []string, outEst float64, c Costs) (
 		method = MethodCoPartitioned
 	}
 	partCols := append([]string(nil), shared...)
+	chosen := shuffleTime
 
 	// A broadcast is considered whenever broadcasting is enabled at
 	// all: the pricing itself replaces the global size threshold, so a
@@ -358,9 +525,10 @@ func selectMethod(left, right state, shared []string, outEst float64, c Costs) (
 		if bt := c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers); bt < shuffleTime*9/10 {
 			method = MethodBroadcast
 			partCols = append([]string(nil), probe.partCols...)
+			chosen = bt
 		}
 	}
-	return method, partCols
+	return method, partCols, chosen
 }
 
 // costOrder produces the cost-based greedy join order: start from the
@@ -387,7 +555,7 @@ func costOrder(leaves []Leaf, filters []FilterSpec, c Costs) []int {
 		// For ordering purposes every exposing leaf is estimated as
 		// filtered; the final single-site assignment happens after the
 		// order is fixed.
-		states[i] = scanState(l, i, pushed, filters)
+		states[i] = scanState(l, i, pushed, filters, c)
 	}
 
 	remaining := make([]int, len(leaves))
@@ -483,31 +651,14 @@ func startLeaf(leaves []Leaf, states []state, remaining []int) int {
 	return best
 }
 
-// joinTime prices one candidate join the way selectMethod does and
-// returns the cheaper of its physical alternatives.
+// joinTime prices one candidate join: the time of the physical method
+// selectMethod would choose. Ordering decisions and critical-path
+// pricing therefore always use the single pricing implementation in
+// selectMethod (including its clear-margin broadcast rule), so they
+// can never drift from what execution will actually run.
 func joinTime(left, right state, shared []string, outEst float64, c Costs) time.Duration {
-	lBytes := estBytes(left, c)
-	rBytes := estBytes(right, c)
-	var moved int64
-	if !colsEqual(left.partCols, shared) {
-		moved += lBytes
-	}
-	if !colsEqual(right.partCols, shared) {
-		moved += rBytes
-	}
-	rows := estRows(left.est) + estRows(right.est) + estRows(outEst)
-	best := c.Model.ShuffleJoinTime(moved, rows, c.Workers)
-	if c.BroadcastThreshold > 0 {
-		buildBytes, probeEst := rBytes, left.est
-		if lBytes < rBytes {
-			buildBytes, probeEst = lBytes, right.est
-		}
-		bRows := estRows(probeEst) + estRows(outEst)
-		if bt := c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers); bt < best {
-			best = bt
-		}
-	}
-	return best
+	_, _, t := selectMethod(left, right, shared, outEst, c)
+	return t
 }
 
 // distinctEstimate bounds a Distinct's output by the product of the
@@ -531,11 +682,16 @@ func distinctEstimate(in state, projection []string) float64 {
 // astronomically large estimates (cartesian chains) stay finite
 // positive numbers instead of overflowing int64.
 func estBytes(s state, c Costs) int64 {
-	w := len(s.vars)
-	if w == 0 {
-		w = 1
+	return estBytesFor(s.est, len(s.vars), c)
+}
+
+// estBytesFor sizes est rows of the given width in bytes, clamped to a
+// finite positive range.
+func estBytesFor(est float64, width int, c Costs) int64 {
+	if width == 0 {
+		width = 1
 	}
-	b := s.est * float64(w) * float64(c.BytesPerValue)
+	b := est * float64(width) * float64(c.BytesPerValue)
 	if b < 0 {
 		return 0
 	}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // Op identifies a physical operator.
@@ -116,12 +117,20 @@ type Mode uint8
 const (
 	// ModeCost is the cost-based planner (the default): join order and
 	// physical methods chosen by estimated cardinality and priced time.
+	// It additionally enumerates bushy shapes — independent connected
+	// subtrees become sibling subplans joined at the top — and keeps the
+	// bushy plan when its estimated critical path (max over parallel
+	// branches, not their sum) is shorter than the left-deep chain's.
 	ModeCost Mode = iota
 	// ModeHeuristic keeps the paper's §3.3 priority ordering and the
 	// engine's runtime join selection.
 	ModeHeuristic
 	// ModeNaive keeps the query's written pattern order (ablation A1).
 	ModeNaive
+	// ModeCostLeftDeep is the cost-based planner restricted to left-deep
+	// chains — the PR 2 behaviour, kept as the ablation baseline the
+	// bushy planner is measured against.
+	ModeCostLeftDeep
 )
 
 // String implements fmt.Stringer.
@@ -133,6 +142,8 @@ func (m Mode) String() string {
 		return "heuristic"
 	case ModeNaive:
 		return "naive"
+	case ModeCostLeftDeep:
+		return "cost-leftdeep"
 	default:
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
@@ -140,6 +151,11 @@ func (m Mode) String() string {
 
 // Node is one operator of a physical plan.
 type Node struct {
+	// ID is the node's stable index within its plan (preorder from the
+	// root), assigned by Build. Observations record per-execution actual
+	// cardinalities by ID, so cached plans shared across concurrent
+	// executions are never mutated.
+	ID int
 	// Op is the operator kind.
 	Op Op
 	// Label is a short human-readable description (e.g. the leaf label
@@ -150,8 +166,10 @@ type Node struct {
 	Vars []string
 	// Est is the estimated output cardinality (rows).
 	Est float64
-	// Actual is the observed output cardinality, filled in during
-	// execution; -1 until then.
+	// Actual is the observed output cardinality; -1 until stamped. Plans
+	// returned by Build (and plans held in a cache) always carry -1:
+	// execution records actuals into a per-execution Observation, and
+	// Stamp produces a private copy with the actuals filled in.
 	Actual int64
 	// Children are the operator inputs (0 for Scan, 1 for
 	// Filter/Project/Distinct, 2 for Join).
@@ -175,17 +193,106 @@ type Node struct {
 	Cols []string
 }
 
-// Plan is a complete physical plan for one query.
+// Plan is a complete physical plan for one query. A Plan is immutable
+// once built (execution records actuals into an Observation, never onto
+// the plan), so one Plan may be cached and executed by any number of
+// concurrent queries.
 type Plan struct {
 	// Root is the plan's root operator.
 	Root *Node
 	// Mode is the planner variant that produced the plan.
 	Mode Mode
+	// Bushy reports whether ModeCost chose a bushy shape over the
+	// left-deep chain (independent subtrees joined at the top).
+	Bushy bool
+	// EstCritPath is the builder's priced critical path of the join
+	// tree: every node costs its own estimated time and completes at
+	// max(children completions) + own time, so parallel branches price
+	// as their max, not their sum. It is populated for every mode (the
+	// cost modes use it to choose bushy vs left-deep; heuristic and
+	// naive plans carry the best-alternative pricing for reference).
+	EstCritPath time.Duration
 	// Leaves are the scan descriptions the plan was built from, in
 	// builder input order (Node.Leaf indexes into it).
 	Leaves []Leaf
 	// FilterLabels render the builder's filter specs for EXPLAIN.
 	FilterLabels []string
+
+	nodeCount int
+}
+
+// NumNodes returns the number of operators in the plan; Node.ID values
+// range over [0, NumNodes).
+func (p *Plan) NumNodes() int { return p.nodeCount }
+
+// assignIDs numbers the nodes preorder from the root.
+func (p *Plan) assignIDs() {
+	p.nodeCount = 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.ID = p.nodeCount
+		p.nodeCount++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+}
+
+// Observation is one execution's record of actual per-node output
+// cardinalities, indexed by Node.ID. Each execution owns its
+// Observation, so concurrent queries sharing a cached Plan never write
+// to shared state.
+type Observation struct {
+	actual []int64
+}
+
+// NewObservation returns an empty observation for the plan: every node
+// is marked not-executed (-1).
+func NewObservation(p *Plan) *Observation {
+	o := &Observation{actual: make([]int64, p.NumNodes())}
+	for i := range o.actual {
+		o.actual[i] = -1
+	}
+	return o
+}
+
+// Record stores a node's observed output cardinality.
+func (o *Observation) Record(n *Node, rows int64) {
+	if o != nil && n.ID >= 0 && n.ID < len(o.actual) {
+		o.actual[n.ID] = rows
+	}
+}
+
+// Actual returns a node's observed cardinality, or -1 when the node did
+// not execute under this observation.
+func (o *Observation) Actual(n *Node) int64 {
+	if o == nil || n.ID < 0 || n.ID >= len(o.actual) {
+		return -1
+	}
+	return o.actual[n.ID]
+}
+
+// Stamp returns a copy of the plan with the observation's actual
+// cardinalities filled into the nodes — the per-execution view EXPLAIN
+// renders. The receiver is not modified; nodes the observation never
+// saw stay at -1 in the copy.
+func (p *Plan) Stamp(o *Observation) *Plan {
+	out := *p
+	var clone func(n *Node) *Node
+	clone = func(n *Node) *Node {
+		c := *n
+		c.Actual = o.Actual(n)
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for i, ch := range n.Children {
+				c.Children[i] = clone(ch)
+			}
+		}
+		return &c
+	}
+	out.Root = clone(p.Root)
+	return &out
 }
 
 // Scans returns the plan's Scan nodes in execution (left-deep) order.
@@ -208,7 +315,11 @@ func (p *Plan) Scans() []*Node {
 // and (when executed) actual cardinalities per node.
 func (p *Plan) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Physical plan (%s planner):\n", p.Mode)
+	shape := ""
+	if p.Bushy {
+		shape = ", bushy"
+	}
+	fmt.Fprintf(&sb, "Physical plan (%s planner%s):\n", p.Mode, shape)
 	p.render(&sb, p.Root, "")
 	return sb.String()
 }
@@ -271,8 +382,12 @@ func varList(vars []string) string {
 
 // MaxErrorRatio returns the worst per-node estimation error of an
 // executed plan — max over nodes of max(est,1)/max(actual,1) or its
-// inverse, whichever exceeds 1 — plus the node it occurs at. Plans
-// with no executed nodes return (1, nil).
+// inverse, whichever exceeds 1 — plus the node it occurs at. Nodes
+// that never executed (Actual still -1: a freshly built or cached
+// plan, or operators skipped when execution aborted early) are
+// excluded, so a partially executed plan never reports the bogus
+// infinite/zero ratios a missing actual would imply. Plans with no
+// executed nodes return (1, nil).
 func (p *Plan) MaxErrorRatio() (float64, *Node) {
 	worst, at := 1.0, (*Node)(nil)
 	var walk func(n *Node)

@@ -229,3 +229,168 @@ func TestEmptyLeavesReturnNilPlan(t *testing.T) {
 		t.Errorf("Build with no leaves returned %v", p)
 	}
 }
+
+// snowflakeLeaves builds a hub H(a,b) with two independent two-leaf
+// arms hanging off a and b — the shape where building the arms as
+// sibling subtrees and joining them at the top shortens the critical
+// path versus threading everything through one left-deep chain.
+func snowflakeLeaves() []Leaf {
+	return []Leaf{
+		{Label: "H", Vars: []string{"a", "b"}, Est: 1e6, Dist: map[string]float64{"a": 5e4, "b": 5e4}, PartCols: []string{"a"}},
+		{Label: "A1", Vars: []string{"a", "c"}, Est: 1e5, Dist: map[string]float64{"a": 5e4, "c": 500}, PartCols: []string{"a"}},
+		{Label: "A2", Vars: []string{"c"}, Est: 10, Dist: map[string]float64{"c": 10}, PartCols: []string{"c"}},
+		{Label: "B1", Vars: []string{"b", "d"}, Est: 1e5, Dist: map[string]float64{"b": 5e4, "d": 500}, PartCols: []string{"b"}},
+		{Label: "B2", Vars: []string{"d"}, Est: 10, Dist: map[string]float64{"d": 10}, PartCols: []string{"d"}},
+	}
+}
+
+// hasBushyJoin reports whether any join has a join on both sides —
+// i.e. the tree is not a left-deep chain.
+func hasBushyJoin(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == OpJoin && n.Children[0].Op == OpJoin && n.Children[1].Op == OpJoin {
+		return true
+	}
+	for _, c := range n.Children {
+		if hasBushyJoin(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// rightDeepJoin reports whether some join's right child is itself a
+// join — impossible in a left-deep chain, where right inputs are
+// always scans.
+func rightDeepJoin(n *Node) bool {
+	if n == nil {
+		return false
+	}
+	if n.Op == OpJoin && n.Children[1].Op == OpJoin {
+		return true
+	}
+	for _, c := range n.Children {
+		if rightDeepJoin(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBushyPlanForSnowflake(t *testing.T) {
+	bushy := Build(snowflakeLeaves(), nil, []string{"a"}, false, ModeCost, testCosts())
+	if !bushy.Bushy {
+		t.Fatalf("ModeCost did not choose a bushy shape:\n%s", bushy)
+	}
+	if !rightDeepJoin(bushy.Root) {
+		t.Errorf("bushy plan has no sibling join subtree:\n%s", bushy)
+	}
+	ld := Build(snowflakeLeaves(), nil, []string{"a"}, false, ModeCostLeftDeep, testCosts())
+	if ld.Bushy {
+		t.Errorf("ModeCostLeftDeep produced a bushy plan")
+	}
+	if rightDeepJoin(ld.Root) {
+		t.Errorf("left-deep plan has a join as a right input:\n%s", ld)
+	}
+	if bushy.EstCritPath >= ld.EstCritPath {
+		t.Errorf("bushy critical path %v not shorter than left-deep %v", bushy.EstCritPath, ld.EstCritPath)
+	}
+	if !strings.Contains(bushy.String(), "bushy") {
+		t.Errorf("bushy plan rendering does not say so:\n%s", bushy)
+	}
+}
+
+func TestBushyNeverChosenWhenChainPricesEqual(t *testing.T) {
+	// A pure chain has no independent subtrees: the bushy candidate
+	// cannot beat the left-deep critical path, so the chain is kept.
+	p := Build(chainLeaves(), nil, []string{"x"}, false, ModeCost, testCosts())
+	if p.Bushy {
+		t.Errorf("chain query chose a bushy plan:\n%s", p)
+	}
+}
+
+func TestNodeIDsAreStablePreorder(t *testing.T) {
+	p := Build(snowflakeLeaves(), nil, []string{"a"}, false, ModeCost, testCosts())
+	seen := make(map[int]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.ID < 0 || n.ID >= p.NumNodes() {
+			t.Errorf("node %s has out-of-range ID %d (NumNodes=%d)", n.Op, n.ID, p.NumNodes())
+		}
+		if seen[n.ID] {
+			t.Errorf("duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	if len(seen) != p.NumNodes() {
+		t.Errorf("walked %d nodes, NumNodes=%d", len(seen), p.NumNodes())
+	}
+}
+
+func TestObservationStampLeavesPlanUntouched(t *testing.T) {
+	p := Build(chainLeaves(), nil, []string{"x"}, false, ModeCost, testCosts())
+	obs := NewObservation(p)
+	// Record actuals for the scans only: a partially executed query.
+	for _, sc := range p.Scans() {
+		obs.Record(sc, 7)
+	}
+	stamped := p.Stamp(obs)
+	for _, sc := range stamped.Scans() {
+		if sc.Actual != 7 {
+			t.Errorf("stamped scan actual = %d, want 7", sc.Actual)
+		}
+	}
+	if stamped.Root.Actual != -1 {
+		t.Errorf("stamped root actual = %d, want -1 (never executed)", stamped.Root.Actual)
+	}
+	// The original plan (cache-shared) must stay pristine.
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Actual != -1 {
+			t.Errorf("original plan node %s mutated: actual = %d", n.Op, n.Actual)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+}
+
+// TestErrorRatioSkipsUnexecutedNodes is the satellite regression test:
+// nodes that never executed must not contribute bogus ratios to
+// MaxErrorRatio, and a fully unexecuted (e.g. cached, unstamped) plan
+// reports "not executed".
+func TestErrorRatioSkipsUnexecutedNodes(t *testing.T) {
+	p := Build(chainLeaves(), nil, []string{"x"}, false, ModeCost, testCosts())
+	if ratio, at := p.MaxErrorRatio(); at != nil || ratio != 1 {
+		t.Errorf("unexecuted plan MaxErrorRatio = %g at %v, want (1, nil)", ratio, at)
+	}
+	obs := NewObservation(p)
+	// Execute only the root-most scan exactly on-estimate; the huge
+	// unexecuted joins above it must not dominate the ratio.
+	sc := p.Scans()[0]
+	obs.Record(sc, int64(sc.Est))
+	stamped := p.Stamp(obs)
+	ratio, at := stamped.MaxErrorRatio()
+	if at == nil || at.Op != OpScan {
+		t.Fatalf("MaxErrorRatio landed at %v, want the executed scan", at)
+	}
+	if ratio != 1 {
+		t.Errorf("on-estimate partial execution ratio = %g, want 1", ratio)
+	}
+	if !strings.Contains(stamped.ErrorSummary(), "max ratio 1.00x") {
+		t.Errorf("summary = %q", stamped.ErrorSummary())
+	}
+}
+
+func TestModeCostLeftDeepString(t *testing.T) {
+	if ModeCostLeftDeep.String() != "cost-leftdeep" {
+		t.Errorf("ModeCostLeftDeep = %q", ModeCostLeftDeep.String())
+	}
+}

@@ -1,0 +1,392 @@
+// Package serve implements prost-serve's HTTP layer: a SPARQL query
+// endpoint over a loaded PRoST store, built to exercise the concurrent
+// execution path for real. Every request runs Store.Query directly —
+// cached plans are shared read-only across in-flight requests, each
+// execution schedules its plan DAG on its own bounded worker pool, and
+// an in-flight semaphore caps how many queries execute at once.
+//
+// Endpoints:
+//
+//	GET|POST /sparql   — execute a query (?query=… or POST body),
+//	                     JSON results by default, TSV with ?format=tsv
+//	GET      /explain  — physical plan, estimation errors, Join Tree
+//	                     and stage trace (?analyze=0 plans only)
+//	GET      /stats    — plan-cache hit rate, query counters, and
+//	                     estimation-error aggregates, as JSON
+//	GET      /healthz  — liveness probe
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// DefaultMaxInflight caps concurrently executing queries when
+// Config.MaxInflight is zero.
+const DefaultMaxInflight = 32
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the loaded PRoST database. Required.
+	Store *core.Store
+	// Options are the base query options every request starts from;
+	// the strategy and planner can be overridden per request.
+	Options core.QueryOptions
+	// MaxInflight bounds concurrently executing queries; requests over
+	// the bound wait their turn (0 = DefaultMaxInflight).
+	MaxInflight int
+	// MaxRows caps the rows returned per query (0 = unlimited).
+	MaxRows int
+}
+
+// Server is the prost-serve HTTP handler. It is safe for concurrent
+// use by the standard library's server.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	mu         sync.Mutex
+	queries    uint64
+	errors     uint64
+	simTotal   time.Duration
+	wallTotal  time.Duration
+	estObs     uint64
+	estSum     float64
+	estMax     float64
+	estMaxNode string
+}
+
+// New validates the configuration and returns a ready handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	s := &Server{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		sem: make(chan struct{}, cfg.MaxInflight),
+	}
+	s.mux.HandleFunc("/sparql", s.handleSPARQL)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// queryText extracts the SPARQL text from ?query= or the request body.
+func queryText(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("query"); q != "" {
+		return q, nil
+	}
+	if r.Method == http.MethodPost {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", err
+		}
+		if len(b) > 0 {
+			return string(b), nil
+		}
+	}
+	return "", fmt.Errorf("missing query: pass ?query=… or POST the query text")
+}
+
+// requestOptions resolves per-request planner/strategy overrides on
+// top of the configured base options.
+func (s *Server) requestOptions(r *http.Request) (core.QueryOptions, error) {
+	opts := s.cfg.Options
+	if v := r.URL.Query().Get("planner"); v != "" {
+		mode, err := core.ParsePlannerMode(v)
+		if err != nil {
+			return opts, err
+		}
+		opts.Planner = mode
+	}
+	if v := r.URL.Query().Get("strategy"); v != "" {
+		strat, err := core.ParseStrategy(v)
+		if err != nil {
+			return opts, err
+		}
+		if strat == core.StrategyMixedIPT && s.cfg.Store.InversePropertyTable() == nil {
+			return opts, fmt.Errorf("strategy %q requires a store loaded with the inverse property table (start prost-serve with -strategy mixed+ipt)", v)
+		}
+		opts.Strategy = strat
+	}
+	return opts, nil
+}
+
+// runQuery parses and executes one request's query inside the
+// in-flight bound, recording the server-level counters (failed
+// requests — bad parameters, parse errors, execution errors — count
+// as errors).
+func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
+	res, err := s.doQuery(r)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	if err != nil {
+		s.errors++
+		return nil, err
+	}
+	s.simTotal += res.SimTime
+	s.wallTotal += res.WallTime
+	if ratio, at := res.Plan.MaxErrorRatio(); at != nil {
+		s.estObs++
+		s.estSum += ratio
+		if ratio > s.estMax {
+			s.estMax = ratio
+			s.estMaxNode = at.Op.String()
+			if at.Label != "" {
+				s.estMaxNode += " " + at.Label
+			}
+		}
+	}
+	return res, nil
+}
+
+// badRequest marks an error as the caller's fault (malformed query or
+// parameters); everything else renders as a server error.
+type badRequest struct{ err error }
+
+func (e badRequest) Error() string { return e.err.Error() }
+
+// errStatus maps an error to its HTTP status: 400 for caller mistakes,
+// 500 for execution failures, so retry policies and monitoring can
+// tell them apart.
+func errStatus(err error) int {
+	var br badRequest
+	if errors.As(err, &br) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// doQuery is runQuery without the bookkeeping.
+func (s *Server) doQuery(r *http.Request) (*core.Result, error) {
+	text, err := queryText(r)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	opts, err := s.requestOptions(r)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	return s.cfg.Store.Query(q, opts)
+}
+
+// binding is one variable's value in the SPARQL-JSON results format.
+type binding struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+// termBinding maps an RDF term to its JSON binding.
+func termBinding(t rdf.Term) binding {
+	switch {
+	case t.IsIRI():
+		return binding{Type: "uri", Value: t.Value}
+	case t.IsBlank():
+		return binding{Type: "bnode", Value: t.Value}
+	default:
+		return binding{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+}
+
+// sparqlResponse is the /sparql JSON document: the W3C SPARQL results
+// shape plus a stats block with the simulated execution record.
+type sparqlResponse struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results struct {
+		Bindings []map[string]binding `json:"bindings"`
+	} `json:"results"`
+	Stats struct {
+		Rows      int     `json:"rows"`
+		Truncated bool    `json:"truncated,omitempty"`
+		SimMS     float64 `json:"simMs"`
+		WallMS    float64 `json:"wallMs"`
+	} `json:"stats"`
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	res, err := s.runQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), errStatus(err))
+		return
+	}
+	rows := res.SortedRows()
+	truncated := false
+	if s.cfg.MaxRows > 0 && len(rows) > s.cfg.MaxRows {
+		rows = rows[:s.cfg.MaxRows]
+		truncated = true
+	}
+
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/tab-separated-values") {
+		format = "tsv"
+	}
+	switch format {
+	case "tsv":
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		fmt.Fprintln(w, strings.Join(res.Vars, "\t"))
+		for _, row := range rows {
+			cells := make([]string, len(row))
+			for i, t := range row {
+				cells[i] = t.String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, "\t"))
+		}
+	case "", "json":
+		var doc sparqlResponse
+		doc.Head.Vars = res.Vars
+		doc.Results.Bindings = make([]map[string]binding, len(rows))
+		for i, row := range rows {
+			b := make(map[string]binding, len(row))
+			for j, t := range row {
+				if j < len(res.Vars) {
+					b[res.Vars[j]] = termBinding(t)
+				}
+			}
+			doc.Results.Bindings[i] = b
+		}
+		doc.Stats.Rows = len(res.Rows)
+		doc.Stats.Truncated = truncated
+		doc.Stats.SimMS = float64(res.SimTime) / float64(time.Millisecond)
+		doc.Stats.WallMS = float64(res.WallTime) / float64(time.Millisecond)
+		writeJSON(w, doc)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (valid formats: json, tsv)", format), http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if r.URL.Query().Get("analyze") == "0" {
+		// Plan only: translate and build (through the plan cache is
+		// pointless here — Plan is pure), no execution, so actuals
+		// render as "?" and the error summary reports not-executed.
+		text, err := queryText(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		opts, err := s.requestOptions(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		q, err := sparql.Parse(text)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pl, err := s.cfg.Store.Plan(q, opts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, pl.String())
+		fmt.Fprintln(w, pl.ErrorSummary())
+		return
+	}
+	res, err := s.runQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), errStatus(err))
+		return
+	}
+	fmt.Fprint(w, res.Plan.String())
+	fmt.Fprintln(w, res.Plan.ErrorSummary())
+	fmt.Fprintf(w, "\n%d rows; simulated cluster time %v (wall %v)\n", len(res.Rows), res.SimTime, res.WallTime)
+	fmt.Fprintln(w, "\nJoin Tree:")
+	fmt.Fprint(w, res.Tree.String())
+	fmt.Fprintln(w, "\nStage trace:")
+	fmt.Fprint(w, res.Clock.Trace())
+}
+
+// statsResponse is the /stats JSON document.
+type statsResponse struct {
+	PlanCache struct {
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		Evictions uint64  `json:"evictions"`
+		Entries   int     `json:"entries"`
+		HitRate   float64 `json:"hitRate"`
+	} `json:"planCache"`
+	Queries struct {
+		Total    uint64  `json:"total"`
+		Errors   uint64  `json:"errors"`
+		AvgSimMS float64 `json:"avgSimMs"`
+		AvgWall  float64 `json:"avgWallMs"`
+	} `json:"queries"`
+	Estimation struct {
+		Observed  uint64  `json:"observed"`
+		AvgRatio  float64 `json:"avgMaxRatio"`
+		WorstCase float64 `json:"worstRatio"`
+		WorstNode string  `json:"worstNode,omitempty"`
+	} `json:"estimation"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var doc statsResponse
+	m := s.cfg.Store.PlanCacheMetrics()
+	doc.PlanCache.Hits = m.Hits
+	doc.PlanCache.Misses = m.Misses
+	doc.PlanCache.Evictions = m.Evictions
+	doc.PlanCache.Entries = m.Entries
+	doc.PlanCache.HitRate = m.HitRate()
+
+	s.mu.Lock()
+	doc.Queries.Total = s.queries
+	doc.Queries.Errors = s.errors
+	if ok := s.queries - s.errors; ok > 0 {
+		doc.Queries.AvgSimMS = float64(s.simTotal) / float64(ok) / float64(time.Millisecond)
+		doc.Queries.AvgWall = float64(s.wallTotal) / float64(ok) / float64(time.Millisecond)
+	}
+	doc.Estimation.Observed = s.estObs
+	if s.estObs > 0 {
+		doc.Estimation.AvgRatio = s.estSum / float64(s.estObs)
+	}
+	doc.Estimation.WorstCase = s.estMax
+	doc.Estimation.WorstNode = s.estMaxNode
+	s.mu.Unlock()
+
+	writeJSON(w, doc)
+}
+
+// writeJSON renders v with an application/json content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

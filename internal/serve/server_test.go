@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rdf"
+)
+
+// testServer loads a small graph and wraps it in a Server.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+	g := rdf.NewGraph(0)
+	add := func(s, p string, o rdf.Term) { g.AddSPO(iri(s), iri(p), o) }
+	add("user0", "likes", iri("prodA"))
+	add("user1", "likes", iri("prodA"))
+	add("user1", "likes", iri("prodB"))
+	add("user2", "likes", iri("prodB"))
+	add("prodA", "hasGenre", iri("g1"))
+	add("prodB", "hasGenre", iri("g2"))
+	add("user0", "name", rdf.NewLiteral("alice"))
+
+	c := cluster.MustNew(cluster.Config{Workers: 3, DefaultPartitions: 4})
+	store, err := core.Load(g, core.Options{Cluster: c})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	srv, err := New(Config{Store: store, MaxInflight: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv
+}
+
+const serveQuery = `SELECT ?u ?g WHERE {
+	?u <http://example.org/likes> ?p .
+	?p <http://example.org/hasGenre> ?g .
+}`
+
+func get(t *testing.T, srv *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestSPARQLEndpointJSON(t *testing.T) {
+	srv := testServer(t)
+	w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var doc struct {
+		Head    struct{ Vars []string }
+		Results struct {
+			Bindings []map[string]struct{ Type, Value string }
+		}
+		Stats struct {
+			Rows  int
+			SimMS float64 `json:"simMs"`
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body)
+	}
+	if len(doc.Head.Vars) != 2 || doc.Head.Vars[0] != "u" || doc.Head.Vars[1] != "g" {
+		t.Errorf("vars = %v, want [u g]", doc.Head.Vars)
+	}
+	if doc.Stats.Rows != 4 || len(doc.Results.Bindings) != 4 {
+		t.Errorf("rows = %d bindings = %d, want 4", doc.Stats.Rows, len(doc.Results.Bindings))
+	}
+	if doc.Stats.SimMS <= 0 {
+		t.Errorf("simMs = %g, want > 0", doc.Stats.SimMS)
+	}
+	b := doc.Results.Bindings[0]["u"]
+	if b.Type != "uri" || !strings.HasPrefix(b.Value, "http://example.org/user") {
+		t.Errorf("binding u = %+v", b)
+	}
+}
+
+func TestSPARQLEndpointTSVAndPost(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/sparql?format=tsv", strings.NewReader(serveQuery))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if lines[0] != "u\tg" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want header + 4 rows:\n%s", len(lines), w.Body)
+	}
+}
+
+func TestSPARQLEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/sparql", "missing query"},
+		{"/sparql?query=" + url.QueryEscape("SELECT nonsense"), ""},
+		{"/sparql?query=" + url.QueryEscape(serveQuery) + "&planner=bogus", "valid modes: cost, cost-leftdeep, heuristic, naive"},
+		{"/sparql?query=" + url.QueryEscape(serveQuery) + "&strategy=bogus", "valid strategies"},
+		// The test store is loaded without the inverse PT, so the
+		// otherwise-valid strategy must be rejected up front.
+		{"/sparql?query=" + url.QueryEscape(serveQuery) + "&strategy=" + url.QueryEscape("mixed+ipt"), "inverse property table"},
+		{"/sparql?query=" + url.QueryEscape(serveQuery) + "&format=bogus", "valid formats"},
+	}
+	for _, tt := range cases {
+		w := get(t, srv, tt.path)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tt.path, w.Code)
+		}
+		if tt.want != "" && !strings.Contains(w.Body.String(), tt.want) {
+			t.Errorf("%s: body %q does not mention %q", tt.path, w.Body, tt.want)
+		}
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	w := get(t, srv, "/explain?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"Physical plan", "actual=", "estimation error", "Join Tree", "Stage trace"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("explain output missing %q:\n%s", want, body)
+		}
+	}
+
+	// analyze=0 plans without executing: actuals unknown.
+	w = get(t, srv, "/explain?analyze=0&query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusOK {
+		t.Fatalf("analyze=0 status = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "not executed") {
+		t.Errorf("analyze=0 output should report an unexecuted plan:\n%s", w.Body)
+	}
+	if strings.Contains(w.Body.String(), "Stage trace") {
+		t.Errorf("analyze=0 must not execute:\n%s", w.Body)
+	}
+}
+
+func TestStatsEndpointTracksCacheAndErrors(t *testing.T) {
+	srv := testServer(t)
+	for i := 0; i < 5; i++ {
+		if w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery)); w.Code != http.StatusOK {
+			t.Fatalf("query %d failed: %s", i, w.Body)
+		}
+	}
+	get(t, srv, "/sparql?query=broken") // one parse error
+
+	w := get(t, srv, "/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", w.Code)
+	}
+	var doc struct {
+		PlanCache struct {
+			Hits    uint64
+			Misses  uint64
+			HitRate float64
+		}
+		Queries struct {
+			Total  uint64
+			Errors uint64
+		}
+		Estimation struct {
+			Observed  uint64
+			AvgRatio  float64 `json:"avgMaxRatio"`
+			WorstCase float64 `json:"worstRatio"`
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, w.Body)
+	}
+	if doc.Queries.Total != 6 || doc.Queries.Errors != 1 {
+		t.Errorf("queries = %+v, want total 6 / errors 1", doc.Queries)
+	}
+	if doc.PlanCache.Hits < 4 {
+		t.Errorf("cache hits = %d, want >= 4 after 5 identical queries", doc.PlanCache.Hits)
+	}
+	if doc.PlanCache.HitRate <= 0.5 {
+		t.Errorf("hit rate = %g, want > 0.5", doc.PlanCache.HitRate)
+	}
+	if doc.Estimation.Observed != 5 || doc.Estimation.WorstCase < 1 {
+		t.Errorf("estimation = %+v, want 5 observations with ratio >= 1", doc.Estimation)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	if w := get(t, srv, "/healthz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Errorf("healthz = %d %q", w.Code, w.Body)
+	}
+}
+
+// TestConcurrentRequests drives the handler from many goroutines — the
+// end-to-end race check over the server, cache, scheduler and engine.
+func TestConcurrentRequests(t *testing.T) {
+	srv := testServer(t)
+	want := get(t, srv, "/sparql?format=tsv&query="+url.QueryEscape(serveQuery)).Body.String()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for gi := 0; gi < 16; gi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				w := get(t, srv, "/sparql?format=tsv&query="+url.QueryEscape(serveQuery))
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", w.Code, w.Body)
+					return
+				}
+				if w.Body.String() != want {
+					errs <- fmt.Errorf("concurrent response differs:\n%s\nvs\n%s", w.Body, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

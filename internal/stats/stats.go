@@ -90,6 +90,46 @@ func Collect(triples []rdf.EncodedTriple) *Collection {
 	return c
 }
 
+// Fingerprint returns a content hash of the collection: two
+// collections computed from the same data fingerprint identically, and
+// any change to a count changes the hash with overwhelming
+// probability. Plan caches key on it so cached plans are invalidated
+// the moment the loader statistics they were priced with change.
+func (c *Collection) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(c.TotalTriples))
+	mix(uint64(c.DistinctSubjects))
+	mix(uint64(c.DistinctObjects))
+	preds := make([]rdf.ID, 0, len(c.ByPredicate))
+	for p := range c.ByPredicate {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	for _, p := range preds {
+		ps := c.ByPredicate[p]
+		mix(uint64(p))
+		mix(uint64(ps.Triples))
+		mix(uint64(ps.DistinctSubjects))
+		mix(uint64(ps.DistinctObjects))
+		if ps.MultiValued {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
+}
+
 // Predicate returns the stats for a predicate; absent predicates return
 // a zero-valued entry (the predicate simply does not occur).
 func (c *Collection) Predicate(p rdf.ID) Predicate {
