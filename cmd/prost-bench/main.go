@@ -106,6 +106,11 @@ func run(scale int, seed, extrapolate int64, exp string, verify bool) error {
 			return err
 		}
 		fmt.Println(a4.Table())
+		a5, err := sys.AblationAdaptive(queries)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a5.Table())
 	}
 	if want("extension") {
 		fig, err := sys.ExtensionInversePT(bench.ObjectStarQueries())

@@ -30,17 +30,18 @@ func main() {
 	strategy := flag.String("strategy", "mixed", "query strategy: "+strings.Join(core.StrategyNames(), ", "))
 	planner := flag.String("planner", "cost", "planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
 	workers := flag.Int("workers", 9, "simulated worker machines")
-	explain := flag.Bool("explain", false, "print the physical plan (with estimated vs actual cardinalities), the Join Tree and the stage trace")
+	explain := flag.Bool("explain", false, "print the physical plan (with estimated vs actual cardinalities), re-plan events, the Join Tree and the stage trace")
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
+	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
 	flag.Parse()
 
-	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows); err != nil {
+	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows, *replan); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int) error {
+func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int, replan float64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -88,7 +89,7 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		return err
 	}
 
-	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode})
+	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan})
 	if err != nil {
 		return err
 	}
@@ -111,6 +112,9 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		fmt.Println()
 		fmt.Print(res.Plan.String())
 		fmt.Println(res.Plan.ErrorSummary())
+		if adaptive := res.ReplanSummary(); adaptive != "" {
+			fmt.Print(adaptive)
+		}
 		fmt.Println("\nJoin Tree:")
 		fmt.Print(res.Tree.String())
 		fmt.Println("\nStage trace:")

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -47,15 +48,17 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "per-query scheduler pool width (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("plan-cache", 0, "plan cache entries (0 = default, negative = disabled)")
 	maxRows := flag.Int("max-rows", 0, "cap result rows per response (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; past it the query stops and the request returns 504 (0 = none)")
+	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
 	flag.Parse()
 
-	if err := run(*in, *addr, *strategy, *planner, *workers, *inflight, *parallelism, *cacheSize, *maxRows); err != nil {
+	if err := run(*in, *addr, *strategy, *planner, *workers, *inflight, *parallelism, *cacheSize, *maxRows, *queryTimeout, *replan); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, addr, strategy, planner string, workers, inflight, parallelism, cacheSize, maxRows int) error {
+func run(in, addr, strategy, planner string, workers, inflight, parallelism, cacheSize, maxRows int, queryTimeout time.Duration, replan float64) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -96,12 +99,14 @@ func run(in, addr, strategy, planner string, workers, inflight, parallelism, cac
 	srv, err := serve.New(serve.Config{
 		Store: store,
 		Options: core.QueryOptions{
-			Strategy:    strat,
-			Planner:     mode,
-			Parallelism: parallelism,
+			Strategy:        strat,
+			Planner:         mode,
+			Parallelism:     parallelism,
+			ReplanThreshold: replan,
 		},
-		MaxInflight: inflight,
-		MaxRows:     maxRows,
+		MaxInflight:  inflight,
+		MaxRows:      maxRows,
+		QueryTimeout: queryTimeout,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,58 @@
+package bench
+
+// Microbenchmark of the adaptive execution loop (ablation A5): the
+// C-family queries — where the independence assumption's triangle-join
+// errors trigger mid-query re-planning — executed with the static cost
+// planner, as an adaptive first run (re-plan evaluated and possibly
+// spliced), and through the feedback cache (the corrected plan a
+// previous adaptive run wrote back). Run with
+//
+//	go test ./internal/bench -bench AblationAdaptive
+//
+// SimTime is reported as the custom metric sim-ms/op.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/watdiv"
+)
+
+func BenchmarkAblationAdaptive(b *testing.B) {
+	f := plannerStore(b)
+	variants := []struct {
+		name string
+		opts func(core.QueryOptions) core.QueryOptions
+	}{
+		{"static", func(o core.QueryOptions) core.QueryOptions {
+			o.ReplanThreshold = -1
+			o.NoPlanCache = true
+			return o
+		}},
+		{"adaptive-1st", func(o core.QueryOptions) core.QueryOptions {
+			o.NoPlanCache = true
+			return o
+		}},
+		{"adaptive-cached", func(o core.QueryOptions) core.QueryOptions { return o }},
+	}
+	for _, name := range []string{"C1", "C2", "C3"} {
+		q, err := watdiv.QueryByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range variants {
+			b.Run(name+"/"+v.name, func(b *testing.B) {
+				opts := v.opts(core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: f.bcast})
+				var sim int64
+				for i := 0; i < b.N; i++ {
+					res, err := f.store.Query(q.Parsed, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim += int64(res.SimTime)
+				}
+				b.ReportMetric(float64(sim)/float64(b.N)/1e6, "sim-ms/op")
+			})
+		}
+	}
+}

@@ -251,6 +251,45 @@ func TestAblationBushy(t *testing.T) {
 	}
 }
 
+// TestAblationAdaptive pins the A5 acceptance shape: at least one
+// C-family query must improve by more than 5% on its very first
+// adaptive execution (the under-estimated triangle join triggers a
+// re-plan whose splice pays for itself), the steady-state feedback-
+// cache execution must match or beat the re-planned first run (it
+// skips the re-planning charge), and no query may regress more than
+// 2% against the static cost planner — the adopt-only-when-it-pays
+// rule makes adaptivity free where it cannot help.
+func TestAblationAdaptive(t *testing.T) {
+	s := systems(t)
+	queries := watdiv.BasicQuerySet()
+	fig, err := s.AblationAdaptive(queries)
+	if err != nil {
+		t.Fatalf("AblationAdaptive: %v", err)
+	}
+	cWins := 0
+	for i, label := range fig.Labels {
+		first, second, static := fig.Series[0].Values[i], fig.Series[1].Values[i], fig.Series[2].Values[i]
+		if strings.HasPrefix(label, "C") && float64(first) < float64(static)*0.95 {
+			cWins++
+		}
+		if float64(first) > float64(static)*1.02 {
+			t.Errorf("%s: adaptive first run (%v) regresses >2%% vs static (%v)", label, first, static)
+		}
+		// "Matches or beats": the steady-state run re-executes the
+		// corrected plan without the re-plan stall, so it must not be
+		// slower than the first adaptive run beyond pricing noise.
+		if float64(second) > float64(first)*1.001 {
+			t.Errorf("%s: feedback-cache run (%v) slower than re-planned first run (%v)", label, second, first)
+		}
+		t.Logf("%-4s first=%12v second=%12v static=%12v (first %+.2f%%, second %+.2f%% vs static)",
+			label, first, second, static,
+			100*(float64(first)/float64(static)-1), 100*(float64(second)/float64(static)-1))
+	}
+	if cWins < 1 {
+		t.Errorf("no C-family query improves >5%% on its first adaptive execution")
+	}
+}
+
 func TestAblationBroadcast(t *testing.T) {
 	s := systems(t)
 	queries := watdiv.BasicQuerySet()

@@ -33,11 +33,11 @@ func (s *Systems) Figure2(queries []watdiv.Query) (Figure, error) {
 		},
 	}
 	for _, q := range queries {
-		vp, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyVPOnly, BroadcastThreshold: s.BroadcastThreshold})
+		vp, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyVPOnly, BroadcastThreshold: s.BroadcastThreshold, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, fmt.Errorf("bench: figure 2, %s vp-only: %w", q.Name, err)
 		}
-		mixed, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		mixed, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, fmt.Errorf("bench: figure 2, %s mixed: %w", q.Name, err)
 		}
@@ -176,7 +176,9 @@ func (s *Systems) AblationJoinOrder(queries []watdiv.Query) (Figure, error) {
 
 // AblationPlanner compares the cost-based physical planner against the
 // paper's §3.3 heuristic ordering (ablation A3): same storage, same
-// engine, only join order and per-join physical selection differ.
+// engine, only join order and per-join physical selection differ —
+// adaptive re-planning is pinned off on both sides so the delta
+// isolates the planner variable (A5 measures adaptivity).
 func (s *Systems) AblationPlanner(queries []watdiv.Query) (Figure, error) {
 	fig := Figure{
 		Title: "Ablation A3: cost-based planner vs §3.3 heuristic",
@@ -186,11 +188,11 @@ func (s *Systems) AblationPlanner(queries []watdiv.Query) (Figure, error) {
 		},
 	}
 	for _, q := range queries {
-		costRes, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCost})
+		costRes, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCost, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
-		heurRes, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerHeuristic})
+		heurRes, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerHeuristic, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
@@ -208,8 +210,9 @@ func (s *Systems) AblationPlanner(queries []watdiv.Query) (Figure, error) {
 // default: independent subtrees become sibling subplans priced and run
 // as parallel branches) against the same cost-based planner restricted
 // to left-deep chains (ablation A4). Same storage, same engine, same
-// join arithmetic — only the plan shape differs, so the delta is the
-// critical-path saving of running snowflake arms concurrently.
+// join arithmetic, re-planning pinned off on both sides — only the
+// plan shape differs, so the delta is the critical-path saving of
+// running snowflake arms concurrently.
 func (s *Systems) AblationBushy(queries []watdiv.Query) (Figure, error) {
 	fig := Figure{
 		Title: "Ablation A4: bushy DAG execution vs left-deep chains",
@@ -219,11 +222,11 @@ func (s *Systems) AblationBushy(queries []watdiv.Query) (Figure, error) {
 		},
 	}
 	for _, q := range queries {
-		bushy, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCost})
+		bushy, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCost, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
-		ld, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCostLeftDeep})
+		ld, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, Planner: core.PlannerCostLeftDeep, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
@@ -233,6 +236,82 @@ func (s *Systems) AblationBushy(queries []watdiv.Query) (Figure, error) {
 		fig.Labels = append(fig.Labels, q.Name)
 		fig.Series[0].Values = append(fig.Series[0].Values, bushy.SimTime)
 		fig.Series[1].Values = append(fig.Series[1].Values, ld.SimTime)
+	}
+	return fig, nil
+}
+
+// AblationAdaptive compares adaptive mid-query re-planning against the
+// static cost planner (ablation A5), Mixed strategy throughout. Three
+// series per query:
+//
+//   - static: the cost planner with re-planning disabled (the PR 3
+//     behaviour), planned fresh each time.
+//   - adaptive-1st: a first execution with the default re-plan trigger
+//     and no plan cache — mis-estimated operators pause the frontier,
+//     the remainder is re-planned over materialized intermediates, and
+//     the corrected remainder is spliced in when its priced saving
+//     beats the re-planning charge.
+//   - adaptive-2nd: the steady-state cached execution — the feedback
+//     cache serves the corrected plan written back by a completed
+//     adaptive run, so the query neither repeats the estimation
+//     mistake nor re-pays the re-plan.
+//
+// The adopt-only-when-it-pays rule means a query without a genuine
+// correction opportunity runs exactly the static plan at exactly the
+// static time, so adaptivity is free where it cannot help.
+func (s *Systems) AblationAdaptive(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Ablation A5: adaptive re-planning vs static cost planner",
+		Series: []Series{
+			{Name: "adaptive-1st"},
+			{Name: "adaptive-2nd"},
+			{Name: "static"},
+		},
+	}
+	for _, q := range queries {
+		base := core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold}
+
+		staticOpts := base
+		staticOpts.ReplanThreshold = -1
+		staticOpts.NoPlanCache = true
+		static, err := s.PRoST.Query(q.Parsed, staticOpts)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: adaptive ablation, %s static: %w", q.Name, err)
+		}
+
+		firstOpts := base
+		firstOpts.NoPlanCache = true
+		first, err := s.PRoST.Query(q.Parsed, firstOpts)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: adaptive ablation, %s first: %w", q.Name, err)
+		}
+
+		// Steady state through the feedback cache: a corrected entry may
+		// itself be corrected once more (a re-plan exposes new operators
+		// whose estimates were never observed), so warm until the
+		// simulated time stops changing.
+		var second *core.Result
+		prev := time.Duration(-1)
+		for i := 0; i < 6; i++ {
+			res, err := s.PRoST.Query(q.Parsed, base)
+			if err != nil {
+				return Figure{}, fmt.Errorf("bench: adaptive ablation, %s cached run: %w", q.Name, err)
+			}
+			second = res
+			if res.SimTime == prev {
+				break
+			}
+			prev = res.SimTime
+		}
+
+		if len(first.Rows) != len(static.Rows) || len(second.Rows) != len(static.Rows) {
+			return Figure{}, fmt.Errorf("bench: adaptive ablation, %s: row counts diverge (static %d, first %d, second %d)",
+				q.Name, len(static.Rows), len(first.Rows), len(second.Rows))
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, first.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, second.SimTime)
+		fig.Series[2].Values = append(fig.Series[2].Values, static.SimTime)
 	}
 	return fig, nil
 }
@@ -248,11 +327,11 @@ func (s *Systems) AblationBroadcast(queries []watdiv.Query) (Figure, error) {
 		},
 	}
 	for _, q := range queries {
-		on, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		on, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
-		off, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: -1})
+		off, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: -1, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
@@ -275,11 +354,11 @@ func (s *Systems) ExtensionInversePT(queries []watdiv.Query) (Figure, error) {
 		},
 	}
 	for _, q := range queries {
-		mixed, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		mixed, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}
-		ipt, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixedIPT, BroadcastThreshold: s.BroadcastThreshold})
+		ipt, err := s.PRoST.Query(q.Parsed, core.QueryOptions{Strategy: core.StrategyMixedIPT, BroadcastThreshold: s.BroadcastThreshold, ReplanThreshold: -1})
 		if err != nil {
 			return Figure{}, err
 		}

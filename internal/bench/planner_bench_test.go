@@ -110,7 +110,10 @@ func BenchmarkPlannerSimTime(b *testing.B) {
 		}
 		for _, m := range plannerModes {
 			b.Run(sh.shape+"/"+m.name, func(b *testing.B) {
-				opts := core.QueryOptions{Planner: m.mode, BroadcastThreshold: f.bcast}
+				// Re-planning pinned off: this benchmark isolates the
+				// static planner variable (AblationAdaptive measures the
+				// adaptive loop).
+				opts := core.QueryOptions{Planner: m.mode, BroadcastThreshold: f.bcast, ReplanThreshold: -1}
 				var sim int64
 				for i := 0; i < b.N; i++ {
 					res, err := f.store.Query(q.Parsed, opts)

@@ -175,7 +175,12 @@ type Outcome struct {
 func (s *Systems) RunOn(system string, q *sparql.Query) (Outcome, error) {
 	switch system {
 	case SysPRoST:
-		res, err := s.PRoST.Query(q, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold})
+		// Paper figures measure the static planner (ReplanThreshold -1):
+		// adaptive re-planning writes corrected plans back to the shared
+		// cache, which would make later experiments' numbers depend on
+		// which experiment ran first. Adaptivity is measured by ablation
+		// A5, which manages its own options.
+		res, err := s.PRoST.Query(q, core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, ReplanThreshold: -1})
 		if err != nil {
 			return Outcome{}, err
 		}

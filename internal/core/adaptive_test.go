@@ -1,0 +1,305 @@
+package core
+
+// Tests for the adaptive execution loop: mid-query re-planning, the
+// feedback plan cache, per-query cancellation, and determinism of the
+// adaptive path under concurrent callers (the TestConcurrent* names
+// are load-bearing: CI's fast gate runs -run 'Concurrent|Adaptive').
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+)
+
+// correlatedGraph builds a graph whose join cardinalities break the
+// independence assumption: predicates a and b share one hot object
+// carried by 80% of their triples plus a distinct-value tail, so the
+// planner's |A||B|/max(d) estimate misses the a⋈b join by >10x — the
+// trigger shape the adaptive executor exists for. Predicate c hangs a
+// second join off b's subjects, giving the re-planner a remainder to
+// reorder, and d is an unrelated predicate for cache-isolation tests.
+func correlatedGraph() *rdf.Graph {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(testNS + s) }
+	g := rdf.NewGraph(0)
+	add := func(s, p string, o rdf.Term) { g.AddSPO(iri(s), iri(p), o) }
+	for i := 0; i < 100; i++ {
+		if i < 80 {
+			add(fmt.Sprintf("ua%d", i), "a", iri("hot"))
+			add(fmt.Sprintf("ub%d", i), "b", iri("hot"))
+		} else {
+			add(fmt.Sprintf("ua%d", i), "a", iri(fmt.Sprintf("atail%d", i)))
+			add(fmt.Sprintf("ub%d", i), "b", iri(fmt.Sprintf("btail%d", i)))
+		}
+		add(fmt.Sprintf("ub%d", i), "c", iri(fmt.Sprintf("w%d", i%7)))
+		add(fmt.Sprintf("ua%d", i), "d", iri(fmt.Sprintf("x%d", i%3)))
+	}
+	return g
+}
+
+const adaptiveQuery = `SELECT ?x ?y ?w WHERE {
+	?x <http://example.org/a> ?o .
+	?y <http://example.org/b> ?o .
+	?y <http://example.org/c> ?w .
+}`
+
+func adaptiveStore(t *testing.T) *Store {
+	t.Helper()
+	c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
+	s, err := Load(correlatedGraph(), Options{Cluster: c})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return s
+}
+
+// TestAdaptiveReplanFiresAndKeepsResults checks the core loop: the
+// correlated join trips the trigger, the re-planned execution returns
+// exactly the static planner's rows, and the corrected plan lands in
+// the feedback cache so the second execution reports the provenance
+// and never re-evaluates the mistake.
+func TestAdaptiveReplanFiresAndKeepsResults(t *testing.T) {
+	s := adaptiveStore(t)
+	q := sparql.MustParse(adaptiveQuery)
+
+	static, err := s.Query(q, QueryOptions{ReplanThreshold: -1, NoPlanCache: true})
+	if err != nil {
+		t.Fatalf("static: %v", err)
+	}
+	first, err := s.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatalf("adaptive: %v", err)
+	}
+	if len(first.Replans) == 0 {
+		t.Fatalf("correlated join (est misses actual >10x) did not trigger a re-plan")
+	}
+	ev := first.Replans[0]
+	if ev.Ratio <= DefaultReplanThreshold {
+		t.Errorf("trigger ratio %.2f not above the default threshold", ev.Ratio)
+	}
+	if ev.Trigger == "" || ev.OldRemainder == "" || ev.NewRemainder == "" {
+		t.Errorf("re-plan event incomplete: %+v", ev)
+	}
+	eqStrings(t, renderRows(first), renderRows(static), "adaptive vs static rows")
+
+	m := s.PlanCacheMetrics()
+	if m.CorrectedEntries == 0 {
+		t.Fatalf("completed adaptive run did not write a corrected plan back (metrics %+v)", m)
+	}
+	second, err := s.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if !second.CacheFeedback {
+		t.Errorf("second execution did not come from the feedback cache")
+	}
+	if got := s.PlanCacheMetrics().FeedbackHits; got == 0 {
+		t.Errorf("feedback hit not counted (metrics %+v)", s.PlanCacheMetrics())
+	}
+	eqStrings(t, renderRows(second), renderRows(static), "feedback-cache rows")
+	if sum := second.ReplanSummary(); !strings.Contains(sum, "feedback cache") {
+		t.Errorf("ReplanSummary does not report feedback provenance:\n%s", sum)
+	}
+	// The stamped feedback plan carries rebased estimates, so its worst
+	// error ratio must be far below the trigger.
+	if ratio, at := second.Plan.MaxErrorRatio(); at != nil && ratio > DefaultReplanThreshold {
+		t.Errorf("feedback plan still reports %.1fx estimation error at %s", ratio, at.Label)
+	}
+	if am := s.AdaptiveMetrics(); am.Evaluated == 0 {
+		t.Errorf("store adaptive counters not updated: %+v", am)
+	}
+}
+
+// TestAdaptiveDisabledForPaperModes keeps the heuristic and naive
+// planners exactly static: they reproduce the paper's measurements and
+// must never re-plan regardless of estimation error.
+func TestAdaptiveDisabledForPaperModes(t *testing.T) {
+	s := adaptiveStore(t)
+	q := sparql.MustParse(adaptiveQuery)
+	for _, mode := range []PlannerMode{PlannerHeuristic, PlannerNaive} {
+		res, err := s.Query(q, QueryOptions{Planner: mode})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(res.Replans) != 0 {
+			t.Errorf("%v planner re-planned; the paper modes must stay static", mode)
+		}
+	}
+}
+
+// TestTimedOutQueryLeavesCacheUntouched is the poisoning regression: a
+// query cancelled mid-flight must not write a corrected plan back, and
+// the entry the static planning inserted must keep serving correct
+// results afterwards.
+func TestTimedOutQueryLeavesCacheUntouched(t *testing.T) {
+	s := adaptiveStore(t)
+	q := sparql.MustParse(adaptiveQuery)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := s.QueryContext(ctx, q, QueryOptions{})
+	if err == nil {
+		t.Fatalf("expired deadline did not fail the query")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a *CancelError", err)
+	}
+	if !strings.Contains(err.Error(), "plan tasks") {
+		t.Errorf("cancel error lacks partial trace info: %v", err)
+	}
+	if m := s.PlanCacheMetrics(); m.CorrectedEntries != 0 {
+		t.Fatalf("timed-out query poisoned the cache with %d corrected entries", m.CorrectedEntries)
+	}
+
+	static, err := s.Query(q, QueryOptions{ReplanThreshold: -1, NoPlanCache: true})
+	if err != nil {
+		t.Fatalf("static: %v", err)
+	}
+	res, err := s.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatalf("query after timeout: %v", err)
+	}
+	eqStrings(t, renderRows(res), renderRows(static), "post-timeout result")
+}
+
+// TestFeedbackEntryInvalidatedByGenerationBump pins the generation
+// counter: reloading statistics — even bit-identical ones, where the
+// fingerprint key cannot change — strands corrected entries, because
+// their rebased estimates are observations of the old data.
+func TestFeedbackEntryInvalidatedByGenerationBump(t *testing.T) {
+	s := adaptiveStore(t)
+	q := sparql.MustParse(adaptiveQuery)
+	if _, err := s.Query(q, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.PlanCacheMetrics(); m.CorrectedEntries == 0 {
+		t.Fatalf("no corrected entry to invalidate (metrics %+v)", m)
+	}
+	base := s.PlanCacheMetrics()
+
+	s.swapStats(stats.Collect(s.triples)) // same data, same fingerprint, new generation
+	res, err := s.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheFeedback {
+		t.Errorf("stale-generation corrected entry served after stats reload")
+	}
+	m := s.PlanCacheMetrics()
+	if m.Generation != base.Generation+1 {
+		t.Errorf("generation = %d, want %d", m.Generation, base.Generation+1)
+	}
+	if got := m.Misses - base.Misses; got == 0 {
+		t.Errorf("post-reload lookup did not miss (metrics %+v)", m)
+	}
+}
+
+// TestStaleGenerationFreesFIFOSlot pins the cache's eviction
+// bookkeeping: dropping a generation-stale entry must free its FIFO
+// slot, so re-inserting the same key afterwards holds exactly one slot
+// and eviction never removes the live entry early.
+func TestStaleGenerationFreesFIFOSlot(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", &cachedPlan{})
+	c.bumpGeneration()
+	if _, ok := c.get("a"); ok {
+		t.Fatalf("stale-generation entry served")
+	}
+	c.put("a", &cachedPlan{corrected: true}) // re-insert after the lazy drop
+	c.put("b", &cachedPlan{})                // fills the cache; nothing may evict yet
+	if e, ok := c.get("a"); !ok || !e.corrected {
+		t.Fatalf("re-inserted entry lost (ok=%v): stale FIFO slot evicted the live entry", ok)
+	}
+	if m := c.metrics(); m.Entries != 2 || m.Evictions != 0 {
+		t.Fatalf("metrics %+v, want 2 entries and no evictions", m)
+	}
+}
+
+// TestConcurrentAdaptiveReplanSharedCache hammers the adaptive path
+// from 16 goroutines against one shared store and plan cache (the
+// -race gate): every result must be byte-identical to the sequential
+// baseline, and once the feedback cache reaches steady state the
+// simulated times must be deterministic too — the executed/remainder
+// partition depends only on virtual times and actuals, never on pool
+// interleaving.
+func TestConcurrentAdaptiveReplanSharedCache(t *testing.T) {
+	s := adaptiveStore(t)
+	queries := []string{
+		adaptiveQuery,
+		`SELECT ?x ?o WHERE { ?x <http://example.org/a> ?o . ?y <http://example.org/b> ?o . }`,
+		`SELECT ?y ?w WHERE { ?y <http://example.org/c> ?w . ?y <http://example.org/b> ?o . }`,
+		`SELECT ?x WHERE { ?x <http://example.org/d> ?v . ?x <http://example.org/a> ?o . }`,
+	}
+	parsed := make([]*sparql.Query, len(queries))
+	want := make([][]string, len(queries))
+	wantSim := make([]time.Duration, len(queries))
+	for i, src := range queries {
+		parsed[i] = sparql.MustParse(src)
+		// Sequential steady state: corrected plans may be corrected once
+		// more before the cache stabilizes.
+		var prev time.Duration = -1
+		for r := 0; r < 6; r++ {
+			res, err := s.Query(parsed[i], QueryOptions{})
+			if err != nil {
+				t.Fatalf("query %d warmup: %v", i, err)
+			}
+			want[i] = renderRows(res)
+			wantSim[i] = res.SimTime
+			if res.SimTime == prev {
+				break
+			}
+			prev = res.SimTime
+		}
+	}
+
+	const goroutines = 16
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				qi := (gi + r) % len(parsed)
+				res, err := s.Query(parsed[qi], QueryOptions{})
+				if err != nil {
+					errs <- fmt.Errorf("query %d: %w", qi, err)
+					return
+				}
+				got := renderRows(res)
+				if len(got) != len(want[qi]) {
+					errs <- fmt.Errorf("query %d: %d rows, want %d", qi, len(got), len(want[qi]))
+					return
+				}
+				for i := range got {
+					if got[i] != want[qi][i] {
+						errs <- fmt.Errorf("query %d row %d: %q != %q", qi, i, got[i], want[qi][i])
+						return
+					}
+				}
+				if res.SimTime != wantSim[qi] {
+					errs <- fmt.Errorf("query %d: concurrent SimTime %v != steady-state %v", qi, res.SimTime, wantSim[qi])
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

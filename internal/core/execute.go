@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -41,6 +43,38 @@ type QueryOptions struct {
 	// NoPlanCache bypasses the store's plan cache for this query: the
 	// plan is built from scratch and not inserted.
 	NoPlanCache bool
+	// ReplanThreshold is the adaptive re-planning trigger: when an
+	// executed operator's observed cardinality misses its estimate by
+	// more than this factor, the scheduler pauses the unexecuted
+	// remainder, re-plans it over the materialized intermediates, and
+	// splices the corrected remainder in when its priced saving beats
+	// the re-planning charge. 0 uses DefaultReplanThreshold; negative
+	// disables re-planning (the static ablation baseline). Only the
+	// cost-based planner modes re-plan — the heuristic and naive modes
+	// reproduce the paper's static behaviour exactly.
+	ReplanThreshold float64
+}
+
+// DefaultReplanThreshold is the estimation-error factor that triggers
+// adaptive re-planning when QueryOptions.ReplanThreshold is zero. The
+// C-family triangle joins miss by ~40x under the independence
+// assumption while well-estimated operators stay within a factor of a
+// few, so 8x separates the two populations cleanly.
+const DefaultReplanThreshold = 8.0
+
+// replanThreshold resolves the options' re-planning trigger for the
+// given planner mode.
+func (o QueryOptions) replanThreshold(mode plan.Mode) float64 {
+	if o.ReplanThreshold < 0 {
+		return 0
+	}
+	if mode != plan.ModeCost && mode != plan.ModeCostLeftDeep {
+		return 0
+	}
+	if o.ReplanThreshold == 0 {
+		return DefaultReplanThreshold
+	}
+	return o.ReplanThreshold
 }
 
 // Result is one query's answer plus its execution record.
@@ -58,10 +92,61 @@ type Result struct {
 	// execution order.
 	Tree *JoinTree
 	// Plan is the physical plan the query executed, with per-node
-	// estimated and actual cardinalities filled in.
+	// estimated and actual cardinalities filled in. When adaptive
+	// re-planning fired, this is the corrected plan the query actually
+	// ran — executed fragments grafted under the re-planned remainder.
 	Plan *plan.Plan
 	// Clock exposes the full stage trace.
 	Clock *cluster.Clock
+	// Replans records the adaptive re-planning decisions the execution
+	// evaluated, in round order (empty for a static run).
+	Replans []ReplanEvent
+	// CacheFeedback reports that the plan came from a feedback-cache
+	// entry: a corrected plan written back by a previous execution's
+	// re-plan, so this execution never repeats the original mistake.
+	CacheFeedback bool
+}
+
+// ReplanSummary renders the adaptive re-planning record for EXPLAIN
+// output: the plan's provenance when it came from the feedback cache,
+// and one block per evaluated re-plan with the trigger node, the error
+// ratio, the decision, and the old vs new remainder. It returns ""
+// when nothing adaptive happened.
+func (r *Result) ReplanSummary() string {
+	if len(r.Replans) == 0 && !r.CacheFeedback {
+		return ""
+	}
+	var sb strings.Builder
+	if r.CacheFeedback {
+		sb.WriteString("plan source: feedback cache (corrected by a previous execution's re-plan)\n")
+	}
+	for _, ev := range r.Replans {
+		verdict := "kept static remainder (saving under re-plan charge)"
+		if ev.Adopted {
+			verdict = "adopted corrected remainder"
+		}
+		fmt.Fprintf(&sb, "re-plan round %d: trigger %s est=%.4g actual=%d (%.1fx error): %s, remainder %v -> %v\n",
+			ev.Round, ev.Trigger, ev.Est, ev.Actual, ev.Ratio, verdict,
+			ev.OldCrit.Round(time.Microsecond), ev.NewCrit.Round(time.Microsecond))
+		if ev.Adopted {
+			sb.WriteString(indentBlock("  old remainder: ", ev.OldRemainder))
+			sb.WriteString(indentBlock("  new remainder: ", ev.NewRemainder))
+		}
+	}
+	return sb.String()
+}
+
+// indentBlock renders a multi-line plan under a header, indented.
+func indentBlock(header, block string) string {
+	var sb strings.Builder
+	sb.WriteString(header)
+	sb.WriteByte('\n')
+	for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
+		sb.WriteString("    ")
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
 }
 
 // SortedRows returns the rows sorted by their rendered terms, for
@@ -80,25 +165,48 @@ func (r *Result) SortedRows() [][]rdf.Term {
 	return rows
 }
 
-// Query plans and executes a SPARQL query against the store. Planning
-// first consults the plan cache (keyed on the normalized BGP, the
-// options, and the loader-statistics fingerprint); on a miss the Join
-// Tree is translated from the BGP (paper §3.2) and the planner builds
-// a physical plan with estimated cardinalities. Execution runs the
-// plan as a task DAG on a bounded worker pool: independent subtrees
-// (bushy arms, sibling scans) execute concurrently, each operator's
-// actual output cardinality is recorded into a per-execution
-// observation, and the simulated time is the critical path through the
-// DAG. Query is safe for concurrent callers — cached plans are shared
-// read-only, and all execution state is per-call.
+// Query plans and executes a SPARQL query against the store with a
+// background context; see QueryContext.
 func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
+	return s.QueryContext(context.Background(), q, opts)
+}
+
+// QueryContext plans and executes a SPARQL query against the store.
+// Planning first consults the plan cache (keyed on the normalized BGP,
+// the options, and the loader-statistics fingerprint); on a miss the
+// Join Tree is translated from the BGP (paper §3.2) and the planner
+// builds a physical plan with estimated cardinalities. Execution runs
+// the plan as a task DAG on a bounded worker pool: independent
+// subtrees (bushy arms, sibling scans) execute concurrently, each
+// operator's actual output cardinality is recorded into a
+// per-execution observation, and the simulated time is the critical
+// path through the DAG.
+//
+// Execution is adaptive: a join whose input's observed cardinality
+// missed its estimate by more than QueryOptions.ReplanThreshold does
+// not run — the unexecuted remainder is re-planned over the
+// materialized intermediates (with exact rebased statistics) and the
+// corrected remainder is spliced in when its priced saving beats the
+// re-planning charge. A query that re-planned writes the corrected
+// plan back to the plan cache (keyed identically, estimates rebased to
+// the observed cardinalities), so the next execution of the same query
+// skips both the mistake and the re-plan. Only fully executed queries
+// write back — a cancelled or failed run never poisons the cache.
+//
+// ctx cancels in-flight execution at task granularity: when the
+// deadline passes, no further plan operators start and QueryContext
+// returns a *CancelError wrapping the context error.
+//
+// QueryContext is safe for concurrent callers — cached plans are
+// shared read-only, and all execution state is per-call.
+func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOptions) (*Result, error) {
 	start := time.Now()
 	clock := opts.Clock
 	if clock == nil {
 		clock = cluster.NewClock()
 	}
 	mode := opts.planMode()
-	entry, err := s.planEntry(q, mode, opts)
+	entry, key, cacheable, err := s.planEntry(q, mode, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -119,14 +227,19 @@ func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 	}
 	tree := &JoinTree{Nodes: ordered}
 
-	obs := plan.NewObservation(pl)
 	sched := &scheduler{
-		store:     s,
-		nodes:     entry.nodes,
-		filters:   filters,
-		opts:      opts,
-		obs:       obs,
-		startCost: s.cluster.Config().Cost.SQLPlanning,
+		store:           s,
+		nodes:           entry.nodes,
+		filters:         filters,
+		opts:            opts,
+		ctx:             ctx,
+		startCost:       s.cluster.Config().Cost.SQLPlanning,
+		replanThreshold: opts.replanThreshold(mode),
+		filterSpecs:     filterSpecs(q, pl.Leaves),
+		projection:      q.Projection(),
+		distinct:        q.Distinct,
+		costs:           s.planCosts(opts),
+		replanCharge:    s.cluster.Config().Cost.SQLPlanning,
 	}
 	rootTask, err := sched.execute(pl)
 	if err != nil {
@@ -152,10 +265,29 @@ func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 	// concurrent queries.
 	trace := cluster.NewClock()
 	trace.Charge("query planning", sched.startCost)
-	absorbTrace(trace, rootTask)
+	sched.appendTrace(trace)
 	trace.Absorb(epiClock.Stages())
 	simTime := rootTask.done + epiClock.Elapsed()
 	clock.MergeTrace(trace.Stages(), simTime)
+
+	// The executed-plan view: the static plan stamped with actuals, or
+	// the corrected grafted plan when re-planning fired.
+	var executed *plan.Plan
+	if len(sched.rounds) == 1 {
+		executed = pl.Stamp(sched.rounds[0].obs)
+	} else {
+		executed = sched.executedPlan()
+	}
+
+	// Feedback write-back: a fully executed query that evaluated a
+	// re-plan stores the corrected plan (estimates rebased to observed
+	// cardinalities) under the same key, turning the cache from a
+	// memoizer into a feedback store — the next execution neither
+	// repeats the estimation mistake nor re-pays the re-plan.
+	if cacheable && len(sched.events) > 0 {
+		s.planCache.put(key, &cachedPlan{nodes: entry.nodes, plan: executed.Rebase(), corrected: true})
+	}
+	s.adaptive.record(sched.events)
 
 	decoded := make([][]rdf.Term, len(rows))
 	for i, r := range rows {
@@ -166,44 +298,46 @@ func (s *Store) Query(q *sparql.Query, opts QueryOptions) (*Result, error) {
 		decoded[i] = terms
 	}
 	return &Result{
-		Vars:     q.Projection(),
-		Rows:     decoded,
-		SimTime:  simTime,
-		WallTime: time.Since(start),
-		Tree:     tree,
-		Plan:     pl.Stamp(obs),
-		Clock:    clock,
+		Vars:          q.Projection(),
+		Rows:          decoded,
+		SimTime:       simTime,
+		WallTime:      time.Since(start),
+		Tree:          tree,
+		Plan:          executed,
+		Clock:         clock,
+		Replans:       sched.events,
+		CacheFeedback: entry.corrected,
 	}, nil
 }
 
 // planEntry resolves the (translate + plan) pipeline through the plan
 // cache: a hit returns the shared immutable entry; a miss translates,
-// plans, inserts and returns.
-func (s *Store) planEntry(q *sparql.Query, mode plan.Mode, opts QueryOptions) (*cachedPlan, error) {
-	useCache := !opts.NoPlanCache && s.planCache != nil
-	var key string
-	if useCache {
+// plans, inserts and returns. The returned key and cacheable flag let
+// the caller write a corrected plan back after an adaptive run.
+func (s *Store) planEntry(q *sparql.Query, mode plan.Mode, opts QueryOptions) (entry *cachedPlan, key string, cacheable bool, err error) {
+	cacheable = !opts.NoPlanCache && s.planCache != nil
+	if cacheable {
 		key = planCacheKey(q, mode, opts, s.statsFP)
 		if e, ok := s.planCache.get(key); ok {
-			return e, nil
+			return e, key, cacheable, nil
 		}
 	}
 	tree, err := s.Translate(q, opts.Strategy)
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	if mode == plan.ModeNaive {
 		naiveOrder(tree, q)
 	}
 	pl := s.buildPlan(tree, q, mode, opts)
 	if pl == nil {
-		return nil, fmt.Errorf("core: query has no patterns")
+		return nil, "", false, fmt.Errorf("core: query has no patterns")
 	}
-	entry := &cachedPlan{nodes: tree.Nodes, plan: pl}
-	if useCache {
+	entry = &cachedPlan{nodes: tree.Nodes, plan: pl}
+	if cacheable {
 		s.planCache.put(key, entry)
 	}
-	return entry, nil
+	return entry, key, cacheable, nil
 }
 
 // PlanCacheMetrics snapshots the store's plan-cache counters.

@@ -237,6 +237,7 @@ func (s *Store) planCosts(opts QueryOptions) plan.Costs {
 		Workers:            s.cluster.Workers(),
 		BroadcastThreshold: threshold,
 		BytesPerValue:      engine.BytesPerValue,
+		SkewSaltFraction:   engine.DefaultSkewSaltFraction,
 		Model:              s.cluster.Config().Cost,
 	}
 }

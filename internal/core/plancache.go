@@ -20,9 +20,19 @@ const defaultPlanCacheSize = 256
 // execution that hits the cache and must never be mutated — actual
 // cardinalities go into per-execution plan.Observations, and the
 // display Join Tree is re-sequenced into a fresh slice per query.
+//
+// A corrected entry is the feedback form: the plan a fully executed
+// adaptive run actually ran, with its estimates rebased to the
+// observed cardinalities, written back over the static entry under the
+// same key. Executions hitting it neither repeat the estimation
+// mistake nor re-pay the re-plan. gen records the cache generation the
+// entry was written in; a statistics reload bumps the generation and
+// strands older entries.
 type cachedPlan struct {
-	nodes []*Node
-	plan  *plan.Plan
+	nodes     []*Node
+	plan      *plan.Plan
+	corrected bool
+	gen       uint64
 }
 
 // CacheMetrics is a point-in-time snapshot of plan-cache behaviour.
@@ -35,6 +45,14 @@ type CacheMetrics struct {
 	Evictions uint64
 	// Entries is the current number of cached plans.
 	Entries int
+	// FeedbackHits counts hits on corrected entries — plans a previous
+	// adaptive execution rebased and wrote back.
+	FeedbackHits uint64
+	// CorrectedEntries is the current number of corrected plans held.
+	CorrectedEntries int
+	// Generation is the statistics generation the cache is serving;
+	// entries written under an older generation are treated as misses.
+	Generation uint64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 before any lookup.
@@ -52,13 +70,15 @@ func (m CacheMetrics) HitRate() float64 {
 // and the second insert wins, which is correct because entries for one
 // key are interchangeable.
 type planCache struct {
-	mu        sync.Mutex
-	max       int
-	entries   map[string]*cachedPlan
-	order     []string // insertion order, for FIFO eviction
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	mu           sync.Mutex
+	max          int
+	entries      map[string]*cachedPlan
+	order        []string // insertion order, for FIFO eviction
+	gen          uint64   // statistics generation; bumped on reload
+	hits         uint64
+	misses       uint64
+	evictions    uint64
+	feedbackHits uint64
 }
 
 // newPlanCache returns a cache bounded to max entries. Callers wanting
@@ -68,27 +88,50 @@ func newPlanCache(max int) *planCache {
 	return &planCache{max: max, entries: make(map[string]*cachedPlan)}
 }
 
-// get looks a key up, counting the hit or miss.
+// get looks a key up, counting the hit or miss. An entry written under
+// an older statistics generation is dropped and reported as a miss —
+// its plan (and, for corrected entries, its rebased observed
+// cardinalities) describes data that no longer exists.
 func (c *planCache) get(key string) (*cachedPlan, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
+	if ok && e.gen != c.gen {
+		delete(c.entries, key)
+		// Drop the key's FIFO slot too: leaving it would let a later
+		// re-insert of the same key hold two slots, and eviction would
+		// then pop the stale slot and delete the live entry early.
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		ok = false
+	}
 	if ok {
 		c.hits++
+		if e.corrected {
+			c.feedbackHits++
+		}
 	} else {
 		c.misses++
+		e = nil
 	}
 	return e, ok
 }
 
-// put inserts an entry, evicting the oldest insertions beyond the
-// bound.
+// put inserts an entry stamped with the current generation, evicting
+// the oldest insertions beyond the bound. Re-inserting an existing key
+// (the feedback write-back path) replaces the entry in place without
+// consuming a new FIFO slot.
 func (c *planCache) put(key string, e *cachedPlan) {
 	if c.max < 1 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	e.gen = c.gen
 	if _, exists := c.entries[key]; !exists {
 		c.order = append(c.order, key)
 	}
@@ -103,11 +146,40 @@ func (c *planCache) put(key string, e *cachedPlan) {
 	}
 }
 
+// bumpGeneration advances the statistics generation and purges the
+// cache outright: every existing entry — static plans keyed on the old
+// fingerprint, corrected plans whose rebased estimates are
+// observations of the old data — is a guaranteed miss under the new
+// generation, so dropping them eagerly frees the memory and keeps the
+// metrics consistent. The generation check in get remains as a
+// defensive backstop.
+func (c *planCache) bumpGeneration() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.entries = make(map[string]*cachedPlan)
+	c.order = nil
+}
+
 // metrics snapshots the counters.
 func (c *planCache) metrics() CacheMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheMetrics{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+	corrected := 0
+	for _, e := range c.entries {
+		if e.corrected && e.gen == c.gen {
+			corrected++
+		}
+	}
+	return CacheMetrics{
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		Entries:          len(c.entries),
+		FeedbackHits:     c.feedbackHits,
+		CorrectedEntries: corrected,
+		Generation:       c.gen,
+	}
 }
 
 // planCacheKey renders everything a plan depends on into a lookup key:
@@ -128,6 +200,11 @@ func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP ui
 	sb.WriteString(opts.Strategy.String())
 	sb.WriteByte('|')
 	sb.WriteString(strconv.FormatInt(opts.BroadcastThreshold, 10))
+	sb.WriteByte('|')
+	// The resolved re-plan trigger is part of the key: a corrected plan
+	// written back under one bound must not serve executions running
+	// with another (or with adaptivity disabled).
+	sb.WriteString(strconv.FormatFloat(opts.replanThreshold(mode), 'g', -1, 64))
 	sb.WriteByte('|')
 	sb.WriteString(strconv.FormatUint(statsFP, 16))
 	sb.WriteByte('|')

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/plan"
+	"repro/internal/rdf"
 )
 
 // execTask is one schedulable unit of a query: a plan operator plus
@@ -19,42 +23,153 @@ type execTask struct {
 	node   *plan.Node
 	deps   []*execTask
 	parent *execTask
-	// pending counts unfinished dependencies; the task is enqueued when
-	// it reaches zero.
+	// pending counts unfinished dependencies; the task is dispatched
+	// when it reaches zero.
 	pending int32
+	// tainted marks a task whose subtree contains a blocked task — it
+	// will never run this round and resolves as skipped.
+	tainted atomic.Bool
+	// blocked marks a task the adaptive pause gate stopped: its virtual
+	// start is at or after a known re-plan trigger's completion, so it
+	// belongs to the re-planned remainder.
+	blocked bool
+	// executed reports the task ran (successfully or as a post-failure
+	// no-op).
+	executed bool
+	// discarded marks a task that ran before the pause point was known
+	// but virtually starts at or after it: its result and stages are
+	// dropped and its work is re-planned, exactly as if the gate had
+	// caught it (the driver cancelling a just-queued stage).
+	discarded bool
 
+	// start is the task's virtual start time: max of the round floor,
+	// the query start cost and its dependencies' completions.
+	start time.Duration
 	// rel is the task's output relation, nil until the task ran (or
 	// forever, when execution failed before it could run).
 	rel *engine.Relation
-	// done is the task's virtual completion time: max over dependency
-	// completions plus the task's own stage time.
+	// done is the task's virtual completion time: start plus the task's
+	// own stage time.
 	done time.Duration
 	// stages is the task's priced stage trace.
 	stages []cluster.StageRecord
 }
 
+// boundInput wires one materialized intermediate into the next round:
+// the relation a Bound leaf reads, its virtual completion time, the
+// executed node (in its round's plan) the corrected plan grafts back,
+// and the measured leaf statistics, reused verbatim if the fragment is
+// re-bound by a later round's re-plan (the relation never changes, so
+// re-scanning it would recompute identical numbers).
+type boundInput struct {
+	rel   *engine.Relation
+	done  time.Duration
+	round int
+	node  *plan.Node
+	leaf  plan.BoundLeaf
+}
+
+// roundRun is one execution round of the adaptive loop: a plan (the
+// original on round zero, a re-planned remainder afterwards), its
+// per-round observation, the bound inputs its Bound leaves read, and
+// the virtual-time floor no task of the round may start before (the
+// re-plan splice point).
+type roundRun struct {
+	plan  *plan.Plan
+	obs   *plan.Observation
+	bound []boundInput
+	floor time.Duration
+	root  *execTask
+	tasks []*execTask
+	// pauseAt is the round's re-plan pause point: the minimum virtual
+	// completion time over executed operators whose observed
+	// cardinality missed its estimate beyond the re-plan bound
+	// (math.MaxInt64 while no trigger fired). Tasks virtually starting
+	// at or after it belong to the re-planned remainder. The minimum
+	// over completed candidates is interleaving-independent — a task's
+	// virtual times never depend on pool timing, and any candidate
+	// observed late necessarily completes after the earliest one — so
+	// the executed/remainder partition is deterministic.
+	pauseAt atomic.Int64
+}
+
+// pause folds a trigger's completion time into the round's pause point.
+func (rr *roundRun) pause(done time.Duration) {
+	for {
+		cur := rr.pauseAt.Load()
+		if int64(done) >= cur || rr.pauseAt.CompareAndSwap(cur, int64(done)) {
+			return
+		}
+	}
+}
+
+// ReplanEvent records one adaptive re-planning decision for EXPLAIN
+// and /stats: which node's actual blew past its estimate, by how much,
+// and what the re-planner did about it.
+type ReplanEvent struct {
+	// Round is the execution round the trigger fired in (1-based: the
+	// first re-plan ends round 1).
+	Round int
+	// Trigger describes the mis-estimated executed node.
+	Trigger string
+	// Est and Actual are the trigger node's estimated and observed
+	// cardinalities; Ratio is the error factor between them.
+	Est    float64
+	Actual int64
+	Ratio  float64
+	// Adopted reports whether the corrected remainder replaced the
+	// static one (a re-plan is adopted only when its priced saving
+	// exceeds the re-planning charge).
+	Adopted bool
+	// OldCrit and NewCrit are the priced critical paths of the static
+	// and chosen remainders.
+	OldCrit, NewCrit time.Duration
+	// OldRemainder and NewRemainder render the two remainder plans.
+	OldRemainder, NewRemainder string
+}
+
 // scheduler executes one physical plan as a task DAG on a bounded
-// worker pool. Independent subtrees (the arms of a bushy plan, or the
-// scans of any plan) run concurrently, both for real — goroutines
-// execute the partition work — and on the virtual clock, where a
-// task's start is the maximum of its dependencies' completion times,
-// so the query's simulated time is the critical path through the DAG
-// rather than the sum of its stages.
+// worker pool, with adaptive mid-query re-planning layered on top.
+// Independent subtrees run concurrently, both for real and on the
+// virtual clock, exactly as before; additionally, every join checks
+// its inputs' observed cardinalities against their estimates before it
+// runs. A join whose input missed by more than the re-plan bound does
+// not run — it blocks, its ancestors resolve as skipped, and when the
+// round quiesces the unexecuted remainder is re-planned over the
+// materialized intermediates (plan.Replan) and executed as the next
+// round. Because the block decision depends only on deterministic
+// per-node actuals — never on pool interleaving — the partition into
+// executed and re-planned work, and therefore the final plan and its
+// simulated time, is identical across runs and across concurrency
+// levels.
 //
-// All mutable state is per-execution: each task gets its own
-// engine.Exec and cluster.Clock, and actual cardinalities are recorded
-// into a per-execution plan.Observation, never onto the (possibly
-// cached and shared) plan nodes. This is what makes Store.Query safe
-// for concurrent callers.
+// All mutable state is per-execution, so Store.Query remains safe for
+// concurrent callers sharing cached plans.
 type scheduler struct {
 	store   *Store
 	nodes   []*Node
 	filters []compiledFilter
 	opts    QueryOptions
-	obs     *plan.Observation
+	ctx     context.Context
 	// startCost is the per-query planning charge; every leaf task
 	// starts after it.
 	startCost time.Duration
+
+	// Adaptive re-planning inputs: the trigger bound (0 disables), the
+	// filter/projection description of the query, and the pricing the
+	// re-planner shares with the static planner.
+	replanThreshold float64
+	filterSpecs     []plan.FilterSpec
+	projection      []string
+	distinct        bool
+	costs           plan.Costs
+	replanCharge    time.Duration
+
+	rounds []*roundRun
+	events []ReplanEvent
+
+	completed  atomic.Int64
+	totalTasks atomic.Int64
 
 	failed  atomic.Bool
 	errOnce sync.Once
@@ -76,9 +191,43 @@ func buildTasks(root *plan.Node) (rootTask *execTask, all []*execTask) {
 	return rootTask, all
 }
 
-// execute runs the DAG and returns the root task.
+// execute runs the adaptive loop — run a round to quiescence, re-plan
+// the remainder if a trigger fired, splice, repeat — and returns the
+// final root task. The loop terminates because every round keeps at
+// least the trigger operator itself (its virtual start precedes the
+// pause point by construction), so the unexecuted operator count
+// strictly decreases.
 func (sc *scheduler) execute(pl *plan.Plan) (*execTask, error) {
-	rootTask, tasks := buildTasks(pl.Root)
+	round := &roundRun{plan: pl, obs: plan.NewObservation(pl)}
+	round.pauseAt.Store(math.MaxInt64)
+	sc.rounds = append(sc.rounds, round)
+	for {
+		if err := sc.runRound(round); err != nil {
+			return nil, err
+		}
+		if round.pauseAt.Load() == math.MaxInt64 {
+			return round.root, nil
+		}
+		next, err := sc.replan(round)
+		if err != nil {
+			return nil, err
+		}
+		sc.rounds = append(sc.rounds, next)
+		round = next
+	}
+}
+
+// runRound executes one round's DAG until quiescence: every task is
+// executed, blocked (virtually starting at or after a known pause
+// point), or skipped (downstream of a blocked task). After quiescence
+// tasks that ran before the final pause point was known but virtually
+// start at or after it are discarded, so the executed/remainder
+// partition depends only on virtual times and recorded actuals — never
+// on pool interleaving.
+func (sc *scheduler) runRound(rr *roundRun) error {
+	rootTask, tasks := buildTasks(rr.plan.Root)
+	rr.root, rr.tasks = rootTask, tasks
+	sc.totalTasks.Add(int64(len(tasks)))
 
 	par := sc.opts.Parallelism
 	if par <= 0 {
@@ -88,34 +237,129 @@ func (sc *scheduler) execute(pl *plan.Plan) (*execTask, error) {
 		par = len(tasks)
 	}
 
-	// The ready queue is buffered to the task count so completions can
+	// The ready queue is buffered to the task count so resolutions can
 	// enqueue parents without blocking.
 	ready := make(chan *execTask, len(tasks))
-	for _, t := range tasks {
-		if t.pending == 0 {
-			ready <- t
+	quiesced := make(chan struct{})
+	remaining := int32(len(tasks))
+
+	// resolve retires a task (executed, blocked or skipped exactly
+	// once), taints the parent when the task did not execute, and
+	// dispatches the parent once its last dependency resolves.
+	var dispatch func(t *execTask)
+	resolve := func(t *execTask) {
+		if !t.executed && t.parent != nil {
+			t.parent.tainted.Store(true)
+		}
+		if p := t.parent; p != nil && atomic.AddInt32(&p.pending, -1) == 0 {
+			dispatch(p)
+		}
+		if atomic.AddInt32(&remaining, -1) == 0 {
+			close(quiesced)
 		}
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(tasks))
+	dispatch = func(t *execTask) {
+		if t.tainted.Load() {
+			resolve(t) // skipped: an input subtree is blocked
+			return
+		}
+		t.start = sc.taskStart(rr, t)
+		// The pause gate: a task starting at or after a known trigger's
+		// completion belongs to the re-planned remainder. A trigger
+		// discovered after this check retroactively discards the task
+		// instead — same partition, some wasted (real) work.
+		if sc.replanThreshold > 0 && !sc.failed.Load() && int64(t.start) >= rr.pauseAt.Load() {
+			t.blocked = true
+			resolve(t)
+			return
+		}
+		ready <- t
+	}
+
+	// Seed the leaves before any worker starts: a leaf dispatch only
+	// enqueues (leaves have no inputs to taint or pause on), and doing
+	// it first keeps the initial pending reads free of concurrent
+	// resolutions.
+	for _, t := range tasks {
+		if t.pending == 0 {
+			dispatch(t)
+		}
+	}
 	for i := 0; i < par; i++ {
 		go func() {
-			for t := range ready {
-				sc.run(t)
-				if p := t.parent; p != nil && atomic.AddInt32(&p.pending, -1) == 0 {
-					ready <- p
+			for {
+				select {
+				case t := <-ready:
+					sc.run(rr, t)
+					t.executed = true
+					resolve(t)
+				case <-quiesced:
+					return
 				}
-				wg.Done()
 			}
 		}()
 	}
-	wg.Wait()
-	close(ready)
+	<-quiesced
 
-	if sc.err != nil {
-		return nil, sc.err
+	if sc.err == nil && sc.replanThreshold > 0 {
+		if pauseAt := rr.pauseAt.Load(); pauseAt != math.MaxInt64 {
+			// Retroactively discard work the gate could not catch: tasks
+			// that ran but virtually start at or after the pause point.
+			// Anything consuming a discarded result starts even later,
+			// so the discarded set is closed downstream.
+			for _, t := range rr.tasks {
+				if t.executed && int64(t.start) >= pauseAt {
+					t.discarded = true
+					t.stages = nil
+				}
+			}
+		} else {
+			// No trigger fired: the retained intermediates (kept alive
+			// in case they became bound leaves) are garbage now — only
+			// the root's relation feeds the epilogue.
+			for _, t := range rr.tasks {
+				if t != rr.root {
+					t.rel = nil
+				}
+			}
+		}
 	}
-	return rootTask, nil
+	return sc.err
+}
+
+// taskStart computes a task's virtual start: the round floor and query
+// start cost, then its dependencies' completions. Bound leaves start
+// at zero — their work predates the round and they are never paused.
+func (sc *scheduler) taskStart(rr *roundRun, t *execTask) time.Duration {
+	if t.node.Op == plan.OpBound {
+		return 0
+	}
+	start := sc.startCost
+	if rr.floor > start {
+		start = rr.floor
+	}
+	for _, d := range t.deps {
+		if d.done > start {
+			start = d.done
+		}
+	}
+	return start
+}
+
+// obsErrRatio is a node's estimation-error factor under the round's
+// observation: max(est,1)/max(actual,1) or its inverse, whichever
+// exceeds 1; nodes without a recorded actual report 1.
+func obsErrRatio(o *plan.Observation, n *plan.Node) float64 {
+	act := o.Actual(n)
+	if act < 0 {
+		return 1
+	}
+	est := math.Max(n.Est, 1)
+	a := math.Max(float64(act), 1)
+	if est > a {
+		return est / a
+	}
+	return a / est
 }
 
 // fail records the first error and stops further work.
@@ -127,8 +371,29 @@ func (sc *scheduler) fail(err error) {
 // run executes one task against its own virtual clock and records its
 // observed cardinality and completion time. Tasks scheduled after a
 // failure complete immediately without doing work, so the DAG drains.
-func (sc *scheduler) run(t *execTask) {
+func (sc *scheduler) run(rr *roundRun, t *execTask) {
 	if sc.failed.Load() {
+		return
+	}
+	if sc.ctx != nil {
+		if cerr := sc.ctx.Err(); cerr != nil {
+			sc.fail(&CancelError{
+				Err:            cerr,
+				CompletedTasks: int(sc.completed.Load()),
+				TotalTasks:     int(sc.totalTasks.Load()),
+			})
+			return
+		}
+	}
+	if t.node.Op == plan.OpBound {
+		// The relation was materialized by an earlier round; adopt it
+		// and its completion time without charging anything.
+		b := rr.bound[t.node.Leaf]
+		t.rel = b.rel
+		t.done = b.done
+		rr.bound[t.node.Leaf].rel = nil
+		rr.obs.Record(t.node, int64(t.rel.NumRows()))
+		sc.completed.Add(1)
 		return
 	}
 	clk := cluster.NewClock()
@@ -144,18 +409,237 @@ func (sc *scheduler) run(t *execTask) {
 		return
 	}
 	t.rel = rel
-	sc.obs.Record(t.node, int64(rel.NumRows()))
+	rr.obs.Record(t.node, int64(rel.NumRows()))
 	t.stages = clk.Stages()
-	start := sc.startCost
-	for _, d := range t.deps {
-		if d.done > start {
-			start = d.done
+	if sc.replanThreshold <= 0 {
+		// Release consumed inputs eagerly so large intermediates do not
+		// outlive the join that read them. Adaptive runs keep them
+		// until the round quiesces — a later trigger may discard this
+		// task and hand its inputs to the re-planner as bound leaves —
+		// and release everything unneeded at the round boundary.
+		for _, d := range t.deps {
+			d.rel = nil
 		}
-		// The dependency's relation has been consumed; release it so
-		// large intermediates do not outlive the join that read them.
-		d.rel = nil
 	}
-	t.done = start + clk.Elapsed()
+	elapsed := clk.Elapsed()
+	if elapsed <= 0 {
+		// Zero-cost operators (empty-table shortcuts) still complete
+		// strictly after they start, so the pause point — the trigger's
+		// completion — always keeps the trigger itself executed.
+		elapsed = 1
+	}
+	t.done = t.start + elapsed
+	sc.completed.Add(1)
+
+	// Adaptive trigger: a scan or join whose observed cardinality
+	// missed its estimate beyond the bound pauses the frontier at its
+	// virtual completion — everything virtually starting later is
+	// re-planned. (Projection and DISTINCT estimates are derivative;
+	// their errors always trace back to a scan or join below.)
+	if sc.replanThreshold > 0 && (t.node.Op == plan.OpJoin || t.node.Op == plan.OpScan) &&
+		obsErrRatio(rr.obs, t.node) > sc.replanThreshold {
+		rr.pause(t.done)
+	}
+}
+
+// replan converts a quiesced round with blocked joins into the next
+// round: the executed fragments feeding the unexecuted remainder
+// become bound leaves (exact cardinality, distinct counts and key skew
+// measured from the materialized rows), plan.Replan prices the
+// corrected remainder against finishing the static one, and the chosen
+// remainder — spliced at the trigger's virtual completion time plus
+// the re-planning charge when adopted, timing-neutral when not — runs
+// as the next round's DAG.
+func (sc *scheduler) replan(rr *roundRun) (*roundRun, error) {
+	pauseAt := time.Duration(rr.pauseAt.Load())
+	unexec := make(map[int]bool)
+	boundIdx := make(map[int]int)
+	var bounds []plan.BoundLeaf
+	var inputs []boundInput
+	var trigger *execTask
+
+	kept := func(t *execTask) bool { return t.executed && !t.discarded }
+	curRound := len(sc.rounds) - 1
+	var walk func(t *execTask)
+	walk = func(t *execTask) {
+		if kept(t) {
+			// A materialized fragment the remainder consumes.
+			idx := len(bounds)
+			boundIdx[t.node.ID] = idx
+			leaf := sc.boundLeaf(rr, t, idx)
+			bounds = append(bounds, leaf)
+			inputs = append(inputs, boundInput{rel: t.rel, done: t.done, round: curRound, node: t.node, leaf: leaf})
+			t.rel = nil
+			return
+		}
+		unexec[t.node.ID] = true
+		for _, d := range t.deps {
+			walk(d)
+		}
+	}
+	walk(rr.root)
+	// The frontier's relations now live in the bound inputs; every
+	// other retained relation (discarded work, fragments interior to a
+	// kept subtree) is garbage.
+	for _, t := range rr.tasks {
+		t.rel = nil
+	}
+
+	// The trigger for the event record: the kept operator that set the
+	// pause point (first in preorder on a tie).
+	for _, t := range rr.tasks {
+		if kept(t) && t.done == pauseAt && obsErrRatio(rr.obs, t.node) > sc.replanThreshold {
+			if trigger == nil || t.node.ID < trigger.node.ID {
+				trigger = t
+			}
+		}
+	}
+	if trigger == nil {
+		return nil, fmt.Errorf("core: re-plan requested without a trigger node")
+	}
+
+	allowBushy := rr.plan.Mode == plan.ModeCost
+	res := plan.Replan(rr.plan, plan.Remainder{Unexec: unexec, Bound: boundIdx}, bounds,
+		sc.filterSpecs, sc.projection, sc.distinct, allowBushy, sc.costs, sc.replanCharge)
+
+	sc.events = append(sc.events, ReplanEvent{
+		Round:        len(sc.rounds),
+		Trigger:      nodeDesc(trigger.node),
+		Est:          trigger.node.Est,
+		Actual:       rr.obs.Actual(trigger.node),
+		Ratio:        obsErrRatio(rr.obs, trigger.node),
+		Adopted:      res.Adopted,
+		OldCrit:      res.OldCrit,
+		NewCrit:      res.NewCrit,
+		OldRemainder: res.Static.String(),
+		NewRemainder: res.Plan.String(),
+	})
+
+	next := &roundRun{plan: res.Plan, obs: plan.NewObservation(res.Plan), bound: inputs}
+	next.pauseAt.Store(math.MaxInt64)
+	if res.Adopted {
+		// The spliced remainder cannot start before the trigger was
+		// observed and the re-planning charge paid. A rejected re-plan
+		// keeps the static remainder and costs nothing, so its timing
+		// is identical to never having paused.
+		next.floor = pauseAt + sc.replanCharge
+	}
+	return next, nil
+}
+
+// boundLeaf measures one materialized fragment for the re-planner:
+// exact cardinality, per-variable distinct counts and hottest-value
+// fractions, and the layout the relation carries. A fragment that is
+// already a Bound leaf (re-bound across rounds) reuses the statistics
+// measured when it was first bound instead of re-scanning the
+// unchanged relation.
+func (sc *scheduler) boundLeaf(rr *roundRun, t *execTask, source int) plan.BoundLeaf {
+	if t.node.Op == plan.OpBound {
+		leaf := rr.bound[t.node.Leaf].leaf
+		leaf.Source = source
+		return leaf
+	}
+	dist, hot := relColumnStats(t.rel)
+	return plan.BoundLeaf{
+		Label:    nodeDesc(t.node),
+		Vars:     append([]string(nil), t.node.Vars...),
+		Rows:     int64(t.rel.NumRows()),
+		Dist:     dist,
+		Hot:      hot,
+		PartCols: t.rel.PartitionCols(),
+		Done:     t.done,
+		Source:   source,
+	}
+}
+
+// relColumnStats computes exact per-column distinct counts and
+// hottest-value fractions of a materialized relation — the rebased
+// statistics the re-planner estimates the remainder with.
+func relColumnStats(rel *engine.Relation) (dist, hot map[string]float64) {
+	schema := rel.Schema()
+	total := rel.NumRows()
+	dist = make(map[string]float64, len(schema))
+	hot = make(map[string]float64, len(schema))
+	for ci, col := range schema {
+		counts := make(map[rdf.ID]int64, 64)
+		var maxCount int64
+		for p := 0; p < rel.Partitions(); p++ {
+			for _, r := range rel.Part(p) {
+				c := counts[r[ci]] + 1
+				counts[r[ci]] = c
+				if c > maxCount {
+					maxCount = c
+				}
+			}
+		}
+		d := float64(len(counts))
+		if d < 1 {
+			d = 1
+		}
+		dist[col] = d
+		if total > 0 {
+			hot[col] = float64(maxCount) / float64(total)
+		}
+	}
+	return dist, hot
+}
+
+// nodeDesc renders a node for re-plan events and bound-leaf labels.
+func nodeDesc(n *plan.Node) string {
+	if n.Label == "" {
+		return strings.ToLower(n.Op.String())
+	}
+	if n.Op == plan.OpBound {
+		return n.Label
+	}
+	return strings.ToLower(n.Op.String()) + " " + n.Label
+}
+
+// executedPlan assembles the plan the query actually executed: the
+// final round's plan with every Bound leaf replaced by the executed
+// fragment it stands for (recursively, across rounds), actuals stamped
+// from the per-round observations. It is both the Result's EXPLAIN
+// view and — after Rebase — the corrected entry the feedback plan
+// cache stores.
+func (sc *scheduler) executedPlan() *plan.Plan {
+	var clone func(ri int, n *plan.Node) *plan.Node
+	clone = func(ri int, n *plan.Node) *plan.Node {
+		if n.Op == plan.OpBound {
+			b := sc.rounds[ri].bound[n.Leaf]
+			return clone(b.round, b.node)
+		}
+		c := *n
+		c.Actual = sc.rounds[ri].obs.Actual(n)
+		if len(n.Children) > 0 {
+			c.Children = make([]*plan.Node, len(n.Children))
+			for i, ch := range n.Children {
+				c.Children[i] = clone(ri, ch)
+			}
+		}
+		return &c
+	}
+	last := len(sc.rounds) - 1
+	return sc.rounds[last].plan.WithRoot(clone(last, sc.rounds[last].plan.Root))
+}
+
+// appendTrace merges every round's executed stage records into the
+// result clock in deterministic plan preorder (independent of the real
+// interleaving the pool happened to run), with the re-planning charge
+// of each adopted splice recorded between rounds.
+func (sc *scheduler) appendTrace(clock *cluster.Clock) {
+	for i, rr := range sc.rounds {
+		if i > 0 && sc.events[i-1].Adopted {
+			clock.Charge("adaptive re-plan", sc.replanCharge)
+		}
+		var walk func(t *execTask)
+		walk = func(t *execTask) {
+			for _, d := range t.deps {
+				walk(d)
+			}
+			clock.Absorb(t.stages)
+		}
+		walk(rr.root)
+	}
 }
 
 // execOp evaluates one plan operator over its dependencies' relations.
@@ -185,16 +669,23 @@ func (sc *scheduler) execOp(e *engine.Exec, t *execTask) (*engine.Relation, erro
 	}
 }
 
-// absorbTrace merges the tasks' stage records into the result clock in
-// deterministic plan preorder (independent of the real interleaving
-// the pool happened to run), so EXPLAIN traces are stable.
-func absorbTrace(clock *cluster.Clock, rootTask *execTask) {
-	var walk func(t *execTask)
-	walk = func(t *execTask) {
-		for _, d := range t.deps {
-			walk(d)
-		}
-		clock.Absorb(t.stages)
-	}
-	walk(rootTask)
+// CancelError reports a query stopped by its context deadline or
+// cancellation, with how much of the plan had executed — the partial
+// trace info prost-serve returns alongside a 504.
+type CancelError struct {
+	// Err is the context error (context.DeadlineExceeded or
+	// context.Canceled).
+	Err error
+	// CompletedTasks and TotalTasks count plan operators executed vs
+	// scheduled when the cancellation was observed.
+	CompletedTasks, TotalTasks int
 }
+
+// Error implements error.
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("core: query canceled after %d/%d plan tasks: %v",
+		e.CompletedTasks, e.TotalTasks, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is.
+func (e *CancelError) Unwrap() error { return e.Err }

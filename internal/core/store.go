@@ -13,6 +13,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -126,7 +127,44 @@ type Store struct {
 	planCache *planCache
 	statsFP   uint64
 
+	// adaptive aggregates re-planning counters across queries.
+	adaptive adaptiveCounters
+
 	load LoadReport
+}
+
+// adaptiveCounters tallies the adaptive executor's decisions.
+type adaptiveCounters struct {
+	evaluated atomic.Uint64
+	adopted   atomic.Uint64
+}
+
+// record folds one query's re-plan events into the counters.
+func (a *adaptiveCounters) record(events []ReplanEvent) {
+	for _, ev := range events {
+		a.evaluated.Add(1)
+		if ev.Adopted {
+			a.adopted.Add(1)
+		}
+	}
+}
+
+// AdaptiveMetrics snapshots the store's adaptive re-planning counters.
+type AdaptiveMetrics struct {
+	// Evaluated counts re-plan decisions taken (a trigger fired and the
+	// remainder was re-priced).
+	Evaluated uint64
+	// Adopted counts re-plans whose corrected remainder was spliced in.
+	Adopted uint64
+}
+
+// AdaptiveMetrics returns the re-planning counters accumulated across
+// queries.
+func (s *Store) AdaptiveMetrics() AdaptiveMetrics {
+	return AdaptiveMetrics{
+		Evaluated: s.adaptive.evaluated.Load(),
+		Adopted:   s.adaptive.adopted.Load(),
+	}
 }
 
 // LoadReport summarizes a loading run: Table 1's two columns plus
@@ -157,12 +195,17 @@ func (s *Store) Stats() *stats.Collection { return s.stats }
 
 // swapStats replaces the loader statistics and refreshes their
 // fingerprint. Cached plans keyed on the old fingerprint become
-// unreachable, which is how a statistics reload invalidates the plan
-// cache. Not safe to call concurrently with Query; it exists for the
-// loader and for tests modelling a reload.
+// unreachable, and the plan cache's generation counter advances so any
+// entry from the old statistics era — including corrected feedback
+// plans, whose rebased estimates are observations of the old data —
+// is invalidated outright. Not safe to call concurrently with Query;
+// it exists for the loader and for tests modelling a reload.
 func (s *Store) swapStats(st *stats.Collection) {
 	s.stats = st
 	s.statsFP = st.Fingerprint()
+	if s.planCache != nil {
+		s.planCache.bumpGeneration()
+	}
 }
 
 // LoadReport returns the loading summary.

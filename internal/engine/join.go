@@ -203,20 +203,33 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string, 
 	lKey := keyIndexes(left.schema, shared)
 	rKey := keyIndexes(right.schema, shared)
 
+	// Skew guard for the shuffle path: a hot key above the salt
+	// fraction is split into per-worker sub-keys (the other side's
+	// matching rows replicated), so it can no longer serialize one
+	// worker. Salting re-places both sides, so the alignment shortcut
+	// does not apply and the output's layout is not the key hash.
+	salted := e.saltPlan(left, right, lKey, rKey)
+
 	// A side already partitioned on the join columns keeps its layout
 	// and pays zero shuffle bytes.
 	var lParts, rParts [][]Row
 	lMoved := make([]int64, n)
 	rMoved := make([]int64, n)
-	if alignedOnCols(left, shared, n) {
-		lParts = left.parts
-	} else {
-		lParts, lMoved = shuffleRows(left, lKey, n)
-	}
-	if alignedOnCols(right, shared, n) {
-		rParts = right.parts
-	} else {
-		rParts, rMoved = shuffleRows(right, rKey, n)
+	switch {
+	case salted != nil:
+		lParts, lMoved = saltedShuffleRows(left, lKey, n, salted, true)
+		rParts, rMoved = saltedShuffleRows(right, rKey, n, salted, false)
+	default:
+		if alignedOnCols(left, shared, n) {
+			lParts = left.parts
+		} else {
+			lParts, lMoved = shuffleRows(left, lKey, n)
+		}
+		if alignedOnCols(right, shared, n) {
+			rParts = right.parts
+		} else {
+			rParts, rMoved = shuffleRows(right, rKey, n)
+		}
 	}
 
 	outSchema, lKeep, rKeep := joinLayout(left.schema, right.schema, shared, keep)
@@ -258,7 +271,11 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string, 
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{schema: outSchema, parts: out, partCols: survivingCols(shared, outSchema)}, nil
+	outPartCols := survivingCols(shared, outSchema)
+	if salted != nil {
+		outPartCols = nil
+	}
+	return &Relation{schema: outSchema, parts: out, partCols: outPartCols}, nil
 }
 
 // broadcastJoin ships the (small) build relation to every worker and

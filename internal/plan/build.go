@@ -54,6 +54,24 @@ type Costs struct {
 	BroadcastThreshold int64
 	// BytesPerValue is the wire footprint of one encoded value.
 	BytesPerValue int64
+	// SkewSaltFraction is the engine's shuffle-salting trigger: a join
+	// key carrying at least this fraction of one side's rows is salted
+	// into per-worker sub-keys at execution time. The planner prices
+	// shuffle candidates with the same bound, so a skewed input (known
+	// exactly for the re-planner's materialized intermediates) is priced
+	// as a salted, balanced shuffle rather than a serialized one. Zero
+	// or negative means salting is disabled.
+	SkewSaltFraction float64
+	// RuntimeRules makes shuffle-family pricing model the engine's
+	// runtime join rule: a planned shuffle executes as StrategyAuto,
+	// which broadcasts outright when the smaller input fits under the
+	// broadcast threshold. The re-planner sets it — its input sizes are
+	// observed, not estimated, so the runtime rule's behaviour is
+	// predictable — which keeps the static baseline priced at what
+	// finishing the old plan would actually cost. Static planning
+	// leaves it off: pricing a runtime downgrade from unreliable
+	// estimates would double-count the very adaptivity it feeds.
+	RuntimeRules bool
 	// Model prices shuffle and broadcast exchanges.
 	Model cluster.CostModel
 }
@@ -315,6 +333,12 @@ type state struct {
 	est      float64
 	dist     map[string]float64
 	partCols []string
+	// hot maps a variable to the fraction of rows carried by its single
+	// hottest value — the skew signal shuffle pricing reads. It is nil
+	// for statistics-estimated leaves (loader statistics keep no key
+	// histograms) and exact for the re-planner's bound leaves; join
+	// outputs drop it (the output histogram is unknown).
+	hot map[string]float64
 	// crit is the subtree's priced completion time under parallel
 	// execution: own priced time plus max over the children's crit.
 	crit time.Duration
@@ -411,20 +435,7 @@ func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) s
 		}
 	}
 
-	dist := make(map[string]float64, len(left.dist)+len(right.dist))
-	for _, v := range outVars {
-		dl, okL := left.dist[v]
-		dr, okR := right.dist[v]
-		switch {
-		case okL && okR:
-			dist[v] = math.Min(dl, dr)
-		case okL:
-			dist[v] = dl
-		case okR:
-			dist[v] = dr
-		}
-	}
-	capDist(dist, est)
+	dist := mergeDist(left, right, outVars, est)
 
 	n := &Node{
 		Op:       OpJoin,
@@ -487,27 +498,12 @@ func joinEstimate(left, right state, shared []string) float64 {
 // sizes and returns the cheapest, plus the output partitioning and the
 // priced time it contributes to the critical path.
 func selectMethod(left, right state, shared []string, outEst float64, c Costs) (JoinMethod, []string, time.Duration) {
-	lBytes := estBytes(left, c)
-	rBytes := estBytes(right, c)
-	alignedL := colsEqual(left.partCols, shared)
-	alignedR := colsEqual(right.partCols, shared)
-
-	var moved int64
-	if !alignedL {
-		moved += lBytes
+	shufMethod := MethodShuffle
+	if colsEqual(left.partCols, shared) && colsEqual(right.partCols, shared) {
+		shufMethod = MethodCoPartitioned
 	}
-	if !alignedR {
-		moved += rBytes
-	}
-	rows := estRows(left.est) + estRows(right.est) + estRows(outEst)
-	shuffleTime := c.Model.ShuffleJoinTime(moved, rows, c.Workers)
-
-	method := MethodShuffle
-	if alignedL && alignedR {
-		method = MethodCoPartitioned
-	}
-	partCols := append([]string(nil), shared...)
-	chosen := shuffleTime
+	partCols, chosen := methodTime(left, right, shared, outEst, shufMethod, c)
+	method := shufMethod
 
 	// A broadcast is considered whenever broadcasting is enabled at
 	// all: the pricing itself replaces the global size threshold, so a
@@ -517,18 +513,75 @@ func selectMethod(left, right state, shared []string, outEst float64, c Costs) (
 	// shuffle path keeps the runtime's adaptive selection), so the
 	// broadcast must win by a clear margin.
 	if c.BroadcastThreshold > 0 {
+		if bPart, bt := methodTime(left, right, shared, outEst, MethodBroadcast, c); bt < chosen*9/10 {
+			method, partCols, chosen = MethodBroadcast, bPart, bt
+		}
+	}
+	return method, partCols, chosen
+}
+
+// methodTime prices one join executed with a specific physical method
+// on the candidate inputs, returning the predicted output partitioning
+// and the priced time. It is the single pricing implementation behind
+// selectMethod, the ordering passes and the re-planner's pinned
+// baseline, so none of them can drift from the others.
+func methodTime(left, right state, shared []string, outEst float64, method JoinMethod, c Costs) ([]string, time.Duration) {
+	lBytes := estBytes(left, c)
+	rBytes := estBytes(right, c)
+	switch method {
+	case MethodCartesian:
+		return nil, c.Model.ShuffleJoinTime(
+			lBytes+rBytes,
+			estRows(left.est)+estRows(right.est)+estRows(outEst), c.Workers)
+	case MethodBroadcast:
 		buildBytes, probe := rBytes, left
 		if lBytes < rBytes {
 			buildBytes, probe = lBytes, right
 		}
 		bRows := estRows(probe.est) + estRows(outEst)
-		if bt := c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers); bt < shuffleTime*9/10 {
-			method = MethodBroadcast
-			partCols = append([]string(nil), probe.partCols...)
-			chosen = bt
+		return append([]string(nil), probe.partCols...),
+			c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers)
+	default: // MethodShuffle, MethodCoPartitioned, MethodAuto
+		// Under the engine's runtime rule a planned shuffle broadcasts
+		// outright when the smaller side fits under the threshold; with
+		// observed input sizes that behaviour is certain, so price it.
+		if c.RuntimeRules && c.BroadcastThreshold > 0 {
+			buildBytes, probe := rBytes, left
+			if lBytes < rBytes {
+				buildBytes, probe = lBytes, right
+			}
+			if buildBytes <= c.BroadcastThreshold {
+				bRows := estRows(probe.est) + estRows(outEst)
+				return append([]string(nil), probe.partCols...),
+					c.Model.BroadcastJoinTime(buildBytes, bRows, c.Workers)
+			}
 		}
+		hot := 0.0
+		for _, v := range shared {
+			if f := left.hot[v]; f > hot {
+				hot = f
+			}
+			if f := right.hot[v]; f > hot {
+				hot = f
+			}
+		}
+		rows := estRows(left.est) + estRows(right.est) + estRows(outEst)
+		// A salted execution re-places both sides (alignment shortcuts
+		// do not apply) and its output layout is not the key hash, so
+		// the pricing and the predicted partitioning must say the same.
+		if c.SkewSaltFraction > 0 && hot >= c.SkewSaltFraction {
+			return nil, c.Model.SkewedShuffleJoinTime(lBytes+rBytes, rows, c.Workers, hot, c.SkewSaltFraction)
+		}
+		var moved int64
+		if !colsEqual(left.partCols, shared) {
+			moved += lBytes
+		}
+		if !colsEqual(right.partCols, shared) {
+			moved += rBytes
+		}
+		return append([]string(nil), shared...),
+			c.Model.SkewedShuffleJoinTime(moved, rows, c.Workers, hot, c.SkewSaltFraction)
 	}
-	return method, partCols, chosen
 }
 
 // costOrder produces the cost-based greedy join order: start from the

@@ -52,6 +52,11 @@ const (
 	OpProject
 	// OpDistinct removes duplicate rows.
 	OpDistinct
+	// OpBound reads an intermediate result a previous execution round
+	// already materialized — the leaf the adaptive re-planner rebuilds
+	// the unexecuted remainder of a plan over. Its estimate is the
+	// observed cardinality, exact by construction.
+	OpBound
 )
 
 // String implements fmt.Stringer.
@@ -67,6 +72,8 @@ func (o Op) String() string {
 		return "Project"
 	case OpDistinct:
 		return "Distinct"
+	case OpBound:
+		return "Bound"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -295,6 +302,44 @@ func (p *Plan) Stamp(o *Observation) *Plan {
 	return &out
 }
 
+// WithRoot returns a plan sharing p's metadata (mode, leaves, filter
+// labels) but rooted at the given operator tree, with node IDs freshly
+// assigned. The adaptive executor uses it to assemble the corrected
+// plan a query actually executed out of grafted round fragments.
+func (p *Plan) WithRoot(root *Node) *Plan {
+	out := *p
+	out.Root = root
+	out.assignIDs()
+	return &out
+}
+
+// Rebase returns a copy of the plan with every executed node's estimate
+// replaced by its observed cardinality and the actuals reset to -1 —
+// the feedback form the plan cache stores, so the next execution plans
+// its trigger checks (and any further re-planning) from corrected
+// numbers instead of repeating the original estimation mistake.
+func (p *Plan) Rebase() *Plan {
+	out := *p
+	var clone func(n *Node) *Node
+	clone = func(n *Node) *Node {
+		c := *n
+		if n.Actual >= 0 {
+			c.Est = float64(n.Actual)
+		}
+		c.Actual = -1
+		if len(n.Children) > 0 {
+			c.Children = make([]*Node, len(n.Children))
+			for i, ch := range n.Children {
+				c.Children[i] = clone(ch)
+			}
+		}
+		return &c
+	}
+	out.Root = clone(p.Root)
+	out.assignIDs()
+	return &out
+}
+
 // Scans returns the plan's Scan nodes in execution (left-deep) order.
 func (p *Plan) Scans() []*Node {
 	var out []*Node
@@ -343,6 +388,8 @@ func (p *Plan) render(sb *strings.Builder, n *Node, indent string) {
 		desc = "Project " + varList(n.Cols)
 	case OpDistinct:
 		desc = "Distinct"
+	case OpBound:
+		desc = "Bound " + n.Label
 	}
 	actual := "actual=?"
 	if n.Actual >= 0 {

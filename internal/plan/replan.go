@@ -1,0 +1,450 @@
+package plan
+
+import (
+	"time"
+)
+
+// This file is the adaptive re-planner: given a partially executed
+// plan whose estimates turned out wrong, it rebuilds the *unexecuted*
+// remainder over the intermediates execution has already materialized
+// (exact cardinalities, exact per-variable distinct counts and key
+// skew), and decides whether switching to the corrected remainder pays
+// for the re-planning charge.
+//
+// Three candidates are priced with the rebased statistics:
+//
+//  1. the static baseline — the original remainder shape with its
+//     original physical methods (what finishing the old plan costs),
+//  2. the repriced baseline — the same shape with physical selection
+//     re-run per join, and
+//  3. the greedy re-order — cost-based enumeration (left-deep chain,
+//     plus the bushy GOO candidate when the mode allows it) from
+//     scratch over the bound leaves.
+//
+// Because candidate 1 is always in the running and all candidates are
+// priced by the same methodTime implementation, the chosen remainder is
+// never priced worse than the static remainder — the invariant the
+// rebased-estimator property test pins down.
+
+// BoundLeaf describes one materialized intermediate result as the
+// re-planner sees it: the exact output cardinality, per-variable
+// distinct counts and hottest-value fractions computed from the actual
+// rows, the partitioning the relation is laid out in, and an opaque
+// Source handle the scheduler uses to wire the new plan's Bound leaf
+// back to the relation.
+type BoundLeaf struct {
+	// Label names the executed fragment the leaf stands for.
+	Label string
+	// Vars is the relation's schema in engine column order.
+	Vars []string
+	// Rows is the exact materialized cardinality.
+	Rows int64
+	// Dist is the exact distinct-value count per variable.
+	Dist map[string]float64
+	// Hot is the fraction of rows carried by each variable's single
+	// hottest value — the skew signal shuffle pricing reads.
+	Hot map[string]float64
+	// PartCols is the partitioning the relation carries (nil when
+	// arbitrary).
+	PartCols []string
+	// Done is the virtual time the fragment finished materializing.
+	Done time.Duration
+	// Source is the caller's handle, stored into the Bound node's Leaf
+	// field.
+	Source int
+}
+
+// Remainder identifies the unexecuted upper fragment of a plan: the
+// set of node IDs still to run (closed under ancestors, so it always
+// includes the epilogue) and, for every executed node feeding that
+// fragment, the index of the bound leaf standing in for it.
+type Remainder struct {
+	// Unexec holds the IDs of the nodes that have not executed.
+	Unexec map[int]bool
+	// Bound maps an executed node's ID to its index in the bound list.
+	Bound map[int]int
+}
+
+// ReplanResult is one re-planning decision.
+type ReplanResult struct {
+	// Plan is the remainder to execute: the corrected plan when
+	// Adopted, otherwise the static baseline (same shape, same methods,
+	// estimates rebased), so a rejected re-plan executes exactly what
+	// the original plan would have.
+	Plan *Plan
+	// Static is the baseline remainder (original shape and methods,
+	// rebased estimates), kept for EXPLAIN's old-vs-new rendering.
+	Static *Plan
+	// Adopted reports whether the corrected remainder replaced the
+	// baseline.
+	Adopted bool
+	// OldCrit and NewCrit are the priced critical paths of the static
+	// baseline and of the chosen remainder (equal when not adopted).
+	OldCrit, NewCrit time.Duration
+}
+
+// Replan re-plans the unexecuted remainder of orig over the bound
+// leaves. charge is the virtual-time cost of splicing a new remainder
+// into the running query; the corrected remainder is adopted only when
+// its priced critical path undercuts the static baseline by more than
+// the charge, so a query never pays for a re-plan that cannot win it
+// back. allowBushy enables the bushy GOO candidate (ModeCost); the
+// left-deep mode keeps its chain shape.
+func Replan(orig *Plan, rem Remainder, bound []BoundLeaf, filters []FilterSpec, projection []string, distinct bool, allowBushy bool, c Costs, charge time.Duration) ReplanResult {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BytesPerValue <= 0 {
+		c.BytesPerValue = 5
+	}
+	// Bound-leaf sizes are observed, not estimated, so the engine's
+	// runtime join rule is predictable — price every candidate
+	// (including the static baseline) with it.
+	c.RuntimeRules = true
+
+	baseline := rebuildRemainder(orig.Root, rem, bound, filters, true, c)
+	repriced := rebuildRemainder(orig.Root, rem, bound, filters, false, c)
+
+	residual := remainderResidual(orig.Root, rem)
+	greedy := greedyRemainder(bound, residual, filters, projection, distinct, allowBushy, c)
+
+	chosen := repriced
+	if greedy.crit < chosen.crit {
+		chosen = greedy
+	}
+
+	res := ReplanResult{
+		Static:  orig.WithRoot(baseline.node),
+		OldCrit: baseline.crit,
+		NewCrit: chosen.crit,
+	}
+	if chosen.crit+charge < baseline.crit {
+		res.Adopted = true
+		res.Plan = orig.WithRoot(chosen.node)
+	} else {
+		res.NewCrit = baseline.crit
+		res.Plan = res.Static
+	}
+	return res
+}
+
+// boundState builds the planner state for one materialized leaf. Its
+// critical-path contribution is zero: the work is sunk, every candidate
+// consumes the same leaves, and the comparison prices remainder work
+// only.
+func boundState(l BoundLeaf) state {
+	dist := make(map[string]float64, len(l.Dist))
+	for v, d := range l.Dist {
+		dist[v] = d
+	}
+	est := float64(l.Rows)
+	capDist(dist, est)
+	n := &Node{
+		Op:     OpBound,
+		Label:  l.Label,
+		Vars:   append([]string(nil), l.Vars...),
+		Est:    est,
+		Actual: -1,
+		Leaf:   l.Source,
+	}
+	return state{
+		node:     n,
+		vars:     n.Vars,
+		est:      est,
+		dist:     dist,
+		partCols: append([]string(nil), l.PartCols...),
+		hot:      l.Hot,
+	}
+}
+
+// rebuildRemainder reconstructs the remainder with its original shape
+// over rebased child states. With pin the original physical methods are
+// kept (the static baseline: what finishing the old plan costs under
+// corrected statistics); without it physical selection re-runs per
+// join. Output schemas and pruning are preserved either way, so the
+// rebuilt remainder produces exactly the columns later operators
+// expect.
+func rebuildRemainder(n *Node, rem Remainder, bound []BoundLeaf, filters []FilterSpec, pin bool, c Costs) state {
+	if !rem.Unexec[n.ID] {
+		return boundState(bound[rem.Bound[n.ID]])
+	}
+	switch n.Op {
+	case OpJoin:
+		l := rebuildRemainder(n.Children[0], rem, bound, filters, pin, c)
+		r := rebuildRemainder(n.Children[1], rem, bound, filters, pin, c)
+		shared := sharedVars(l.vars, r.vars)
+		var est float64
+		method := n.Method
+		if len(shared) == 0 {
+			est = l.est * r.est
+			method = MethodCartesian
+		} else {
+			est = joinEstimate(l, r, shared)
+			if !pin {
+				method, _, _ = selectMethod(l, r, shared, est, c)
+			}
+		}
+		partCols, t := methodTime(l, r, shared, est, method, c)
+		outVars := append([]string(nil), n.Vars...)
+		if !containsAll(outVars, partCols) {
+			partCols = nil
+		}
+		dist := mergeDist(l, r, outVars, est)
+		nn := &Node{
+			Op:       OpJoin,
+			Label:    varList(shared),
+			Vars:     outVars,
+			Est:      est,
+			Actual:   -1,
+			Children: []*Node{l.node, r.node},
+			Method:   method,
+			JoinVars: shared,
+			Keep:     append([]string(nil), n.Keep...),
+		}
+		crit := l.crit
+		if r.crit > crit {
+			crit = r.crit
+		}
+		return state{node: nn, vars: outVars, est: est, dist: dist, partCols: partCols, crit: crit + t}
+	case OpFilter:
+		in := rebuildRemainder(n.Children[0], rem, bound, filters, pin, c)
+		sel := 1.0
+		for _, fi := range n.Filters {
+			if fi >= 0 && fi < len(filters) {
+				sel *= filters[fi].Selectivity
+			}
+		}
+		nn := &Node{
+			Op:       OpFilter,
+			Vars:     append([]string(nil), n.Vars...),
+			Est:      in.est * sel,
+			Actual:   -1,
+			Children: []*Node{in.node},
+			Filters:  append([]int(nil), n.Filters...),
+		}
+		in.node, in.est = nn, nn.Est
+		return in
+	case OpProject:
+		in := rebuildRemainder(n.Children[0], rem, bound, filters, pin, c)
+		nn := &Node{
+			Op:       OpProject,
+			Vars:     append([]string(nil), n.Vars...),
+			Cols:     append([]string(nil), n.Cols...),
+			Est:      in.est,
+			Actual:   -1,
+			Children: []*Node{in.node},
+		}
+		in.node, in.vars = nn, nn.Vars
+		return in
+	case OpDistinct:
+		in := rebuildRemainder(n.Children[0], rem, bound, filters, pin, c)
+		nn := &Node{
+			Op:       OpDistinct,
+			Vars:     append([]string(nil), n.Vars...),
+			Est:      distinctEstimate(in, n.Vars),
+			Actual:   -1,
+			Children: []*Node{in.node},
+		}
+		in.node, in.est = nn, nn.Est
+		return in
+	default: // OpScan/OpBound cannot be unexecuted remainder interior nodes.
+		return boundState(bound[rem.Bound[n.ID]])
+	}
+}
+
+// remainderResidual collects the residual-filter indexes of the
+// remainder's Filter nodes (pushed filters ran inside the executed
+// scans and are gone).
+func remainderResidual(root *Node, rem Remainder) []int {
+	var out []int
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !rem.Unexec[n.ID] {
+			return
+		}
+		if n.Op == OpFilter {
+			out = append(out, n.Filters...)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// greedyRemainder re-enumerates the remainder from scratch over the
+// bound leaves: a greedy left-deep chain (smallest leaf first, then the
+// connected leaf with the smallest estimated join, ties broken by
+// priced time), plus the bushy GOO candidate when allowed, keeping the
+// cheaper critical path. The epilogue (residual filters, projection,
+// DISTINCT) is appended exactly as Build does.
+func greedyRemainder(bound []BoundLeaf, residual []int, filters []FilterSpec, projection []string, distinct bool, allowBushy bool, c Costs) state {
+	states := make([]state, len(bound))
+	for i, l := range bound {
+		states[i] = boundState(l)
+	}
+	cur := chainStates(states, projection, c)
+	if allowBushy && len(states) > 2 {
+		if bushy := gooStates(states, projection, c); bushy.crit < cur.crit {
+			cur = bushy
+		}
+	}
+	node := epilogue(cur, residual, filters, projection, distinct)
+	cur.node = node
+	return cur
+}
+
+// chainStates builds the greedy left-deep chain over prebuilt states.
+func chainStates(states []state, projection []string, c Costs) state {
+	remaining := make([]int, len(states))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	start := 0
+	for pos := 1; pos < len(remaining); pos++ {
+		if states[remaining[pos]].est < states[remaining[start]].est {
+			start = pos
+		}
+	}
+	cur := states[remaining[start]]
+	remaining = append(remaining[:start], remaining[start+1:]...)
+
+	for len(remaining) > 0 {
+		best := -1
+		var bestEst float64
+		var bestTime time.Duration
+		for pos, li := range remaining {
+			shared := sharedVars(cur.vars, states[li].vars)
+			if len(shared) == 0 {
+				continue
+			}
+			est := joinEstimate(cur, states[li], shared)
+			t := joinTime(cur, states[li], shared, est, c)
+			if best < 0 || est < bestEst || (est == bestEst && t < bestTime) {
+				best, bestEst, bestTime = pos, est, t
+			}
+		}
+		if best < 0 {
+			// Disconnected remainder: cartesian with the smallest.
+			best = 0
+			for pos := 1; pos < len(remaining); pos++ {
+				if states[remaining[pos]].est < states[remaining[best]].est {
+					best = pos
+				}
+			}
+		}
+		retain := make(map[string]bool, len(projection))
+		for _, v := range projection {
+			retain[v] = true
+		}
+		for pos, li := range remaining {
+			if pos == best {
+				continue
+			}
+			for _, v := range states[li].vars {
+				retain[v] = true
+			}
+		}
+		cur = joinStates(cur, states[remaining[best]], ModeCost, c, retain)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return cur
+}
+
+// gooStates is greedy operator ordering over prebuilt component states:
+// the connected pair with the smallest estimated join output merges
+// (ties by priced time, then input order) until one component remains,
+// so independent fragments grow as siblings and price as parallel
+// branches.
+func gooStates(states []state, projection []string, c Costs) state {
+	comps := append([]state(nil), states...)
+	for len(comps) > 1 {
+		bi, bj := -1, -1
+		var bestEst float64
+		var bestTime time.Duration
+		for i := 0; i < len(comps); i++ {
+			for j := i + 1; j < len(comps); j++ {
+				shared := sharedVars(comps[i].vars, comps[j].vars)
+				if len(shared) == 0 {
+					continue
+				}
+				est := joinEstimate(comps[i], comps[j], shared)
+				t := joinTime(comps[i], comps[j], shared, est, c)
+				if bi < 0 || est < bestEst || (est == bestEst && t < bestTime) {
+					bi, bj, bestEst, bestTime = i, j, est, t
+				}
+			}
+		}
+		if bi < 0 {
+			// Disconnected: cartesian-join the two smallest components.
+			bi, bj = 0, 1
+			if comps[1].est < comps[0].est {
+				bi, bj = 1, 0
+			}
+			for k := 2; k < len(comps); k++ {
+				if comps[k].est < comps[bi].est {
+					bi, bj = k, bi
+				} else if comps[k].est < comps[bj].est {
+					bj = k
+				}
+			}
+			if bi > bj {
+				bi, bj = bj, bi
+			}
+		}
+		retain := make(map[string]bool, len(projection))
+		for _, v := range projection {
+			retain[v] = true
+		}
+		for k := range comps {
+			if k == bi || k == bj {
+				continue
+			}
+			for _, v := range comps[k].vars {
+				retain[v] = true
+			}
+		}
+		comps[bi] = joinStates(comps[bi], comps[bj], ModeCost, c, retain)
+		comps = append(comps[:bj], comps[bj+1:]...)
+	}
+	return comps[0]
+}
+
+// mergeDist min-merges the per-variable distinct counts of two join
+// inputs over the output schema, capped to the output estimate.
+func mergeDist(left, right state, outVars []string, est float64) map[string]float64 {
+	dist := make(map[string]float64, len(outVars))
+	for _, v := range outVars {
+		dl, okL := left.dist[v]
+		dr, okR := right.dist[v]
+		switch {
+		case okL && okR:
+			if dl < dr {
+				dist[v] = dl
+			} else {
+				dist[v] = dr
+			}
+		case okL:
+			dist[v] = dl
+		case okR:
+			dist[v] = dr
+		}
+	}
+	capDist(dist, est)
+	return dist
+}
+
+// containsAll reports whether vars contains every column in cols (and
+// cols is non-empty).
+func containsAll(vars, cols []string) bool {
+	if len(cols) == 0 {
+		return false
+	}
+	for _, c := range cols {
+		if !containsVar(vars, c) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,207 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// replanCosts is a small fixed pricing for re-planner tests.
+func replanCosts() Costs {
+	return Costs{
+		Workers:            4,
+		BroadcastThreshold: 10 << 20,
+		BytesPerValue:      5,
+		SkewSaltFraction:   0.2,
+		Model:              cluster.DefaultCostModel(),
+	}
+}
+
+// randomChainQuery builds a random connected leaf set: leaf i shares
+// variable v<i> with leaf i+1, plus occasional extra shared vars so
+// bushy shapes and multi-column joins appear.
+func randomChainQuery(rng *rand.Rand, n int) ([]Leaf, []string) {
+	leaves := make([]Leaf, n)
+	for i := range leaves {
+		vars := []string{fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1)}
+		if i > 1 && rng.Intn(3) == 0 {
+			vars = append(vars, fmt.Sprintf("v%d", rng.Intn(i)))
+		}
+		est := float64(1 + rng.Intn(100_000))
+		dist := map[string]float64{}
+		for _, v := range vars {
+			dist[v] = 1 + float64(rng.Intn(int(est)+1))
+		}
+		leaves[i] = Leaf{
+			Label: fmt.Sprintf("leaf%d", i),
+			Vars:  vars,
+			Est:   est,
+			Dist:  dist,
+		}
+	}
+	return leaves, []string{"v0", fmt.Sprintf("v%d", n)}
+}
+
+// markExecuted picks a random ancestors-closed unexecuted fragment:
+// leaves always execute, an interior node executes only if all its
+// children did (and a coin flip), and the root plus epilogue never
+// execute — the shape the scheduler's quiescence produces.
+func markExecuted(rng *rand.Rand, p *Plan) (unexec map[int]bool, frontier []*Node) {
+	executed := make(map[int]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		all := true
+		for _, c := range n.Children {
+			walk(c)
+			if !executed[c.ID] {
+				all = false
+			}
+		}
+		switch n.Op {
+		case OpScan:
+			executed[n.ID] = true
+		case OpJoin:
+			executed[n.ID] = all && rng.Intn(2) == 0
+		default: // epilogue never executes when a re-plan triggers
+			executed[n.ID] = false
+		}
+	}
+	walk(p.Root)
+
+	unexec = make(map[int]bool)
+	var collect func(n *Node)
+	collect = func(n *Node) {
+		if executed[n.ID] {
+			frontier = append(frontier, n)
+			return
+		}
+		unexec[n.ID] = true
+		for _, c := range n.Children {
+			collect(c)
+		}
+	}
+	collect(p.Root)
+	return unexec, frontier
+}
+
+// TestReplanNeverWorseThanStaticRemainder is the rebased-estimator
+// property: with exact actuals on every executed node, the re-planned
+// remainder must never price worse than the static plan's remainder
+// priced under the same rebased statistics — the static baseline is
+// always a candidate, so the chosen remainder can only match or beat
+// it.
+func TestReplanNeverWorseThanStaticRemainder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := replanCosts()
+	for trial := 0; trial < 300; trial++ {
+		nLeaves := 3 + rng.Intn(5)
+		leaves, projection := randomChainQuery(rng, nLeaves)
+		p := Build(leaves, nil, projection, rng.Intn(2) == 0, ModeCost, c)
+		if p == nil {
+			t.Fatal("Build returned nil")
+		}
+		unexec, frontier := markExecuted(rng, p)
+		if len(frontier) == 0 {
+			continue
+		}
+		boundIdx := make(map[int]int, len(frontier))
+		bounds := make([]BoundLeaf, 0, len(frontier))
+		for _, n := range frontier {
+			rows := int64(1 + rng.Intn(200_000)) // "observed" actual, arbitrary
+			dist := map[string]float64{}
+			hot := map[string]float64{}
+			for _, v := range n.Vars {
+				dist[v] = 1 + float64(rng.Intn(int(rows)))
+				hot[v] = rng.Float64()
+			}
+			boundIdx[n.ID] = len(bounds)
+			bounds = append(bounds, BoundLeaf{
+				Label:  "bound-" + n.Label,
+				Vars:   n.Vars,
+				Rows:   rows,
+				Dist:   dist,
+				Hot:    hot,
+				Source: len(bounds),
+			})
+		}
+		res := Replan(p, Remainder{Unexec: unexec, Bound: boundIdx}, bounds,
+			nil, projection, rng.Intn(2) == 0, rng.Intn(2) == 0, c, 50*time.Millisecond)
+		if res.NewCrit > res.OldCrit {
+			t.Fatalf("trial %d: re-planned remainder (%v) priced worse than static remainder (%v)",
+				trial, res.NewCrit, res.OldCrit)
+		}
+		if !res.Adopted && res.Plan != res.Static {
+			t.Fatalf("trial %d: rejected re-plan must execute the static remainder", trial)
+		}
+		if res.Plan == nil || res.Plan.Root == nil {
+			t.Fatalf("trial %d: Replan returned no plan", trial)
+		}
+		// The chosen remainder must consume every bound leaf exactly once
+		// and keep the projection on top.
+		seen := map[int]int{}
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if n.Op == OpBound {
+				seen[n.Leaf]++
+			}
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+		walk(res.Plan.Root)
+		for i := range bounds {
+			if seen[i] != 1 {
+				t.Fatalf("trial %d: bound leaf %d consumed %d times", trial, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestReplanAdoptionRequiresCharge pins the hysteresis: a corrected
+// remainder is adopted only when its saving exceeds the re-planning
+// charge, so a re-plan can never cost more than it wins back.
+func TestReplanAdoptionRequiresCharge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := replanCosts()
+	adopted, rejected := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		leaves, projection := randomChainQuery(rng, 3+rng.Intn(4))
+		p := Build(leaves, nil, projection, false, ModeCost, c)
+		unexec, frontier := markExecuted(rng, p)
+		if len(frontier) == 0 {
+			continue
+		}
+		boundIdx := make(map[int]int)
+		var bounds []BoundLeaf
+		for _, n := range frontier {
+			rows := int64(1 + rng.Intn(500_000))
+			dist := map[string]float64{}
+			for _, v := range n.Vars {
+				dist[v] = 1 + float64(rng.Intn(int(rows)))
+			}
+			boundIdx[n.ID] = len(bounds)
+			bounds = append(bounds, BoundLeaf{Label: n.Label, Vars: n.Vars, Rows: rows, Dist: dist, Source: len(bounds)})
+		}
+		charge := time.Duration(rng.Intn(int(200 * time.Millisecond)))
+		res := Replan(p, Remainder{Unexec: unexec, Bound: boundIdx}, bounds,
+			nil, projection, false, true, c, charge)
+		if res.Adopted {
+			adopted++
+			if res.NewCrit+charge >= res.OldCrit {
+				t.Fatalf("trial %d: adopted a re-plan whose saving (%v -> %v) does not cover the charge %v",
+					trial, res.OldCrit, res.NewCrit, charge)
+			}
+		} else {
+			rejected++
+			if res.NewCrit != res.OldCrit {
+				t.Fatalf("trial %d: rejected re-plan reports NewCrit %v != OldCrit %v", trial, res.NewCrit, res.OldCrit)
+			}
+		}
+	}
+	if adopted == 0 || rejected == 0 {
+		t.Errorf("hysteresis never exercised both outcomes (adopted=%d rejected=%d)", adopted, rejected)
+	}
+}

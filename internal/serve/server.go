@@ -9,14 +9,21 @@
 //
 //	GET|POST /sparql   — execute a query (?query=… or POST body),
 //	                     JSON results by default, TSV with ?format=tsv
-//	GET      /explain  — physical plan, estimation errors, Join Tree
-//	                     and stage trace (?analyze=0 plans only)
-//	GET      /stats    — plan-cache hit rate, query counters, and
+//	GET      /explain  — physical plan, estimation errors, adaptive
+//	                     re-plan events / feedback provenance, Join
+//	                     Tree and stage trace (?analyze=0 plans only)
+//	GET      /stats    — plan-cache hit rate (incl. feedback hits),
+//	                     adaptive re-plan counters, query counters and
 //	                     estimation-error aggregates, as JSON
 //	GET      /healthz  — liveness probe
+//
+// Config.QueryTimeout bounds each query's execution; a query past the
+// deadline stops at the next operator boundary and the request
+// returns 504 with partial trace info.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -47,6 +54,11 @@ type Config struct {
 	MaxInflight int
 	// MaxRows caps the rows returned per query (0 = unlimited).
 	MaxRows int
+	// QueryTimeout bounds each query's wall-clock execution; a query
+	// past the deadline stops at the next plan-operator boundary and
+	// the request returns 504 with partial trace info (how much of the
+	// plan had executed). 0 means no timeout.
+	QueryTimeout time.Duration
 }
 
 // Server is the prost-serve HTTP handler. It is safe for concurrent
@@ -59,6 +71,7 @@ type Server struct {
 	mu         sync.Mutex
 	queries    uint64
 	errors     uint64
+	timeouts   uint64
 	simTotal   time.Duration
 	wallTotal  time.Duration
 	estObs     uint64
@@ -138,7 +151,8 @@ func (s *Server) requestOptions(r *http.Request) (core.QueryOptions, error) {
 // runQuery parses and executes one request's query inside the
 // in-flight bound, recording the server-level counters (failed
 // requests — bad parameters, parse errors, execution errors — count
-// as errors).
+// as errors; deadline-exceeded queries additionally count as
+// timeouts).
 func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
 	res, err := s.doQuery(r)
 
@@ -147,6 +161,9 @@ func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
 	s.queries++
 	if err != nil {
 		s.errors++
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts++
+		}
 		return nil, err
 	}
 	s.simTotal += res.SimTime
@@ -172,17 +189,23 @@ type badRequest struct{ err error }
 func (e badRequest) Error() string { return e.err.Error() }
 
 // errStatus maps an error to its HTTP status: 400 for caller mistakes,
-// 500 for execution failures, so retry policies and monitoring can
-// tell them apart.
+// 504 for queries stopped at their deadline, 500 for other execution
+// failures, so retry policies and monitoring can tell them apart.
 func errStatus(err error) int {
 	var br badRequest
 	if errors.As(err, &br) {
 		return http.StatusBadRequest
 	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
 	return http.StatusInternalServerError
 }
 
-// doQuery is runQuery without the bookkeeping.
+// doQuery is runQuery without the bookkeeping. With a configured
+// QueryTimeout the execution runs under a deadline; a timed-out query
+// returns a *core.CancelError whose message carries the partial trace
+// info (completed vs scheduled plan tasks) the 504 body reports.
 func (s *Server) doQuery(r *http.Request) (*core.Result, error) {
 	text, err := queryText(r)
 	if err != nil {
@@ -198,7 +221,13 @@ func (s *Server) doQuery(r *http.Request) (*core.Result, error) {
 	}
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
-	return s.cfg.Store.Query(q, opts)
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	return s.cfg.Store.QueryContext(ctx, q, opts)
 }
 
 // binding is one variable's value in the SPARQL-JSON results format.
@@ -326,6 +355,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprint(w, res.Plan.String())
 	fmt.Fprintln(w, res.Plan.ErrorSummary())
+	if adaptive := res.ReplanSummary(); adaptive != "" {
+		fmt.Fprint(w, adaptive)
+	}
 	fmt.Fprintf(w, "\n%d rows; simulated cluster time %v (wall %v)\n", len(res.Rows), res.SimTime, res.WallTime)
 	fmt.Fprintln(w, "\nJoin Tree:")
 	fmt.Fprint(w, res.Tree.String())
@@ -336,18 +368,25 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the /stats JSON document.
 type statsResponse struct {
 	PlanCache struct {
-		Hits      uint64  `json:"hits"`
-		Misses    uint64  `json:"misses"`
-		Evictions uint64  `json:"evictions"`
-		Entries   int     `json:"entries"`
-		HitRate   float64 `json:"hitRate"`
+		Hits             uint64  `json:"hits"`
+		Misses           uint64  `json:"misses"`
+		Evictions        uint64  `json:"evictions"`
+		Entries          int     `json:"entries"`
+		HitRate          float64 `json:"hitRate"`
+		FeedbackHits     uint64  `json:"feedbackHits"`
+		CorrectedEntries int     `json:"correctedEntries"`
 	} `json:"planCache"`
 	Queries struct {
 		Total    uint64  `json:"total"`
 		Errors   uint64  `json:"errors"`
+		Timeouts uint64  `json:"timeouts"`
 		AvgSimMS float64 `json:"avgSimMs"`
 		AvgWall  float64 `json:"avgWallMs"`
 	} `json:"queries"`
+	Adaptive struct {
+		ReplansEvaluated uint64 `json:"replansEvaluated"`
+		ReplansAdopted   uint64 `json:"replansAdopted"`
+	} `json:"adaptive"`
 	Estimation struct {
 		Observed  uint64  `json:"observed"`
 		AvgRatio  float64 `json:"avgMaxRatio"`
@@ -364,10 +403,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.PlanCache.Evictions = m.Evictions
 	doc.PlanCache.Entries = m.Entries
 	doc.PlanCache.HitRate = m.HitRate()
+	doc.PlanCache.FeedbackHits = m.FeedbackHits
+	doc.PlanCache.CorrectedEntries = m.CorrectedEntries
+
+	am := s.cfg.Store.AdaptiveMetrics()
+	doc.Adaptive.ReplansEvaluated = am.Evaluated
+	doc.Adaptive.ReplansAdopted = am.Adopted
 
 	s.mu.Lock()
 	doc.Queries.Total = s.queries
 	doc.Queries.Errors = s.errors
+	doc.Queries.Timeouts = s.timeouts
 	if ok := s.queries - s.errors; ok > 0 {
 		doc.Queries.AvgSimMS = float64(s.simTotal) / float64(ok) / float64(time.Millisecond)
 		doc.Queries.AvgWall = float64(s.wallTotal) / float64(ok) / float64(time.Millisecond)

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -200,6 +201,52 @@ func TestStatsEndpointTracksCacheAndErrors(t *testing.T) {
 	}
 	if doc.Estimation.Observed != 5 || doc.Estimation.WorstCase < 1 {
 		t.Errorf("estimation = %+v, want 5 observations with ratio >= 1", doc.Estimation)
+	}
+}
+
+// TestQueryTimeoutReturns504 pins the per-query deadline: a server
+// with an already-unmeetable timeout must stop the query at a plan
+// operator boundary and answer 504 with partial trace info, and the
+// timed-out request must not poison the plan cache for later runs.
+func TestQueryTimeoutReturns504(t *testing.T) {
+	srv := testServer(t)
+	srv.cfg.QueryTimeout = time.Nanosecond
+	w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %s)", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "plan tasks") {
+		t.Errorf("504 body lacks partial trace info: %s", w.Body)
+	}
+
+	// Clearing the timeout must leave the server fully functional: the
+	// cancelled run wrote nothing poisonous back.
+	srv.cfg.QueryTimeout = 0
+	w = get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusOK {
+		t.Fatalf("query after timeout: status %d (body %s)", w.Code, w.Body)
+	}
+
+	w = get(t, srv, "/stats")
+	var doc struct {
+		Queries struct {
+			Errors   uint64
+			Timeouts uint64
+		}
+		Adaptive struct {
+			ReplansEvaluated uint64 `json:"replansEvaluated"`
+			ReplansAdopted   uint64 `json:"replansAdopted"`
+		}
+		PlanCache struct {
+			FeedbackHits     uint64 `json:"feedbackHits"`
+			CorrectedEntries int    `json:"correctedEntries"`
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, w.Body)
+	}
+	if doc.Queries.Timeouts != 1 || doc.Queries.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 timeout counted as 1 error", doc.Queries)
 	}
 }
 
