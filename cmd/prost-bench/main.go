@@ -111,6 +111,11 @@ func run(scale int, seed, extrapolate int64, exp string, verify bool) error {
 			return err
 		}
 		fmt.Println(a5.Table())
+		a6, err := sys.AblationSketches(queries)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a6.Table())
 	}
 	if want("extension") {
 		fig, err := sys.ExtensionInversePT(bench.ObjectStarQueries())

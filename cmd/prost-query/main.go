@@ -33,15 +33,16 @@ func main() {
 	explain := flag.Bool("explain", false, "print the physical plan (with estimated vs actual cardinalities), re-plan events, the Join Tree and the stage trace")
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
+	sketches := flag.Int("stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
 	flag.Parse()
 
-	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows, *replan); err != nil {
+	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows, *replan, *sketches); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int, replan float64) error {
+func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int, replan float64, sketches int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -82,8 +83,10 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		return err
 	}
 	store, err := core.LoadNTriples(f, core.Options{
-		Cluster:        c,
-		BuildInversePT: strat == core.StrategyMixedIPT,
+		Cluster:          c,
+		BuildInversePT:   strat == core.StrategyMixedIPT,
+		SketchTopK:       max(sketches, 0),
+		DisableJoinStats: sketches < 0,
 	})
 	if err != nil {
 		return err
@@ -114,6 +117,18 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		fmt.Println(res.Plan.ErrorSummary())
 		if adaptive := res.ReplanSummary(); adaptive != "" {
 			fmt.Print(adaptive)
+		}
+		// Estimator provenance: why a node's est-source says what it
+		// says. Coverage below 100% means some predicate pairs were
+		// trimmed by the top-K bound and price as est-source=indep.
+		if js, ok := store.Stats().JoinStatsSummary(); ok {
+			fmt.Printf("join statistics: %d characteristic sets, %d/%d pair sketches kept (top-%d, %.1f%% of join volume, ~%d bytes)\n",
+				js.CSets, js.SketchPairs, js.CandidatePairs, js.TopK, 100*js.VolumeCoverage, js.MemoryBytes)
+			if js.VolumeCoverage < 1 {
+				fmt.Println("  (est-source=indep on a sketchable pair means it fell outside the kept top-K; raise -stats-sketches to cover it)")
+			}
+		} else {
+			fmt.Println("join statistics: disabled (independence estimator everywhere)")
 		}
 		fmt.Println("\nJoin Tree:")
 		fmt.Print(res.Tree.String())

@@ -50,15 +50,16 @@ func main() {
 	maxRows := flag.Int("max-rows", 0, "cap result rows per response (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; past it the query stops and the request returns 504 (0 = none)")
 	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
+	sketches := flag.Int("stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
 	flag.Parse()
 
-	if err := run(*in, *addr, *strategy, *planner, *workers, *inflight, *parallelism, *cacheSize, *maxRows, *queryTimeout, *replan); err != nil {
+	if err := run(*in, *addr, *strategy, *planner, *workers, *inflight, *parallelism, *cacheSize, *maxRows, *queryTimeout, *replan, *sketches); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, addr, strategy, planner string, workers, inflight, parallelism, cacheSize, maxRows int, queryTimeout time.Duration, replan float64) error {
+func run(in, addr, strategy, planner string, workers, inflight, parallelism, cacheSize, maxRows int, queryTimeout time.Duration, replan float64, sketches int) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -85,9 +86,11 @@ func run(in, addr, strategy, planner string, workers, inflight, parallelism, cac
 	}
 	fmt.Fprintf(os.Stderr, "loading %s…\n", in)
 	store, err := core.LoadNTriples(f, core.Options{
-		Cluster:        c,
-		BuildInversePT: strat == core.StrategyMixedIPT,
-		PlanCacheSize:  cacheSize,
+		Cluster:          c,
+		BuildInversePT:   strat == core.StrategyMixedIPT,
+		PlanCacheSize:    cacheSize,
+		SketchTopK:       max(sketches, 0),
+		DisableJoinStats: sketches < 0,
 	})
 	if err != nil {
 		return err
@@ -95,6 +98,10 @@ func run(in, addr, strategy, planner string, workers, inflight, parallelism, cac
 	rep := store.LoadReport()
 	fmt.Fprintf(os.Stderr, "loaded %d triples (%d VP tables, %d PT columns) in %v wall\n",
 		rep.Triples, rep.VPTables, rep.PTColumns, rep.WallTime)
+	if js, ok := store.Stats().JoinStatsSummary(); ok {
+		fmt.Fprintf(os.Stderr, "join statistics: %d csets, %d/%d pair sketches (top-%d, %.1f%% volume coverage)\n",
+			js.CSets, js.SketchPairs, js.CandidatePairs, js.TopK, 100*js.VolumeCoverage)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Store: store,

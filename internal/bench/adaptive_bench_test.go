@@ -19,7 +19,13 @@ import (
 )
 
 func BenchmarkAblationAdaptive(b *testing.B) {
+	// The independence-estimator store: with join-graph statistics on,
+	// the C-family estimates hold and no re-plan ever triggers (that is
+	// BenchmarkAblationSketches' subject) — the adaptive loop needs the
+	// mis-estimates to exist. Resolved up front so the lazy load never
+	// lands inside a timed region.
 	f := plannerStore(b)
+	indep := f.indepStore(b)
 	variants := []struct {
 		name string
 		opts func(core.QueryOptions) core.QueryOptions
@@ -45,7 +51,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 				opts := v.opts(core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: f.bcast})
 				var sim int64
 				for i := 0; i < b.N; i++ {
-					res, err := f.store.Query(q.Parsed, opts)
+					res, err := indep.Query(q.Parsed, opts)
 					if err != nil {
 						b.Fatal(err)
 					}

@@ -259,14 +259,25 @@ func (s *Systems) AblationBushy(queries []watdiv.Query) (Figure, error) {
 // The adopt-only-when-it-pays rule means a query without a genuine
 // correction opportunity runs exactly the static plan at exactly the
 // static time, so adaptivity is free where it cannot help.
+//
+// Since join-graph statistics landed, A5 runs on the independence-only
+// store (PRoSTIndep): on the default store the sketches fix the very
+// estimation mistakes the adaptive loop exists to catch, so no trigger
+// ever fires (that is ablation A6's claim). A5 keeps pinning the
+// adaptive machinery itself, which production stores still need for
+// the shapes sketches cannot express.
 func (s *Systems) AblationAdaptive(queries []watdiv.Query) (Figure, error) {
 	fig := Figure{
-		Title: "Ablation A5: adaptive re-planning vs static cost planner",
+		Title: "Ablation A5: adaptive re-planning vs static cost planner (independence estimator)",
 		Series: []Series{
 			{Name: "adaptive-1st"},
 			{Name: "adaptive-2nd"},
 			{Name: "static"},
 		},
+	}
+	indep, err := s.PRoSTIndep()
+	if err != nil {
+		return Figure{}, fmt.Errorf("bench: adaptive ablation: %w", err)
 	}
 	for _, q := range queries {
 		base := core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold}
@@ -274,14 +285,14 @@ func (s *Systems) AblationAdaptive(queries []watdiv.Query) (Figure, error) {
 		staticOpts := base
 		staticOpts.ReplanThreshold = -1
 		staticOpts.NoPlanCache = true
-		static, err := s.PRoST.Query(q.Parsed, staticOpts)
+		static, err := indep.Query(q.Parsed, staticOpts)
 		if err != nil {
 			return Figure{}, fmt.Errorf("bench: adaptive ablation, %s static: %w", q.Name, err)
 		}
 
 		firstOpts := base
 		firstOpts.NoPlanCache = true
-		first, err := s.PRoST.Query(q.Parsed, firstOpts)
+		first, err := indep.Query(q.Parsed, firstOpts)
 		if err != nil {
 			return Figure{}, fmt.Errorf("bench: adaptive ablation, %s first: %w", q.Name, err)
 		}
@@ -293,7 +304,7 @@ func (s *Systems) AblationAdaptive(queries []watdiv.Query) (Figure, error) {
 		var second *core.Result
 		prev := time.Duration(-1)
 		for i := 0; i < 6; i++ {
-			res, err := s.PRoST.Query(q.Parsed, base)
+			res, err := indep.Query(q.Parsed, base)
 			if err != nil {
 				return Figure{}, fmt.Errorf("bench: adaptive ablation, %s cached run: %w", q.Name, err)
 			}
@@ -312,6 +323,69 @@ func (s *Systems) AblationAdaptive(queries []watdiv.Query) (Figure, error) {
 		fig.Series[0].Values = append(fig.Series[0].Values, first.SimTime)
 		fig.Series[1].Values = append(fig.Series[1].Values, second.SimTime)
 		fig.Series[2].Values = append(fig.Series[2].Values, static.SimTime)
+	}
+	return fig, nil
+}
+
+// AblationSketches measures the join-graph statistics (ablation A6):
+// first-execution times on the default store (characteristic sets +
+// pair sketches collected at load time) against the pre-sketch
+// independence estimator, with and without PR 4's adaptive rescue.
+// Three series per query, Mixed strategy, fresh plans throughout
+// (NoPlanCache — this is the cost a *new* query pays):
+//
+//   - sketches-1st: the default store; the adaptive loop stays armed
+//     but the sketch-based estimates are intended to make it idle.
+//   - indep-adaptive-1st: the sketch-less store with the adaptive loop
+//     — what PR 4 paid on a first execution to fix the independence
+//     assumption's mistakes at runtime.
+//   - indep-static: the sketch-less store, static — the unrescued
+//     baseline.
+//
+// The A6 claim: sketches turn the adaptive loop's first-run rescue
+// into a static win — sketches-1st matches or beats indep-adaptive-1st
+// everywhere, without re-plan triggers firing.
+func (s *Systems) AblationSketches(queries []watdiv.Query) (Figure, error) {
+	fig := Figure{
+		Title: "Ablation A6: join-graph statistics (csets + sketches) vs independence estimator",
+		Series: []Series{
+			{Name: "sketches-1st"},
+			{Name: "indep-adaptive-1st"},
+			{Name: "indep-static"},
+		},
+	}
+	indep, err := s.PRoSTIndep()
+	if err != nil {
+		return Figure{}, fmt.Errorf("bench: sketch ablation: %w", err)
+	}
+	for _, q := range queries {
+		base := core.QueryOptions{Strategy: core.StrategyMixed, BroadcastThreshold: s.BroadcastThreshold, NoPlanCache: true}
+
+		sketch, err := s.PRoST.Query(q.Parsed, base)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: sketch ablation, %s sketches: %w", q.Name, err)
+		}
+
+		indepAdaptive, err := indep.Query(q.Parsed, base)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: sketch ablation, %s indep-adaptive: %w", q.Name, err)
+		}
+
+		staticOpts := base
+		staticOpts.ReplanThreshold = -1
+		indepStatic, err := indep.Query(q.Parsed, staticOpts)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: sketch ablation, %s indep-static: %w", q.Name, err)
+		}
+
+		if len(sketch.Rows) != len(indepStatic.Rows) || len(indepAdaptive.Rows) != len(indepStatic.Rows) {
+			return Figure{}, fmt.Errorf("bench: sketch ablation, %s: row counts diverge (sketch %d, adaptive %d, static %d)",
+				q.Name, len(sketch.Rows), len(indepAdaptive.Rows), len(indepStatic.Rows))
+		}
+		fig.Labels = append(fig.Labels, q.Name)
+		fig.Series[0].Values = append(fig.Series[0].Values, sketch.SimTime)
+		fig.Series[1].Values = append(fig.Series[1].Values, indepAdaptive.SimTime)
+		fig.Series[2].Values = append(fig.Series[2].Values, indepStatic.SimTime)
 	}
 	return fig, nil
 }

@@ -18,15 +18,37 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/rdf"
 	"repro/internal/watdiv"
 )
 
 // plannerFixture is a PRoST-only store priced at the paper's
 // 100M-triple scale (same extrapolation as the Systems fixture,
-// without loading the three baseline systems).
+// without loading the three baseline systems). indepStore lazily adds
+// the same data without join-graph statistics — the estimator the
+// adaptive-loop benchmarks exercise and the sketch ablation measures
+// against; benchmarks that never touch it never pay the extra load.
 type plannerFixture struct {
 	store *core.Store
 	bcast int64
+	graph *rdf.Graph
+
+	indepOnce sync.Once
+	indep     *core.Store
+	indepErr  error
+}
+
+// indepStore returns the fixture's independence-estimator store,
+// loading it on first use.
+func (f *plannerFixture) indepStore(b *testing.B) *core.Store {
+	b.Helper()
+	f.indepOnce.Do(func() {
+		f.indep, f.indepErr = core.Load(f.graph, core.Options{Cluster: f.store.Cluster(), DisableJoinStats: true})
+	})
+	if f.indepErr != nil {
+		b.Fatalf("loading independence fixture: %v", f.indepErr)
+	}
+	return f.indep
 }
 
 var (
@@ -52,7 +74,7 @@ func plannerStore(b *testing.B) *plannerFixture {
 			plannerErr = err
 			return
 		}
-		plannerFix = &plannerFixture{store: store, bcast: bcast}
+		plannerFix = &plannerFixture{store: store, bcast: bcast, graph: g}
 	})
 	if plannerErr != nil {
 		b.Fatalf("loading planner fixture: %v", plannerErr)

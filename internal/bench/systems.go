@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/baselines/rya"
@@ -47,6 +48,16 @@ type Systems struct {
 	S2RDF    *s2rdf.Store
 	SPARQLGX *sparqlgx.Store
 	Rya      *rya.Store
+
+	// graph and inversePT let PRoSTIndep build its store lazily: only
+	// the adaptive (A5) and sketch (A6) ablations need it, so other
+	// experiments never pay the extra load.
+	graph     *rdf.Graph
+	inversePT bool
+
+	indepOnce sync.Once
+	indep     *core.Store
+	indepErr  error
 
 	// BroadcastThreshold is the effective broadcast-join threshold for
 	// the SQL systems, shrunk by the extrapolation factor so that a
@@ -118,6 +129,7 @@ func LoadAll(g *rdf.Graph, opts LoadOptions) (*Systems, error) {
 	}
 	sys.PRoST = prost
 	sys.loads = append(sys.loads, LoadRow{SysPRoST, prost.LoadReport().SizeBytes, prost.LoadReport().LoadTime})
+	sys.graph, sys.inversePT = g, opts.InversePT
 
 	s2, err := s2rdf.Load(g, s2rdf.Options{Cluster: c, FS: fs, Dict: dict, BroadcastThreshold: bcast})
 	if err != nil {
@@ -153,6 +165,20 @@ func scaleCostModel(m cluster.CostModel, factor float64) cluster.CostModel {
 	m.RowTime = time.Duration(float64(m.RowTime) * factor)
 	m.SeekTime = time.Duration(float64(m.SeekTime) * factor)
 	return m
+}
+
+// PRoSTIndep returns the same data loaded without join-graph
+// statistics (characteristic sets + pair sketches): the pre-sketch
+// independence-only estimator, built lazily on first use. The adaptive
+// ablation (A5) runs on it — with sketches on, the estimation mistakes
+// that trigger mid-query re-planning no longer occur — and the sketch
+// ablation (A6) measures the two stores against each other.
+func (s *Systems) PRoSTIndep() (*core.Store, error) {
+	s.indepOnce.Do(func() {
+		s.indep, s.indepErr = core.Load(s.graph, core.Options{Cluster: s.Cluster, FS: s.FS,
+			BuildInversePT: s.inversePT, PathPrefix: "/prost-indep", DisableJoinStats: true})
+	})
+	return s.indep, s.indepErr
 }
 
 // Loads returns the Table 1 rows in load order.

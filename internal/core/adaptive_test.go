@@ -54,7 +54,12 @@ const adaptiveQuery = `SELECT ?x ?y ?w WHERE {
 func adaptiveStore(t *testing.T) *Store {
 	t.Helper()
 	c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
-	s, err := Load(correlatedGraph(), Options{Cluster: c})
+	// Join-graph statistics are disabled on purpose: the pair sketch for
+	// a⋈b would price the correlated join exactly and no re-plan would
+	// ever trigger. These tests pin the adaptive machinery itself, which
+	// production stores only exercise for the shapes sketches cannot
+	// express.
+	s, err := Load(correlatedGraph(), Options{Cluster: c, DisableJoinStats: true})
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -225,6 +230,106 @@ func TestStaleGenerationFreesFIFOSlot(t *testing.T) {
 	if m := c.metrics(); m.Entries != 2 || m.Evictions != 0 {
 		t.Fatalf("metrics %+v, want 2 entries and no evictions", m)
 	}
+}
+
+// TestConcurrentStatsReloadWithSketches reloads the join-graph
+// statistics (different sketch top-K → different fingerprint AND a
+// generation bump) while 16 goroutines keep querying — the -race gate
+// for swapStats under load. The store is loaded with SketchTopK 1 so
+// the a⋈b correlation stays uncovered and the adaptive loop writes
+// corrected feedback entries; the reload must strand them, and no
+// post-reload execution may serve a plan priced against the old
+// sketches: a post-reload query's estimates must match a fresh plan
+// built from the new collection.
+func TestConcurrentStatsReloadWithSketches(t *testing.T) {
+	c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
+	s, err := Load(correlatedGraph(), Options{Cluster: c, SketchTopK: 1})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	q := sparql.MustParse(adaptiveQuery)
+	static, err := s.Query(q, QueryOptions{ReplanThreshold: -1, NoPlanCache: true})
+	if err != nil {
+		t.Fatalf("static: %v", err)
+	}
+	want := renderRows(static)
+
+	// Warm to a corrected feedback entry (the top-1 sketch bound leaves
+	// the correlated pair uncovered, so the trigger still fires).
+	if _, err := s.Query(q, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if m := s.PlanCacheMetrics(); m.CorrectedEntries == 0 {
+		t.Fatalf("no corrected entry before the reload (metrics %+v); the sketch bound no longer leaves the trigger uncovered", m)
+	}
+	baseGen := s.PlanCacheMetrics().Generation
+
+	const goroutines = 16
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	start := make(chan struct{})
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				res, err := s.Query(q, QueryOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := renderRows(res)
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("goroutine %d round %d: %d rows, want %d", gi, r, len(got), len(want))
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("goroutine %d round %d: row %d = %q, want %q", gi, r, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(gi)
+	}
+	close(start)
+	// Two reloads with different sketch bounds while queries are in
+	// flight: fingerprints differ each time, generations advance.
+	s.swapStats(stats.CollectJoinStats(s.triples, stats.Config{CSets: true, SketchTopK: 2}))
+	s.swapStats(stats.CollectJoinStats(s.triples, stats.Config{CSets: true, SketchTopK: 3}))
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := s.PlanCacheMetrics()
+	if m.Generation != baseGen+2 {
+		t.Errorf("generation = %d, want %d after two reloads", m.Generation, baseGen+2)
+	}
+
+	// No plan priced against the old sketches may be served: a fresh
+	// post-reload execution's estimates must match a from-scratch plan
+	// built over the current collection.
+	res, err := s.Query(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.Plan(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, wantEst := res.Plan.Root.Est, fresh.Root.Est; got != wantEst {
+		// The served plan may be a corrected (rebased) entry written
+		// back AFTER the reload — that is current-generation feedback,
+		// not staleness — so only a non-feedback plan must match.
+		if !res.CacheFeedback {
+			t.Errorf("post-reload plan root est %g != fresh plan est %g (stale sketch pricing served)", got, wantEst)
+		}
+	}
+	eqStrings(t, renderRows(res), want, "post-reload result")
 }
 
 // TestConcurrentAdaptiveReplanSharedCache hammers the adaptive path

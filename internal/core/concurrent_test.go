@@ -53,9 +53,9 @@ func TestPlanCacheMissAfterStatsReload(t *testing.T) {
 	// Reload the statistics from a perturbed view of the data: the
 	// fingerprint changes, so the cached plan must not be reused.
 	st := stats.Collect(s.triples[:len(s.triples)-1])
-	oldFP := s.statsFP
+	oldFP := s.statsFingerprint()
 	s.swapStats(st)
-	if s.statsFP == oldFP {
+	if s.statsFingerprint() == oldFP {
 		t.Fatalf("stats fingerprint unchanged after reload")
 	}
 	res, err := s.Query(q, QueryOptions{})

@@ -206,7 +206,13 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		clock = cluster.NewClock()
 	}
 	mode := opts.planMode()
-	entry, key, cacheable, err := s.planEntry(q, mode, opts)
+	// One statistics snapshot serves the whole query: the cache key's
+	// fingerprint, leaf estimation, plan pricing and the re-planner's
+	// sketch lookups all read the same collection, so a reload landing
+	// mid-query can never produce a plan priced from a mixture of old
+	// and new statistics (or cache one under the wrong fingerprint).
+	snap := s.statsSnap.Load()
+	entry, key, cacheable, err := s.planEntry(snap, q, mode, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +244,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		filterSpecs:     filterSpecs(q, pl.Leaves),
 		projection:      q.Projection(),
 		distinct:        q.Distinct,
-		costs:           s.planCosts(opts),
+		costs:           s.planCosts(snap.col, opts),
 		replanCharge:    s.cluster.Config().Cost.SQLPlanning,
 	}
 	rootTask, err := sched.execute(pl)
@@ -314,22 +320,22 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 // cache: a hit returns the shared immutable entry; a miss translates,
 // plans, inserts and returns. The returned key and cacheable flag let
 // the caller write a corrected plan back after an adaptive run.
-func (s *Store) planEntry(q *sparql.Query, mode plan.Mode, opts QueryOptions) (entry *cachedPlan, key string, cacheable bool, err error) {
+func (s *Store) planEntry(snap *statsSnapshot, q *sparql.Query, mode plan.Mode, opts QueryOptions) (entry *cachedPlan, key string, cacheable bool, err error) {
 	cacheable = !opts.NoPlanCache && s.planCache != nil
 	if cacheable {
-		key = planCacheKey(q, mode, opts, s.statsFP)
+		key = planCacheKey(q, mode, opts, snap.fp)
 		if e, ok := s.planCache.get(key); ok {
 			return e, key, cacheable, nil
 		}
 	}
-	tree, err := s.Translate(q, opts.Strategy)
+	tree, err := s.translateWith(snap.col, q, opts.Strategy)
 	if err != nil {
 		return nil, "", false, err
 	}
 	if mode == plan.ModeNaive {
 		naiveOrder(tree, q)
 	}
-	pl := s.buildPlan(tree, q, mode, opts)
+	pl := s.buildPlan(snap.col, tree, q, mode, opts)
 	if pl == nil {
 		return nil, "", false, fmt.Errorf("core: query has no patterns")
 	}

@@ -6,7 +6,21 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/plan"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/stats"
+)
+
+// Compile-time pin of the cross-package join-position encoding: the
+// planner's PairPos values must equal the statistics package's JoinPos
+// values — the JoinStatsProvider contract passes them as raw uint8.
+// Reordering either enum makes one of these constant array indexes
+// non-zero and fails the build.
+var (
+	_ = [1]struct{}{}[uint8(plan.PairSS)-uint8(stats.JoinSS)]
+	_ = [1]struct{}{}[uint8(plan.PairSO)-uint8(stats.JoinSO)]
+	_ = [1]struct{}{}[uint8(plan.PairOS)-uint8(stats.JoinOS)]
+	_ = [1]struct{}{}[uint8(plan.PairOO)-uint8(stats.JoinOO)]
 )
 
 // PlannerMode selects how a query's physical plan is produced.
@@ -92,7 +106,8 @@ func (o QueryOptions) planMode() plan.Mode {
 // Plan translates a query and builds its physical plan without
 // executing it — the entry point for EXPLAIN and planner benchmarks.
 func (s *Store) Plan(q *sparql.Query, opts QueryOptions) (*plan.Plan, error) {
-	tree, err := s.Translate(q, opts.Strategy)
+	st := s.curStats()
+	tree, err := s.translateWith(st, q, opts.Strategy)
 	if err != nil {
 		return nil, err
 	}
@@ -100,34 +115,167 @@ func (s *Store) Plan(q *sparql.Query, opts QueryOptions) (*plan.Plan, error) {
 	if mode == plan.ModeNaive {
 		naiveOrder(tree, q)
 	}
-	return s.buildPlan(tree, q, mode, opts), nil
+	return s.buildPlan(st, tree, q, mode, opts), nil
 }
 
 // buildPlan converts the ordered Join Tree to planner leaves and runs
-// the optimizer passes.
-func (s *Store) buildPlan(tree *JoinTree, q *sparql.Query, mode plan.Mode, opts QueryOptions) *plan.Plan {
-	leaves := s.planLeaves(tree)
+// the optimizer passes against one statistics snapshot, recording
+// estimate provenance for /stats. The snapshot is the caller's: a plan
+// is always priced end to end from the same collection whose
+// fingerprint keys it in the cache, even when a reload lands while
+// planning runs.
+func (s *Store) buildPlan(st *stats.Collection, tree *JoinTree, q *sparql.Query, mode plan.Mode, opts QueryOptions) *plan.Plan {
+	leaves := s.planLeaves(st, tree)
 	specs := filterSpecs(q, leaves)
-	return plan.Build(leaves, specs, q.Projection(), q.Distinct, mode, s.planCosts(opts))
+	pl := plan.Build(leaves, specs, q.Projection(), q.Distinct, mode, s.planCosts(st, opts))
+	if pl != nil {
+		s.estSources.record(pl)
+	}
+	return pl
 }
 
 // planLeaves describes each Join Tree node to the planner: output
 // schema in engine column order, statistics-based cardinality and
-// distinct estimates, and the partitioning its scan will produce.
-func (s *Store) planLeaves(tree *JoinTree) []plan.Leaf {
+// distinct estimates, the triple patterns behind the scan (for sketch
+// lookups), and the partitioning its scan will produce.
+func (s *Store) planLeaves(st *stats.Collection, tree *JoinTree) []plan.Leaf {
 	leaves := make([]plan.Leaf, len(tree.Nodes))
 	for i, n := range tree.Nodes {
-		size, dist := s.nodeEstimate(n)
+		size, dist, src := s.leafEstimate(st, n)
 		leaves[i] = plan.Leaf{
-			Label:    n.Label(),
-			Vars:     leafVars(n),
-			Est:      size,
-			Dist:     dist,
-			PartCols: leafPartCols(n),
-			Anchor:   leafAnchor(n),
+			Label:     n.Label(),
+			Vars:      leafVars(n),
+			Est:       size,
+			Dist:      dist,
+			PartCols:  leafPartCols(n),
+			Anchor:    leafAnchor(n),
+			Pats:      leafPats(s.dict, n),
+			EstSource: src,
 		}
 	}
 	return leaves
+}
+
+// leafEstimate prices one Join Tree node for the planner with the
+// documented estimator precedence: characteristic sets for subject
+// stars (Property Table nodes), pair sketches for two-pattern groups
+// the csets cannot price (inverse-PT object stars, and PT pairs when
+// csets are unavailable), and the per-predicate independence estimate
+// otherwise. The translator's §3.3 ordering (nodeEstimate) is left
+// untouched so the heuristic planner keeps reproducing the paper.
+func (s *Store) leafEstimate(st *stats.Collection, n *Node) (float64, map[string]float64, string) {
+	size, dist := s.nodeEstimate(st, n)
+	if len(n.Patterns) < 2 {
+		return size, dist, plan.EstIndep
+	}
+	pids, boundSel, ok := s.groupPreds(st, n)
+	if !ok {
+		return size, dist, plan.EstIndep
+	}
+	switch n.Kind {
+	case NodePT:
+		if subj, rows, ok := st.StarEstimate(pids); ok {
+			rows *= boundSel
+			minDist(dist, n.Key, subj*boundSel)
+			return rows, dist, plan.EstCSet
+		}
+		if rows, ok := pairLeafEstimate(st, pids, stats.JoinSS, boundSel, dist, n.Key); ok {
+			return rows, dist, plan.EstSketch
+		}
+	case NodeIPT:
+		if rows, ok := pairLeafEstimate(st, pids, stats.JoinOO, boundSel, dist, n.Key); ok {
+			return rows, dist, plan.EstSketch
+		}
+	}
+	return size, dist, plan.EstIndep
+}
+
+// pairLeafEstimate prices a two-pattern group from its pair sketch at
+// the given join position, min-updating the key variable's distinct
+// count with the sketch's shared-key count. ok is false for groups of
+// another size or pairs the sketch cannot answer.
+func pairLeafEstimate(st *stats.Collection, pids []rdf.ID, pos stats.JoinPos, boundSel float64, dist map[string]float64, key string) (float64, bool) {
+	if len(pids) != 2 {
+		return 0, false
+	}
+	join, keys, ok := st.PairJoin(uint64(pids[0]), uint64(pids[1]), uint8(pos))
+	if !ok {
+		return 0, false
+	}
+	minDist(dist, key, keys)
+	return join * boundSel, true
+}
+
+// minDist lowers dist[v] to d when d is smaller (or v is absent).
+func minDist(dist map[string]float64, v string, d float64) {
+	if prev, in := dist[v]; !in || d < prev {
+		dist[v] = d
+	}
+}
+
+// groupPreds resolves a PT/IPT node's predicate IDs (pattern order,
+// duplicates kept) and the combined selectivity of its bound value
+// positions (1/distinct-objects per bound object under the subject
+// key, 1/distinct-subjects per bound subject under the object key).
+// ok is false when a predicate is variable or unknown, or when value
+// variables repeat — shapes whose scan applies equality constraints
+// the star statistics cannot see.
+func (s *Store) groupPreds(st *stats.Collection, n *Node) (pids []rdf.ID, boundSel float64, ok bool) {
+	boundSel = 1
+	seenVars := map[string]bool{n.Key: true}
+	for _, tp := range n.Patterns {
+		if tp.P.IsVar() {
+			return nil, 0, false
+		}
+		pid, found := s.dict.Lookup(tp.P.Term)
+		if !found {
+			return nil, 0, false
+		}
+		pids = append(pids, pid)
+		ps := st.Predicate(pid)
+		value := tp.O
+		boundDistinct := float64(ps.DistinctObjects)
+		if n.Kind == NodeIPT {
+			value = tp.S
+			boundDistinct = float64(ps.DistinctSubjects)
+		}
+		if value.IsVar() {
+			if seenVars[value.Var] {
+				return nil, 0, false
+			}
+			seenVars[value.Var] = true
+			continue
+		}
+		if boundDistinct < 1 {
+			boundDistinct = 1
+		}
+		boundSel /= boundDistinct
+	}
+	return pids, boundSel, true
+}
+
+// leafPats describes a node's bound-predicate patterns to the sketch
+// estimator: predicate ID plus the variables at each position.
+func leafPats(dict *rdf.Dictionary, n *Node) []plan.PatRef {
+	var out []plan.PatRef
+	for _, tp := range n.Patterns {
+		if tp.P.IsVar() {
+			continue
+		}
+		pid, ok := dict.Lookup(tp.P.Term)
+		if !ok {
+			continue
+		}
+		pr := plan.PatRef{Pred: uint64(pid)}
+		if tp.S.IsVar() {
+			pr.SVar = tp.S.Var
+		}
+		if tp.O.IsVar() {
+			pr.OVar = tp.O.Var
+		}
+		out = append(out, pr)
+	}
+	return out
 }
 
 // leafVars returns a node's output schema in the exact column order
@@ -224,8 +372,9 @@ func filterSpecs(q *sparql.Query, leaves []plan.Leaf) []plan.FilterSpec {
 	return specs
 }
 
-// planCosts bundles the cluster facts physical selection prices with.
-func (s *Store) planCosts(opts QueryOptions) plan.Costs {
+// planCosts bundles the cluster facts physical selection prices with,
+// reading join sketches from the caller's statistics snapshot.
+func (s *Store) planCosts(st *stats.Collection, opts QueryOptions) plan.Costs {
 	threshold := opts.BroadcastThreshold
 	if threshold == 0 {
 		threshold = engine.DefaultBroadcastThreshold
@@ -239,5 +388,9 @@ func (s *Store) planCosts(opts QueryOptions) plan.Costs {
 		BytesPerValue:      engine.BytesPerValue,
 		SkewSaltFraction:   engine.DefaultSkewSaltFraction,
 		Model:              s.cluster.Config().Cost,
+		// The loader statistics implement the sketch lookup; with join
+		// statistics disabled every lookup reports no sketch and the
+		// estimator falls back to independence everywhere.
+		JoinStats: st,
 	}
 }

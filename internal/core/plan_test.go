@@ -94,6 +94,75 @@ func TestEstimatorActualsRecordedAndExactForScans(t *testing.T) {
 	}
 }
 
+// TestLeafEstimateJoinStats pins the estimator precedence on the small
+// test graph with hand-computed exact values: a Property Table star is
+// priced from the characteristic sets (user0: 1 like, user1: 2 likes,
+// user2: 1 like, all with age → 4 rows exactly), an inverse-PT object
+// pair from the o-o self-sketch of likes (prodA and prodB each liked
+// twice → Σ deg² = 8), and the tags propagate into the plan.
+func TestLeafEstimateJoinStats(t *testing.T) {
+	s := testStore(t, true)
+
+	star := planFor(t, s, `SELECT * WHERE {
+		?u <http://example.org/likes> ?p .
+		?u <http://example.org/age> ?a .
+	}`, QueryOptions{Strategy: StrategyMixed})
+	scans := star.Scans()
+	if len(scans) != 1 {
+		t.Fatalf("star: %d scans, want 1 PT scan:\n%s", len(scans), star)
+	}
+	if scans[0].Est != 4 || scans[0].EstSource != plan.EstCSet {
+		t.Errorf("PT star est = %g (%s), want exactly 4 from csets:\n%s", scans[0].Est, scans[0].EstSource, star)
+	}
+
+	ipt := planFor(t, s, `SELECT ?a ?b WHERE {
+		?a <http://example.org/likes> ?p .
+		?b <http://example.org/likes> ?p .
+	}`, QueryOptions{Strategy: StrategyMixedIPT})
+	scans = ipt.Scans()
+	if len(scans) != 1 {
+		t.Fatalf("ipt: %d scans, want 1 IPT scan:\n%s", len(scans), ipt)
+	}
+	if scans[0].Est != 8 || scans[0].EstSource != plan.EstSketch {
+		t.Errorf("IPT pair est = %g (%s), want exactly 8 from the o-o sketch:\n%s", scans[0].Est, scans[0].EstSource, ipt)
+	}
+
+	// Both estimates are exact: execution must observe the same counts.
+	for _, tt := range []struct {
+		src   string
+		strat Strategy
+		want  int64
+	}{
+		{`SELECT * WHERE { ?u <http://example.org/likes> ?p . ?u <http://example.org/age> ?a . }`, StrategyMixed, 4},
+		{`SELECT ?a ?b WHERE { ?a <http://example.org/likes> ?p . ?b <http://example.org/likes> ?p . }`, StrategyMixedIPT, 8},
+	} {
+		q := sparql.MustParse(tt.src)
+		res, err := s.Query(q, QueryOptions{Strategy: tt.strat})
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		for _, sc := range res.Plan.Scans() {
+			if sc.Actual != tt.want {
+				t.Errorf("scan %s actual = %d, want %d", sc.Label, sc.Actual, tt.want)
+			}
+		}
+	}
+
+	// A sketch-less store reports indep on the same leaves.
+	c := cluster.MustNew(cluster.Config{Workers: 3, DefaultPartitions: 4})
+	indep, err := Load(testGraph(), Options{Cluster: c, BuildInversePT: true, DisableJoinStats: true})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	star = planFor(t, indep, `SELECT * WHERE {
+		?u <http://example.org/likes> ?p .
+		?u <http://example.org/age> ?a .
+	}`, QueryOptions{Strategy: StrategyMixed})
+	if src := star.Scans()[0].EstSource; src != plan.EstIndep {
+		t.Errorf("sketch-less PT star est-source = %q, want indep", src)
+	}
+}
+
 // TestFilterOnSharedVariableAppliedOnce is the duplicate-filter
 // regression test: a filter whose variable several nodes expose must be
 // pushed to exactly one scan and still produce correct rows.

@@ -547,9 +547,32 @@ func (sc *scheduler) boundLeaf(rr *roundRun, t *execTask, source int) plan.Bound
 		Dist:     dist,
 		Hot:      hot,
 		PartCols: t.rel.PartitionCols(),
+		Pats:     patsUnder(rr, t.node),
 		Done:     t.done,
 		Source:   source,
 	}
+}
+
+// patsUnder collects the triple patterns of every scan the fragment
+// rooted at n materialized (recursing through Bound leaves into the
+// rounds that produced them), so the re-planner's sketch lookups can
+// still resolve predicate pairs for joins of the intermediate.
+func patsUnder(rr *roundRun, n *plan.Node) []plan.PatRef {
+	var out []plan.PatRef
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		switch n.Op {
+		case plan.OpScan:
+			out = append(out, rr.plan.Leaves[n.Leaf].Pats...)
+		case plan.OpBound:
+			out = append(out, rr.bound[n.Leaf].leaf.Pats...)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
 }
 
 // relColumnStats computes exact per-column distinct counts and

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hdfs"
+	"repro/internal/plan"
 	"repro/internal/rdf"
 	"repro/internal/sizeenc"
 	"repro/internal/stats"
@@ -98,6 +99,16 @@ type Options struct {
 	// PlanCacheSize bounds the store's plan cache (entries). 0 uses the
 	// default; negative disables plan caching entirely.
 	PlanCacheSize int
+	// SketchTopK bounds the two-predicate join sketches collected at
+	// load time (0 = stats.DefaultSketchTopK, negative = no pair
+	// sketches; characteristic sets are kept either way).
+	SketchTopK int
+	// DisableJoinStats skips the join-graph statistics entirely —
+	// characteristic sets and pair sketches — leaving the pre-sketch
+	// independence-only estimator. Kept as the ablation baseline (A6)
+	// and for tests that exercise the adaptive re-planner's response to
+	// estimation mistakes the sketches would otherwise prevent.
+	DisableJoinStats bool
 }
 
 // Store is a loaded PRoST database.
@@ -106,8 +117,13 @@ type Store struct {
 	cluster *cluster.Cluster
 	fs      *hdfs.FS
 	dict    *rdf.Dictionary
-	stats   *stats.Collection
 	parts   int
+
+	// statsSnap holds the current loader statistics and their
+	// fingerprint behind one atomic pointer, so a statistics reload
+	// (swapStats) is safe under in-flight queries: every reader sees a
+	// consistent (collection, fingerprint) pair.
+	statsSnap atomic.Pointer[statsSnapshot]
 
 	// vp maps predicate ID → its Vertical Partitioning table.
 	vp map[rdf.ID]*VPTable
@@ -121,14 +137,17 @@ type Store struct {
 	// patterns (the triple-table fallback).
 	triples []rdf.EncodedTriple
 
-	// planCache memoizes physical plans across queries; statsFP is the
-	// loader-statistics fingerprint its keys embed, so replacing the
-	// statistics invalidates every cached plan.
+	// planCache memoizes physical plans across queries; its keys embed
+	// the loader-statistics fingerprint, so replacing the statistics
+	// invalidates every cached plan.
 	planCache *planCache
-	statsFP   uint64
 
 	// adaptive aggregates re-planning counters across queries.
 	adaptive adaptiveCounters
+	// estSources tallies, across every plan built, how its estimating
+	// nodes were priced (characteristic sets, pair sketches, or the
+	// independence fallback).
+	estSources estSourceCounters
 
 	load LoadReport
 }
@@ -167,6 +186,54 @@ func (s *Store) AdaptiveMetrics() AdaptiveMetrics {
 	}
 }
 
+// estSourceCounters tallies estimate provenance across built plans.
+type estSourceCounters struct {
+	cset, sketch, indep atomic.Uint64
+}
+
+// record counts the estimating nodes (scans and joins) of one freshly
+// built plan by the source that priced them.
+func (e *estSourceCounters) record(p *plan.Plan) {
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		switch n.EstSource {
+		case plan.EstCSet:
+			e.cset.Add(1)
+		case plan.EstSketch:
+			e.sketch.Add(1)
+		case plan.EstIndep:
+			e.indep.Add(1)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+}
+
+// EstSourceMetrics snapshots the estimate-provenance counters: how many
+// scan/join estimates across all built plans came from characteristic
+// sets, pair sketches, or the independence fallback. /stats and the
+// ablation harness read them to attribute estimator coverage.
+type EstSourceMetrics struct {
+	// CSet counts nodes priced from characteristic sets.
+	CSet uint64
+	// Sketch counts nodes priced from pair join sketches.
+	Sketch uint64
+	// Indep counts nodes priced by the independence assumption (the
+	// fallback when no sketch or cset applies).
+	Indep uint64
+}
+
+// EstSourceMetrics returns the per-source estimate counters.
+func (s *Store) EstSourceMetrics() EstSourceMetrics {
+	return EstSourceMetrics{
+		CSet:   s.estSources.cset.Load(),
+		Sketch: s.estSources.sketch.Load(),
+		Indep:  s.estSources.indep.Load(),
+	}
+}
+
 // LoadReport summarizes a loading run: Table 1's two columns plus
 // breakdown detail.
 type LoadReport struct {
@@ -190,19 +257,35 @@ type LoadReport struct {
 // decoding and the benchmark harness).
 func (s *Store) Dictionary() *rdf.Dictionary { return s.dict }
 
+// statsSnapshot pairs a statistics collection with its fingerprint.
+type statsSnapshot struct {
+	col *stats.Collection
+	fp  uint64
+}
+
 // Stats exposes the loader-time statistics.
-func (s *Store) Stats() *stats.Collection { return s.stats }
+func (s *Store) Stats() *stats.Collection { return s.curStats() }
+
+// curStats returns the current statistics collection.
+func (s *Store) curStats() *stats.Collection { return s.statsSnap.Load().col }
+
+// statsFingerprint returns the current collection's content hash — the
+// component of every plan-cache key that ties a plan to the statistics
+// (including join sketches) it was priced with.
+func (s *Store) statsFingerprint() uint64 { return s.statsSnap.Load().fp }
 
 // swapStats replaces the loader statistics and refreshes their
 // fingerprint. Cached plans keyed on the old fingerprint become
 // unreachable, and the plan cache's generation counter advances so any
 // entry from the old statistics era — including corrected feedback
 // plans, whose rebased estimates are observations of the old data —
-// is invalidated outright. Not safe to call concurrently with Query;
-// it exists for the loader and for tests modelling a reload.
+// is invalidated outright. Safe to call with queries in flight: the
+// snapshot swap is atomic, in-flight executions keep the collection
+// they started with, and any entry such an execution writes back is
+// either stranded by the generation bump (written before it) or keyed
+// on the old fingerprint (unreachable after it).
 func (s *Store) swapStats(st *stats.Collection) {
-	s.stats = st
-	s.statsFP = st.Fingerprint()
+	s.statsSnap.Store(&statsSnapshot{col: st, fp: st.Fingerprint()})
 	if s.planCache != nil {
 		s.planCache.bumpGeneration()
 	}
@@ -277,9 +360,17 @@ func Load(g *rdf.Graph, opts Options) (*Store, error) {
 	clock.Charge("dictionary encode", time.Duration(g.Len())*s.cluster.Config().Cost.RowTime)
 
 	// Phase 3: statistics (paper §3.3 — "without any significant
-	// overhead": one extra pass).
-	s.swapStats(stats.Collect(s.triples))
-	clock.Charge("statistics", time.Duration(len(s.triples))*s.cluster.Config().Cost.RowTime)
+	// overhead": one extra pass). Join-graph statistics (characteristic
+	// sets + pair sketches) ride the same subject-grouped layout the
+	// Property Table build needs and cost one more pass over the rows.
+	if opts.DisableJoinStats {
+		s.swapStats(stats.Collect(s.triples))
+		clock.Charge("statistics", time.Duration(len(s.triples))*s.cluster.Config().Cost.RowTime)
+	} else {
+		s.swapStats(stats.CollectJoinStats(s.triples, stats.Config{CSets: true, SketchTopK: opts.SketchTopK}))
+		clock.Charge("statistics", time.Duration(len(s.triples))*s.cluster.Config().Cost.RowTime)
+		clock.Charge("join statistics", time.Duration(len(s.triples))*s.cluster.Config().Cost.RowTime)
+	}
 
 	cacheSize := opts.PlanCacheSize
 	if cacheSize == 0 {

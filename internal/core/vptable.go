@@ -48,7 +48,7 @@ func (s *Store) buildVP(clock *cluster.Clock) error {
 	for p, a := range arenas {
 		byPred[p] = a.Rows()
 	}
-	s.predOrder = sortedPredicates(s.dict, s.stats)
+	s.predOrder = sortedPredicates(s.dict, s.curStats())
 
 	var totalShuffleBytes, totalWriteBytes int64
 	var totalRows int64

@@ -109,7 +109,7 @@ func TestSaltedShuffleSpreadsHotKey(t *testing.T) {
 		return join.Makespan, join.Stats.NetBytes
 	}
 
-	saltedSpan, saltedNet := run(0)    // 0 = engine default (enabled)
+	saltedSpan, saltedNet := run(0)      // 0 = engine default (enabled)
 	unsaltedSpan, unsaltedNet := run(-1) // negative disables salting
 
 	if saltedSpan >= unsaltedSpan {

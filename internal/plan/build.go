@@ -29,6 +29,15 @@ type Leaf struct {
 	// observation behind the paper's §3.3 priority boosts), so the
 	// cost-based start prefers them within a bounded estimate window.
 	Anchor int
+	// Pats lists the leaf's triple patterns (predicate plus the
+	// variables at each position), so sketch-based join estimation can
+	// resolve the predicate pair behind a shared variable. Empty for
+	// leaves without bound predicates.
+	Pats []PatRef
+	// EstSource records what produced Est (EstCSet for characteristic-
+	// set-priced stars, EstSketch for pair-sketch-priced groups, EstIndep
+	// otherwise; "" defaults to EstIndep).
+	EstSource string
 }
 
 // FilterSpec is one FILTER constraint as the planner sees it.
@@ -74,6 +83,10 @@ type Costs struct {
 	RuntimeRules bool
 	// Model prices shuffle and broadcast exchanges.
 	Model cluster.CostModel
+	// JoinStats provides two-predicate join sketches for correlated-join
+	// estimation (nil falls back to the independence assumption
+	// everywhere). *stats.Collection implements it.
+	JoinStats JoinStatsProvider
 }
 
 // Build assembles a physical plan from the translated leaves.
@@ -130,15 +143,35 @@ func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bo
 	// the predicted partitioning through every join.
 	cur := buildChain(leaves, filters, order, pushed, projection, effMode, c)
 
-	// Pass 3 (ModeCost only): enumerate a bushy candidate and keep it
-	// when its priced critical path is strictly shorter — a tie keeps
-	// the chain, whose runtime behaviour is better understood.
+	// Pass 3 (ModeCost only): enumerate bushy candidates and keep the
+	// best one when its priced critical path is strictly shorter than
+	// the chain's — a tie keeps the chain, whose runtime behaviour is
+	// better understood. Three candidate generators cover different
+	// regimes:
+	//
+	//   - optimal bracketing of the chain order (an O(n³) DP over
+	//     contiguous segments): keeps the cost-based join order and
+	//     finds the parallel-arm split even when accurate sketch
+	//     estimates make every join output small and the fixed
+	//     per-exchange launches dominate the real cost;
+	//   - GOO merging by smallest estimated join output (ties by priced
+	//     time): the classic heuristic, effective when estimates are
+	//     coarse and intermediate sizes dominate;
+	//   - GOO merging by shortest merged critical path (ties by
+	//     estimate): a shape-first variant that can escape the chain
+	//     order entirely.
 	if mode == ModeCost && len(leaves) > 2 {
-		bPushed, bResidual := pushFiltersBushy(leaves, filters)
-		if bushy := buildBushy(leaves, filters, bPushed, projection, c); bushy.crit < cur.crit {
-			cur = bushy
-			residual = bResidual
+		if dpCand := bushySequenceDP(leaves, filters, order, pushed, projection, c); dpCand.crit < cur.crit {
+			cur = dpCand // chain-order filters and residual still apply
 			p.Bushy = true
+		}
+		bPushed, bResidual := pushFiltersBushy(leaves, filters)
+		for _, byCrit := range []bool{false, true} {
+			if bushy := buildBushy(leaves, filters, bPushed, projection, c, byCrit); bushy.crit < cur.crit {
+				cur = bushy
+				residual = bResidual
+				p.Bushy = true
+			}
 		}
 	}
 	p.EstCritPath = cur.crit
@@ -208,13 +241,13 @@ func buildChain(leaves []Leaf, filters []FilterSpec, order []int, pushed [][]int
 }
 
 // buildBushy is greedy operator ordering (GOO) over connected
-// components: every leaf starts as its own component, and the pair of
-// connected components whose estimated join output is smallest (ties
-// broken by priced join time, then input order) merges, until one
-// component remains. Independent subtrees therefore grow as siblings
-// and meet at the top instead of being threaded through one chain, and
-// each component's crit field prices the critical path of its subtree.
-func buildBushy(leaves []Leaf, filters []FilterSpec, pushed [][]int, projection []string, c Costs) state {
+// components: every leaf starts as its own component, and the best
+// pair of connected components (bestGOOPair — the comparator shared
+// with the re-planner, selected by byCrit) merges until one component
+// remains. Independent subtrees grow as siblings and meet at the top
+// instead of being threaded through one chain, and each component's
+// crit field prices the critical path of its subtree.
+func buildBushy(leaves []Leaf, filters []FilterSpec, pushed [][]int, projection []string, c Costs, byCrit bool) state {
 	comps := make([]state, len(leaves))
 	leafSets := make([][]int, len(leaves))
 	for i, l := range leaves {
@@ -223,40 +256,7 @@ func buildBushy(leaves []Leaf, filters []FilterSpec, pushed [][]int, projection 
 	}
 
 	for len(comps) > 1 {
-		bi, bj := -1, -1
-		var bestEst float64
-		var bestTime time.Duration
-		for i := 0; i < len(comps); i++ {
-			for j := i + 1; j < len(comps); j++ {
-				shared := sharedVars(comps[i].vars, comps[j].vars)
-				if len(shared) == 0 {
-					continue
-				}
-				est := joinEstimate(comps[i], comps[j], shared)
-				t := joinTime(comps[i], comps[j], shared, est, c)
-				if bi < 0 || est < bestEst || (est == bestEst && t < bestTime) {
-					bi, bj, bestEst, bestTime = i, j, est, t
-				}
-			}
-		}
-		if bi < 0 {
-			// Disconnected BGP: cartesian-join the two smallest
-			// components.
-			bi, bj = 0, 1
-			if comps[1].est < comps[0].est {
-				bi, bj = 1, 0
-			}
-			for k := 2; k < len(comps); k++ {
-				if comps[k].est < comps[bi].est {
-					bi, bj = k, bi
-				} else if comps[k].est < comps[bj].est {
-					bj = k
-				}
-			}
-			if bi > bj {
-				bi, bj = bj, bi
-			}
-		}
+		bi, bj := bestGOOPair(comps, c, byCrit)
 
 		retain := make(map[string]bool, len(projection))
 		for _, v := range projection {
@@ -339,6 +339,10 @@ type state struct {
 	// histograms) and exact for the re-planner's bound leaves; join
 	// outputs drop it (the output histogram is unknown).
 	hot map[string]float64
+	// pats accumulates the triple patterns of every leaf under the
+	// subplan, so sketch lookups can resolve predicate pairs for any
+	// later join variable.
+	pats []PatRef
 	// crit is the subtree's priced completion time under parallel
 	// execution: own priced time plus max over the children's crit.
 	crit time.Duration
@@ -360,14 +364,19 @@ func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec, c Cos
 		}
 	}
 	capDist(dist, est)
+	src := l.EstSource
+	if src == "" {
+		src = EstIndep
+	}
 	n := &Node{
-		Op:      OpScan,
-		Label:   l.Label,
-		Vars:    append([]string(nil), l.Vars...),
-		Est:     est,
-		Actual:  -1,
-		Leaf:    idx,
-		Filters: pushedFilters,
+		Op:        OpScan,
+		Label:     l.Label,
+		Vars:      append([]string(nil), l.Vars...),
+		Est:       est,
+		Actual:    -1,
+		Leaf:      idx,
+		Filters:   pushedFilters,
+		EstSource: src,
 	}
 	s := state{
 		node:     n,
@@ -375,6 +384,7 @@ func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec, c Cos
 		est:      est,
 		dist:     dist,
 		partCols: append([]string(nil), l.PartCols...),
+		pats:     l.Pats,
 	}
 	// Scans pipeline (no stage launch); their priced time is the raw
 	// read before filtering plus per-row work, spread over the workers.
@@ -401,6 +411,8 @@ func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) s
 	var ownTime time.Duration
 	method := MethodAuto
 	var partCols []string
+	src := EstIndep
+	var joinKeys map[string]float64
 	if len(shared) == 0 {
 		est = left.est * right.est
 		method = MethodCartesian
@@ -408,7 +420,7 @@ func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) s
 			estBytes(left, c)+estBytes(right, c),
 			estRows(left.est)+estRows(right.est)+estRows(est), c.Workers)
 	} else {
-		est = joinEstimate(left, right, shared)
+		est, src, joinKeys = joinEstimate(left, right, shared, c)
 		if mode == ModeCost {
 			method, partCols, ownTime = selectMethod(left, right, shared, est, c)
 		} else {
@@ -436,23 +448,27 @@ func joinStates(left, right state, mode Mode, c Costs, retain map[string]bool) s
 	}
 
 	dist := mergeDist(left, right, outVars, est)
+	capDistKeys(dist, joinKeys)
 
 	n := &Node{
-		Op:       OpJoin,
-		Label:    varList(shared),
-		Vars:     outVars,
-		Est:      est,
-		Actual:   -1,
-		Children: []*Node{left.node, right.node},
-		Method:   method,
-		JoinVars: shared,
-		Keep:     keep,
+		Op:        OpJoin,
+		Label:     varList(shared),
+		Vars:      outVars,
+		Est:       est,
+		Actual:    -1,
+		Children:  []*Node{left.node, right.node},
+		Method:    method,
+		JoinVars:  shared,
+		Keep:      keep,
+		EstSource: src,
 	}
 	crit := left.crit
 	if right.crit > crit {
 		crit = right.crit
 	}
-	return state{node: n, vars: outVars, est: est, dist: dist, partCols: partCols, crit: crit + ownTime}
+	pats := make([]PatRef, 0, len(left.pats)+len(right.pats))
+	pats = append(append(pats, left.pats...), right.pats...)
+	return state{node: n, vars: outVars, est: est, dist: dist, partCols: partCols, pats: pats, crit: crit + ownTime}
 }
 
 // retainSet is the set of variables later operators still need: the
@@ -479,19 +495,6 @@ func survivingPartCols(partCols, vars []string) []string {
 		}
 	}
 	return partCols
-}
-
-// joinEstimate applies the textbook independence assumption:
-// |A ⋈ B| ≈ |A|·|B| / max over shared v of max(d_A(v), d_B(v)).
-func joinEstimate(left, right state, shared []string) float64 {
-	denom := 1.0
-	for _, v := range shared {
-		d := math.Max(left.dist[v], right.dist[v])
-		if d > denom {
-			denom = d
-		}
-	}
-	return left.est * right.est / denom
 }
 
 // selectMethod prices the candidate physical joins on estimated input
@@ -623,25 +626,23 @@ func costOrder(leaves []Leaf, filters []FilterSpec, c Costs) []int {
 	for v, d := range cur.dist {
 		curDist[v] = d
 	}
+	curPats := append([]PatRef(nil), cur.pats...)
 	remaining = append(remaining[:start], remaining[start+1:]...)
 
 	for len(remaining) > 0 {
 		best := -1
 		var bestTime time.Duration
 		var bestEst float64
+		// The running chain for estimation purposes: the heuristic's
+		// min-merged distinct counts and propagated size, plus the
+		// accumulated patterns sketch lookups resolve pairs from.
+		running := state{vars: cur.vars, est: curSize, dist: curDist, pats: curPats}
 		for pos, li := range remaining {
 			shared := sharedVars(cur.vars, states[li].vars)
 			if len(shared) == 0 {
 				continue
 			}
-			denom := 1.0
-			for _, v := range shared {
-				d := math.Max(curDist[v], states[li].dist[v])
-				if d > denom {
-					denom = d
-				}
-			}
-			est := curSize * states[li].est / denom
+			est, _, _ := joinEstimate(running, states[li], shared, c)
 			t := joinTime(cur, states[li], shared, est, c)
 			if best < 0 || est < bestEst || (est == bestEst && t < bestTime) {
 				best, bestTime, bestEst = pos, t, est
@@ -673,6 +674,7 @@ func costOrder(leaves []Leaf, filters []FilterSpec, c Costs) []int {
 				curDist[v] = d
 			}
 		}
+		curPats = append(curPats, states[li].pats...)
 		remaining = append(remaining[:best], remaining[best+1:]...)
 	}
 	return order
@@ -823,4 +825,111 @@ func containsVar(vars []string, v string) bool {
 		}
 	}
 	return false
+}
+
+// bestGOOPair picks one GOO round's merge pair over the components —
+// the single comparator buildBushy and the re-planner's gooStates
+// share, so the planner and re-planner can never disagree on bushy
+// merge order. With byCrit false the best connected pair has the
+// smallest estimated join output (ties by priced time, then input
+// order); with byCrit true it has the shortest merged critical path
+// (ties by estimate). A fully disconnected component set falls back to
+// the two smallest components (cartesian product either way).
+func bestGOOPair(comps []state, c Costs, byCrit bool) (bi, bj int) {
+	bi, bj = -1, -1
+	var bestEst float64
+	var bestTime time.Duration
+	var bestCrit time.Duration
+	for i := 0; i < len(comps); i++ {
+		for j := i + 1; j < len(comps); j++ {
+			shared := sharedVars(comps[i].vars, comps[j].vars)
+			if len(shared) == 0 {
+				continue
+			}
+			est, _, _ := joinEstimate(comps[i], comps[j], shared, c)
+			t := joinTime(comps[i], comps[j], shared, est, c)
+			crit := comps[i].crit
+			if comps[j].crit > crit {
+				crit = comps[j].crit
+			}
+			crit += t
+			var better bool
+			if byCrit {
+				better = bi < 0 || crit < bestCrit || (crit == bestCrit && est < bestEst)
+			} else {
+				better = bi < 0 || est < bestEst || (est == bestEst && t < bestTime)
+			}
+			if better {
+				bi, bj, bestEst, bestTime, bestCrit = i, j, est, t, crit
+			}
+		}
+	}
+	if bi < 0 {
+		// Disconnected: cartesian-join the two smallest components.
+		bi, bj = 0, 1
+		if comps[1].est < comps[0].est {
+			bi, bj = 1, 0
+		}
+		for k := 2; k < len(comps); k++ {
+			if comps[k].est < comps[bi].est {
+				bi, bj = k, bi
+			} else if comps[k].est < comps[bj].est {
+				bj = k
+			}
+		}
+		if bi > bj {
+			bi, bj = bj, bi
+		}
+	}
+	return bi, bj
+}
+
+// bushySequenceDP finds the cheapest-critical-path binary bracketing
+// of the chain order: every subtree covers a contiguous segment of the
+// ordered leaves, so the cost-based join order survives while
+// independent suffix segments (a second star, a snowflake arm) can
+// split off into parallel arms instead of extending the spine. dp[i][j]
+// holds the best subplan for order[i..j]; the recurrence tries every
+// split point, pricing each join with the same estimator and method
+// selection as the chain (ties broken toward the smaller estimate).
+func bushySequenceDP(leaves []Leaf, filters []FilterSpec, order []int, pushed [][]int, projection []string, c Costs) state {
+	n := len(order)
+	dp := make([][]state, n)
+	for i := range dp {
+		dp[i] = make([]state, n)
+		dp[i][i] = scanState(leaves[order[i]], order[i], pushed[order[i]], filters, c)
+	}
+	// retain(i, j): the variables operators outside order[i..j] still
+	// need — the projection plus every leaf not in the segment.
+	retain := func(i, j int) map[string]bool {
+		r := make(map[string]bool, len(projection))
+		for _, v := range projection {
+			r[v] = true
+		}
+		for pos, li := range order {
+			if pos >= i && pos <= j {
+				continue
+			}
+			for _, v := range leaves[li].Vars {
+				r[v] = true
+			}
+		}
+		return r
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span-1 < n; i++ {
+			j := i + span - 1
+			r := retain(i, j)
+			best := state{}
+			bestSet := false
+			for k := i; k < j; k++ {
+				cand := joinStates(dp[i][k], dp[k+1][j], ModeCost, c, r)
+				if !bestSet || cand.crit < best.crit || (cand.crit == best.crit && cand.est < best.est) {
+					best, bestSet = cand, true
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+	return dp[0][n-1]
 }

@@ -198,6 +198,13 @@ type Node struct {
 	Keep []string
 	// Cols are the Project node's output columns.
 	Cols []string
+	// EstSource records what produced Est for Scan, Join and Bound
+	// nodes: EstCSet (characteristic sets), EstSketch (pair join
+	// sketches), EstIndep (the independence assumption) or EstExact
+	// (observed cardinality of a materialized intermediate). Empty for
+	// derivative operators (Filter/Project/Distinct inherit their
+	// input's quality).
+	EstSource string
 }
 
 // Plan is a complete physical plan for one query. A Plan is immutable
@@ -394,6 +401,9 @@ func (p *Plan) render(sb *strings.Builder, n *Node, indent string) {
 	actual := "actual=?"
 	if n.Actual >= 0 {
 		actual = fmt.Sprintf("actual=%d", n.Actual)
+	}
+	if n.EstSource != "" {
+		actual += " est-source=" + n.EstSource
 	}
 	fmt.Fprintf(sb, "%s%-52s est=%-10.4g %s\n", indent, desc, n.Est, actual)
 	child := indent + "  "

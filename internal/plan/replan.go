@@ -47,6 +47,10 @@ type BoundLeaf struct {
 	// PartCols is the partitioning the relation carries (nil when
 	// arbitrary).
 	PartCols []string
+	// Pats lists the triple patterns of every scan the fragment
+	// materialized, so sketch-based estimation can still price the
+	// remainder's joins of this intermediate against other relations.
+	Pats []PatRef
 	// Done is the virtual time the fragment finished materializing.
 	Done time.Duration
 	// Source is the caller's handle, stored into the Bound node's Leaf
@@ -140,12 +144,13 @@ func boundState(l BoundLeaf) state {
 	est := float64(l.Rows)
 	capDist(dist, est)
 	n := &Node{
-		Op:     OpBound,
-		Label:  l.Label,
-		Vars:   append([]string(nil), l.Vars...),
-		Est:    est,
-		Actual: -1,
-		Leaf:   l.Source,
+		Op:        OpBound,
+		Label:     l.Label,
+		Vars:      append([]string(nil), l.Vars...),
+		Est:       est,
+		Actual:    -1,
+		Leaf:      l.Source,
+		EstSource: EstExact,
 	}
 	return state{
 		node:     n,
@@ -154,6 +159,7 @@ func boundState(l BoundLeaf) state {
 		dist:     dist,
 		partCols: append([]string(nil), l.PartCols...),
 		hot:      l.Hot,
+		pats:     l.Pats,
 	}
 }
 
@@ -174,12 +180,14 @@ func rebuildRemainder(n *Node, rem Remainder, bound []BoundLeaf, filters []Filte
 		r := rebuildRemainder(n.Children[1], rem, bound, filters, pin, c)
 		shared := sharedVars(l.vars, r.vars)
 		var est float64
+		src := EstIndep
+		var joinKeys map[string]float64
 		method := n.Method
 		if len(shared) == 0 {
 			est = l.est * r.est
 			method = MethodCartesian
 		} else {
-			est = joinEstimate(l, r, shared)
+			est, src, joinKeys = joinEstimate(l, r, shared, c)
 			if !pin {
 				method, _, _ = selectMethod(l, r, shared, est, c)
 			}
@@ -190,22 +198,26 @@ func rebuildRemainder(n *Node, rem Remainder, bound []BoundLeaf, filters []Filte
 			partCols = nil
 		}
 		dist := mergeDist(l, r, outVars, est)
+		capDistKeys(dist, joinKeys)
 		nn := &Node{
-			Op:       OpJoin,
-			Label:    varList(shared),
-			Vars:     outVars,
-			Est:      est,
-			Actual:   -1,
-			Children: []*Node{l.node, r.node},
-			Method:   method,
-			JoinVars: shared,
-			Keep:     append([]string(nil), n.Keep...),
+			Op:        OpJoin,
+			Label:     varList(shared),
+			Vars:      outVars,
+			Est:       est,
+			Actual:    -1,
+			Children:  []*Node{l.node, r.node},
+			Method:    method,
+			JoinVars:  shared,
+			Keep:      append([]string(nil), n.Keep...),
+			EstSource: src,
 		}
 		crit := l.crit
 		if r.crit > crit {
 			crit = r.crit
 		}
-		return state{node: nn, vars: outVars, est: est, dist: dist, partCols: partCols, crit: crit + t}
+		pats := make([]PatRef, 0, len(l.pats)+len(r.pats))
+		pats = append(append(pats, l.pats...), r.pats...)
+		return state{node: nn, vars: outVars, est: est, dist: dist, partCols: partCols, pats: pats, crit: crit + t}
 	case OpFilter:
 		in := rebuildRemainder(n.Children[0], rem, bound, filters, pin, c)
 		sel := 1.0
@@ -286,8 +298,10 @@ func greedyRemainder(bound []BoundLeaf, residual []int, filters []FilterSpec, pr
 	}
 	cur := chainStates(states, projection, c)
 	if allowBushy && len(states) > 2 {
-		if bushy := gooStates(states, projection, c); bushy.crit < cur.crit {
-			cur = bushy
+		for _, byCrit := range []bool{false, true} {
+			if bushy := gooStates(states, projection, c, byCrit); bushy.crit < cur.crit {
+				cur = bushy
+			}
 		}
 	}
 	node := epilogue(cur, residual, filters, projection, distinct)
@@ -319,7 +333,7 @@ func chainStates(states []state, projection []string, c Costs) state {
 			if len(shared) == 0 {
 				continue
 			}
-			est := joinEstimate(cur, states[li], shared)
+			est, _, _ := joinEstimate(cur, states[li], shared, c)
 			t := joinTime(cur, states[li], shared, est, c)
 			if best < 0 || est < bestEst || (est == bestEst && t < bestTime) {
 				best, bestEst, bestTime = pos, est, t
@@ -352,47 +366,17 @@ func chainStates(states []state, projection []string, c Costs) state {
 	return cur
 }
 
-// gooStates is greedy operator ordering over prebuilt component states:
-// the connected pair with the smallest estimated join output merges
-// (ties by priced time, then input order) until one component remains,
+// gooStates is greedy operator ordering over prebuilt component
+// states, merging the best connected pair until one component remains
 // so independent fragments grow as siblings and price as parallel
-// branches.
-func gooStates(states []state, projection []string, c Costs) state {
+// branches. With byCrit false the best pair has the smallest estimated
+// join output (ties by priced time, then input order); with byCrit
+// true it has the shortest merged critical path (ties by estimate) —
+// see buildBushy for why both comparators are enumerated.
+func gooStates(states []state, projection []string, c Costs, byCrit bool) state {
 	comps := append([]state(nil), states...)
 	for len(comps) > 1 {
-		bi, bj := -1, -1
-		var bestEst float64
-		var bestTime time.Duration
-		for i := 0; i < len(comps); i++ {
-			for j := i + 1; j < len(comps); j++ {
-				shared := sharedVars(comps[i].vars, comps[j].vars)
-				if len(shared) == 0 {
-					continue
-				}
-				est := joinEstimate(comps[i], comps[j], shared)
-				t := joinTime(comps[i], comps[j], shared, est, c)
-				if bi < 0 || est < bestEst || (est == bestEst && t < bestTime) {
-					bi, bj, bestEst, bestTime = i, j, est, t
-				}
-			}
-		}
-		if bi < 0 {
-			// Disconnected: cartesian-join the two smallest components.
-			bi, bj = 0, 1
-			if comps[1].est < comps[0].est {
-				bi, bj = 1, 0
-			}
-			for k := 2; k < len(comps); k++ {
-				if comps[k].est < comps[bi].est {
-					bi, bj = k, bi
-				} else if comps[k].est < comps[bj].est {
-					bj = k
-				}
-			}
-			if bi > bj {
-				bi, bj = bj, bi
-			}
-		}
+		bi, bj := bestGOOPair(comps, c, byCrit)
 		retain := make(map[string]bool, len(projection))
 		for _, v := range projection {
 			retain[v] = true

@@ -392,7 +392,26 @@ type statsResponse struct {
 		AvgRatio  float64 `json:"avgMaxRatio"`
 		WorstCase float64 `json:"worstRatio"`
 		WorstNode string  `json:"worstNode,omitempty"`
+		// Estimate provenance across all built plans: how many scan/join
+		// estimates came from characteristic sets, pair sketches, or the
+		// independence fallback.
+		CSetNodes   uint64 `json:"csetNodes"`
+		SketchNodes uint64 `json:"sketchNodes"`
+		IndepNodes  uint64 `json:"indepNodes"`
 	} `json:"estimation"`
+	// JoinStats summarizes the loader's join-graph statistics: size,
+	// memory footprint, and how much of the candidate pair volume the
+	// kept top-K sketches cover — the number that explains why a pair
+	// fell back to independence.
+	JoinStats struct {
+		Collected      bool    `json:"collected"`
+		CSets          int     `json:"csets"`
+		SketchPairs    int     `json:"sketchPairs"`
+		CandidatePairs int     `json:"candidatePairs"`
+		TopK           int     `json:"topK"`
+		VolumeCoverage float64 `json:"volumeCoverage"`
+		MemoryBytes    int64   `json:"memoryBytes"`
+	} `json:"joinStats"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -409,6 +428,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	am := s.cfg.Store.AdaptiveMetrics()
 	doc.Adaptive.ReplansEvaluated = am.Evaluated
 	doc.Adaptive.ReplansAdopted = am.Adopted
+
+	em := s.cfg.Store.EstSourceMetrics()
+	doc.Estimation.CSetNodes = em.CSet
+	doc.Estimation.SketchNodes = em.Sketch
+	doc.Estimation.IndepNodes = em.Indep
+
+	if js, ok := s.cfg.Store.Stats().JoinStatsSummary(); ok {
+		doc.JoinStats.Collected = true
+		doc.JoinStats.CSets = js.CSets
+		doc.JoinStats.SketchPairs = js.SketchPairs
+		doc.JoinStats.CandidatePairs = js.CandidatePairs
+		doc.JoinStats.TopK = js.TopK
+		doc.JoinStats.VolumeCoverage = js.VolumeCoverage
+		doc.JoinStats.MemoryBytes = js.MemoryBytes
+	}
 
 	s.mu.Lock()
 	doc.Queries.Total = s.queries

@@ -182,9 +182,20 @@ func TestStatsEndpointTracksCacheAndErrors(t *testing.T) {
 			Errors uint64
 		}
 		Estimation struct {
-			Observed  uint64
-			AvgRatio  float64 `json:"avgMaxRatio"`
-			WorstCase float64 `json:"worstRatio"`
+			Observed    uint64
+			AvgRatio    float64 `json:"avgMaxRatio"`
+			WorstCase   float64 `json:"worstRatio"`
+			SketchNodes uint64  `json:"sketchNodes"`
+			IndepNodes  uint64  `json:"indepNodes"`
+		}
+		JoinStats struct {
+			Collected      bool
+			CSets          int
+			SketchPairs    int
+			CandidatePairs int
+			TopK           int
+			VolumeCoverage float64
+			MemoryBytes    int64
 		}
 	}
 	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
@@ -201,6 +212,18 @@ func TestStatsEndpointTracksCacheAndErrors(t *testing.T) {
 	}
 	if doc.Estimation.Observed != 5 || doc.Estimation.WorstCase < 1 {
 		t.Errorf("estimation = %+v, want 5 observations with ratio >= 1", doc.Estimation)
+	}
+	// The join-graph statistics block: collected by default, with the
+	// likes⋈hasGenre pair (the served query's join) among the sketches
+	// and provenance counters showing the estimator consumed it.
+	if !doc.JoinStats.Collected || doc.JoinStats.CSets == 0 || doc.JoinStats.SketchPairs == 0 {
+		t.Errorf("joinStats = %+v, want collected with csets and sketches", doc.JoinStats)
+	}
+	if doc.JoinStats.VolumeCoverage <= 0 || doc.JoinStats.MemoryBytes <= 0 || doc.JoinStats.TopK == 0 {
+		t.Errorf("joinStats coverage/footprint missing: %+v", doc.JoinStats)
+	}
+	if doc.Estimation.SketchNodes == 0 {
+		t.Errorf("estimation provenance shows no sketch-priced nodes: %+v", doc.Estimation)
 	}
 }
 

@@ -52,6 +52,11 @@ type Collection struct {
 	DistinctSubjects int64
 	// DistinctObjects is the dataset-wide distinct object count.
 	DistinctObjects int64
+	// Joins holds the join-graph statistics (characteristic sets and
+	// two-predicate join sketches); nil when only the per-predicate
+	// counts were collected (plain Collect, or CollectJoinStats with
+	// everything disabled).
+	Joins *JoinStats
 }
 
 // Collect computes the statistics in one pass.
@@ -127,6 +132,7 @@ func (c *Collection) Fingerprint() uint64 {
 			mix(0)
 		}
 	}
+	c.Joins.fingerprint(mix)
 	return h
 }
 
@@ -164,5 +170,9 @@ func (c *Collection) Summary(dict *rdf.Dictionary) string {
 	}
 	fmt.Fprintf(&sb, "total: %d triples, %d distinct subjects, %d distinct objects\n",
 		c.TotalTriples, c.DistinctSubjects, c.DistinctObjects)
+	if js, ok := c.JoinStatsSummary(); ok {
+		fmt.Fprintf(&sb, "join stats: %d characteristic sets, %d/%d pair sketches kept (top-%d, %.1f%% of join volume), ~%d bytes\n",
+			js.CSets, js.SketchPairs, js.CandidatePairs, js.TopK, 100*js.VolumeCoverage, js.MemoryBytes)
+	}
 	return sb.String()
 }
