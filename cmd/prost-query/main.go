@@ -34,15 +34,30 @@ func main() {
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
 	sketches := flag.Int("stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedule (fault injection is off unless a -fault-* rate is set)")
+	faultFail := flag.Float64("fault-fail-rate", 0, "probability a task attempt fails outright")
+	faultStraggle := flag.Float64("fault-straggler-rate", 0, "probability a task attempt straggles")
+	faultFactor := flag.Float64("fault-straggler-factor", 0, "slowdown multiple for straggling attempts (0 = default)")
+	faultCorrupt := flag.Float64("fault-corrupt-rate", 0, "probability an exchange delivery is corrupted (detected by checksum, repaired from lineage)")
 	flag.Parse()
 
-	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows, *replan, *sketches); err != nil {
+	faults := &cluster.FaultPlan{
+		Seed:            *faultSeed,
+		FailRate:        *faultFail,
+		StragglerRate:   *faultStraggle,
+		StragglerFactor: *faultFactor,
+		CorruptRate:     *faultCorrupt,
+	}
+	if !faults.Active() {
+		faults = nil
+	}
+	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows, *replan, *sketches, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int, replan float64, sketches int) error {
+func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int, replan float64, sketches int, faults *cluster.FaultPlan) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -92,7 +107,7 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		return err
 	}
 
-	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan})
+	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan, Faults: faults})
 	if err != nil {
 		return err
 	}
@@ -117,6 +132,9 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		fmt.Println(res.Plan.ErrorSummary())
 		if adaptive := res.ReplanSummary(); adaptive != "" {
 			fmt.Print(adaptive)
+		}
+		if rs := res.Resilience.String(); rs != "" {
+			fmt.Print(rs)
 		}
 		// Estimator provenance: why a node's est-source says what it
 		// says. Coverage below 100% means some predicate pairs were

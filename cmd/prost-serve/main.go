@@ -20,17 +20,30 @@
 //	/explain  physical plan with estimated vs actual cardinalities,
 //	          estimation-error summary, Join Tree and stage trace
 //	          (?analyze=0 plans without executing)
-//	/stats    plan-cache hit rate, query counters and estimation-error
-//	          aggregates as JSON
+//	/stats    plan-cache hit rate, query counters, estimation-error
+//	          aggregates and fault-recovery / degradation counters as
+//	          JSON
 //	/healthz  liveness probe
+//	/readyz   readiness probe (503 while draining or breaker-open)
+//
+// The server degrades gracefully: requests over -max-inflight are shed
+// with 503 + Retry-After instead of queueing, a circuit breaker trips
+// /sparql to fast 503s when the execution-failure rate crosses its
+// threshold, and SIGTERM drains in-flight queries (up to
+// -drain-timeout) before exiting 0. The -fault-* flags inject a
+// deterministic fault schedule into the simulated cluster to exercise
+// recovery end to end.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -38,59 +51,111 @@ import (
 	"repro/internal/serve"
 )
 
+// options carries the parsed command line.
+type options struct {
+	in, addr          string
+	strategy, planner string
+	workers           int
+	inflight          int
+	parallelism       int
+	cacheSize         int
+	maxRows           int
+	queryTimeout      time.Duration
+	replan            float64
+	sketches          int
+	drainTimeout      time.Duration
+
+	breakerThreshold float64
+	breakerWindow    time.Duration
+	breakerCooldown  time.Duration
+
+	faultSeed            uint64
+	faultFailRate        float64
+	faultStragglerRate   float64
+	faultStragglerFactor float64
+	faultCorruptRate     float64
+}
+
 func main() {
-	in := flag.String("in", "", "input N-Triples file (required)")
-	addr := flag.String("addr", ":8080", "listen address")
-	strategy := flag.String("strategy", "mixed", "default query strategy: "+strings.Join(core.StrategyNames(), ", "))
-	planner := flag.String("planner", "cost", "default planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
-	workers := flag.Int("workers", 9, "simulated worker machines")
-	inflight := flag.Int("max-inflight", serve.DefaultMaxInflight, "maximum concurrently executing queries")
-	parallelism := flag.Int("parallelism", 0, "per-query scheduler pool width (0 = GOMAXPROCS)")
-	cacheSize := flag.Int("plan-cache", 0, "plan cache entries (0 = default, negative = disabled)")
-	maxRows := flag.Int("max-rows", 0, "cap result rows per response (0 = unlimited)")
-	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline; past it the query stops and the request returns 504 (0 = none)")
-	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
-	sketches := flag.Int("stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
+	var o options
+	flag.StringVar(&o.in, "in", "", "input N-Triples file (required)")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.strategy, "strategy", "mixed", "default query strategy: "+strings.Join(core.StrategyNames(), ", "))
+	flag.StringVar(&o.planner, "planner", "cost", "default planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
+	flag.IntVar(&o.workers, "workers", 9, "simulated worker machines")
+	flag.IntVar(&o.inflight, "max-inflight", serve.DefaultMaxInflight, "maximum concurrently executing queries; overflow is shed with 503 + Retry-After")
+	flag.IntVar(&o.parallelism, "parallelism", 0, "per-query scheduler pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&o.cacheSize, "plan-cache", 0, "plan cache entries (0 = default, negative = disabled)")
+	flag.IntVar(&o.maxRows, "max-rows", 0, "cap result rows per response (0 = unlimited)")
+	flag.DurationVar(&o.queryTimeout, "query-timeout", 0, "per-query execution deadline; past it the query stops and the request returns 504 (0 = none)")
+	flag.Float64Var(&o.replan, "replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
+	flag.IntVar(&o.sketches, "stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "on SIGTERM, how long to wait for in-flight queries before exiting")
+	flag.Float64Var(&o.breakerThreshold, "breaker-threshold", 0, "execution-failure rate that trips the /sparql circuit breaker (0 = default)")
+	flag.DurationVar(&o.breakerWindow, "breaker-window", 0, "sliding window for the breaker's failure rate (0 = default)")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 0, "how long a tripped breaker sheds load before probing (0 = default)")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 0, "seed for the deterministic fault schedule (fault injection is off unless a -fault-* rate is set)")
+	flag.Float64Var(&o.faultFailRate, "fault-fail-rate", 0, "probability a task attempt fails outright")
+	flag.Float64Var(&o.faultStragglerRate, "fault-straggler-rate", 0, "probability a task attempt straggles")
+	flag.Float64Var(&o.faultStragglerFactor, "fault-straggler-factor", 0, "slowdown multiple for straggling attempts (0 = default)")
+	flag.Float64Var(&o.faultCorruptRate, "fault-corrupt-rate", 0, "probability an exchange delivery is corrupted (detected by checksum, repaired from lineage)")
 	flag.Parse()
 
-	if err := run(*in, *addr, *strategy, *planner, *workers, *inflight, *parallelism, *cacheSize, *maxRows, *queryTimeout, *replan, *sketches); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, addr, strategy, planner string, workers, inflight, parallelism, cacheSize, maxRows int, queryTimeout time.Duration, replan float64, sketches int) error {
-	if in == "" {
+// faultPlan assembles the injected fault schedule, nil when every rate
+// is zero.
+func (o options) faultPlan() *cluster.FaultPlan {
+	fp := &cluster.FaultPlan{
+		Seed:            o.faultSeed,
+		FailRate:        o.faultFailRate,
+		StragglerRate:   o.faultStragglerRate,
+		StragglerFactor: o.faultStragglerFactor,
+		CorruptRate:     o.faultCorruptRate,
+	}
+	if !fp.Active() {
+		return nil
+	}
+	return fp
+}
+
+func run(o options) error {
+	if o.in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	strat, err := core.ParseStrategy(strategy)
+	strat, err := core.ParseStrategy(o.strategy)
 	if err != nil {
 		return err
 	}
-	mode, err := core.ParsePlannerMode(planner)
+	mode, err := core.ParsePlannerMode(o.planner)
 	if err != nil {
 		return err
 	}
 
-	f, err := os.Open(in)
+	f, err := os.Open(o.in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	cfg := cluster.DefaultConfig()
-	cfg.Workers = workers
-	cfg.DefaultPartitions = 2 * workers
+	cfg.Workers = o.workers
+	cfg.DefaultPartitions = 2 * o.workers
+	cfg.Faults = o.faultPlan()
 	c, err := cluster.New(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loading %s…\n", in)
+	fmt.Fprintf(os.Stderr, "loading %s…\n", o.in)
 	store, err := core.LoadNTriples(f, core.Options{
 		Cluster:          c,
 		BuildInversePT:   strat == core.StrategyMixedIPT,
-		PlanCacheSize:    cacheSize,
-		SketchTopK:       max(sketches, 0),
-		DisableJoinStats: sketches < 0,
+		PlanCacheSize:    o.cacheSize,
+		SketchTopK:       max(o.sketches, 0),
+		DisableJoinStats: o.sketches < 0,
 	})
 	if err != nil {
 		return err
@@ -102,23 +167,54 @@ func run(in, addr, strategy, planner string, workers, inflight, parallelism, cac
 		fmt.Fprintf(os.Stderr, "join statistics: %d csets, %d/%d pair sketches (top-%d, %.1f%% volume coverage)\n",
 			js.CSets, js.SketchPairs, js.CandidatePairs, js.TopK, 100*js.VolumeCoverage)
 	}
+	if fp := c.Config().Faults; fp != nil {
+		fmt.Fprintf(os.Stderr, "fault injection active: seed %d, fail %.2f, straggle %.2f, corrupt %.2f\n",
+			fp.Seed, fp.FailRate, fp.StragglerRate, fp.CorruptRate)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Store: store,
 		Options: core.QueryOptions{
 			Strategy:        strat,
 			Planner:         mode,
-			Parallelism:     parallelism,
-			ReplanThreshold: replan,
+			Parallelism:     o.parallelism,
+			ReplanThreshold: o.replan,
 		},
-		MaxInflight:  inflight,
-		MaxRows:      maxRows,
-		QueryTimeout: queryTimeout,
+		MaxInflight:      o.inflight,
+		MaxRows:          o.maxRows,
+		QueryTimeout:     o.queryTimeout,
+		BreakerThreshold: o.breakerThreshold,
+		BreakerWindow:    o.breakerWindow,
+		BreakerCooldown:  o.breakerCooldown,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "serving on %s (strategy %s, planner %s, max in-flight %d)\n",
-		addr, strat, mode, inflight)
-	return http.ListenAndServe(addr, srv)
+		o.addr, strat, mode, o.inflight)
+
+	// Graceful shutdown: SIGTERM/interrupt stops admitting queries,
+	// drains in-flight ones for up to -drain-timeout, then exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "signal received, draining in-flight queries (up to %v)…\n", o.drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "prost-serve:", err)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "drained; bye")
+		return nil
+	}
 }

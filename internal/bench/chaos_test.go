@@ -1,0 +1,237 @@
+package bench
+
+// Chaos harness for the fault-tolerant scheduler: seeded fault
+// schedules (isolated task failures, correlated worker loss, a 10%
+// straggler tail, corrupted exchange payloads, and all of them at
+// once) run the WatDiv basic set under every planner mode and must
+// leave results byte-identical to the fault-free run, with the
+// virtual-clock overhead bounded by the priced recovery cost. Run with
+//
+//	go test ./internal/bench -run Chaos -race
+//	go test ./internal/bench -bench Chaos -benchtime 1x
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/watdiv"
+)
+
+// chaosFixture is a PRoST-only store small enough to sweep schedules ×
+// queries × planner modes quickly; the heavyweight Systems fixture is
+// deliberately not reused here.
+var (
+	chaosOnce sync.Once
+	chaosFix  *core.Store
+	chaosErr  error
+)
+
+func chaosStore(tb testing.TB) *core.Store {
+	tb.Helper()
+	chaosOnce.Do(func() {
+		g := watdiv.MustGenerate(watdiv.Config{Scale: 150, Seed: 11})
+		c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
+		chaosFix, chaosErr = core.Load(g, core.Options{Cluster: c})
+	})
+	if chaosErr != nil {
+		tb.Fatalf("loading chaos fixture: %v", chaosErr)
+	}
+	return chaosFix
+}
+
+// chaosSchedules are the seeded fault schedules the harness sweeps.
+// Every decision in a schedule is a pure hash of (seed, task), so each
+// entry is one reproducible disaster.
+var chaosSchedules = []struct {
+	name        string
+	fp          *cluster.FaultPlan
+	maxAttempts int
+}{
+	{"single-failures", &cluster.FaultPlan{Seed: 1, FailRate: 0.05}, 0},
+	// Two of four workers lost in overlapping windows early in the run:
+	// retries must rotate onto the surviving machines.
+	{"correlated-worker-loss", &cluster.FaultPlan{Seed: 2, Outages: []cluster.WorkerOutage{
+		{Worker: 0, From: 0, Until: 800 * time.Millisecond},
+		{Worker: 1, From: 100 * time.Millisecond, Until: time.Second},
+	}}, 6},
+	{"stragglers-10pct", &cluster.FaultPlan{Seed: 3, StragglerRate: 0.10, StragglerFactor: 6}, 0},
+	{"corrupted-exchange", &cluster.FaultPlan{Seed: 4, CorruptRate: 0.15}, 0},
+	{"kitchen-sink", &cluster.FaultPlan{
+		Seed: 5, FailRate: 0.05, StragglerRate: 0.05, StragglerFactor: 6, CorruptRate: 0.05,
+		Outages: []cluster.WorkerOutage{{Worker: 2, From: 0, Until: 500 * time.Millisecond}},
+	}, 6},
+}
+
+var chaosModes = []struct {
+	name string
+	mode core.PlannerMode
+}{
+	{"cost", core.PlannerCost},
+	{"cost-leftdeep", core.PlannerCostLeftDeep},
+	{"heuristic", core.PlannerHeuristic},
+	{"naive", core.PlannerNaive},
+}
+
+// chaosRender canonicalizes a result for byte-exact comparison.
+func chaosRender(res *core.Result) string {
+	var sb strings.Builder
+	for _, row := range res.SortedRows() {
+		for i, term := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(term.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestChaosSchedulesPreserveResults is the core chaos sweep: every
+// schedule × planner mode × basic query must produce byte-identical
+// rows to the fault-free run, and the virtual clock may exceed the
+// fault-free run only by the recovery cost the scheduler priced in.
+// Static plans (ReplanThreshold -1) keep the bound exact — recovery
+// delays cannot move adaptive pause points.
+func TestChaosSchedulesPreserveResults(t *testing.T) {
+	s := chaosStore(t)
+	queries := watdiv.BasicQuerySet()
+	for _, m := range chaosModes {
+		clean := make(map[string]*core.Result, len(queries))
+		for _, q := range queries {
+			res, err := s.Query(q.Parsed, core.QueryOptions{Planner: m.mode, ReplanThreshold: -1})
+			if err != nil {
+				t.Fatalf("%s/%s clean: %v", m.name, q.Name, err)
+			}
+			clean[q.Name] = res
+		}
+		for _, sched := range chaosSchedules {
+			recovered := int64(0)
+			for _, q := range queries {
+				opts := core.QueryOptions{
+					Planner:         m.mode,
+					ReplanThreshold: -1,
+					Faults:          sched.fp,
+					MaxTaskAttempts: sched.maxAttempts,
+				}
+				res, err := s.Query(q.Parsed, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", sched.name, m.name, q.Name, err)
+				}
+				base := clean[q.Name]
+				if got, want := chaosRender(res), chaosRender(base); got != want {
+					t.Errorf("%s/%s/%s: rows differ from fault-free run", sched.name, m.name, q.Name)
+				}
+				overhead := res.SimTime - base.SimTime
+				if overhead < 0 {
+					t.Errorf("%s/%s/%s: fault run faster than clean (%v vs %v)",
+						sched.name, m.name, q.Name, res.SimTime, base.SimTime)
+				}
+				if overhead > res.Resilience.RecoveryTime {
+					t.Errorf("%s/%s/%s: SimTime overhead %v exceeds priced recovery %v",
+						sched.name, m.name, q.Name, overhead, res.Resilience.RecoveryTime)
+				}
+				if res.Resilience.Recovered() {
+					recovered++
+				}
+			}
+			if recovered == 0 {
+				t.Errorf("%s/%s: schedule injected nothing across %d queries; it tests nothing",
+					sched.name, m.name, len(queries))
+			}
+		}
+	}
+}
+
+// TestChaosDeterministicReplay re-runs every schedule and requires the
+// identical recovery record and virtual clock: a fault schedule is a
+// pure function of (seed, plan, data), never of goroutine interleaving.
+func TestChaosDeterministicReplay(t *testing.T) {
+	s := chaosStore(t)
+	queries := watdiv.BasicQuerySet()[:6]
+	for _, sched := range chaosSchedules {
+		for _, q := range queries {
+			opts := core.QueryOptions{
+				ReplanThreshold: -1,
+				Faults:          sched.fp,
+				MaxTaskAttempts: sched.maxAttempts,
+			}
+			a, err := s.Query(q.Parsed, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sched.name, q.Name, err)
+			}
+			b, err := s.Query(q.Parsed, opts)
+			if err != nil {
+				t.Fatalf("%s/%s replay: %v", sched.name, q.Name, err)
+			}
+			if a.SimTime != b.SimTime {
+				t.Errorf("%s/%s: replay SimTime %v != %v", sched.name, q.Name, b.SimTime, a.SimTime)
+			}
+			if a.Resilience != b.Resilience {
+				t.Errorf("%s/%s: replay recovery record differs:\n%+v\nvs\n%+v",
+					sched.name, q.Name, b.Resilience, a.Resilience)
+			}
+		}
+	}
+}
+
+// TestChaosAdaptiveRowsIdentical runs the schedules with adaptive
+// re-planning left ON. Recovery delays may legitimately shift re-plan
+// pause points (so no timing bound here), but the rows must still be
+// byte-identical to the fault-free adaptive run.
+func TestChaosAdaptiveRowsIdentical(t *testing.T) {
+	s := chaosStore(t)
+	queries := watdiv.BasicQuerySet()[:6]
+	for _, sched := range chaosSchedules {
+		for _, q := range queries {
+			base, err := s.Query(q.Parsed, core.QueryOptions{})
+			if err != nil {
+				t.Fatalf("%s/%s clean: %v", sched.name, q.Name, err)
+			}
+			res, err := s.Query(q.Parsed, core.QueryOptions{Faults: sched.fp, MaxTaskAttempts: sched.maxAttempts})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sched.name, q.Name, err)
+			}
+			if got, want := chaosRender(res), chaosRender(base); got != want {
+				t.Errorf("%s/%s: adaptive rows differ under faults", sched.name, q.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkChaosRecovery reports the virtual-clock cost of each fault
+// schedule on a join-heavy query, next to its fault-free baseline —
+// sim-ms/op is the simulated latency including recovery, recovery-ms
+// the slice of it the fault schedule caused.
+func BenchmarkChaosRecovery(b *testing.B) {
+	s := chaosStore(b)
+	q, err := watdiv.QueryByName("F1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, fp *cluster.FaultPlan, maxAttempts int) {
+		var sim, rec int64
+		for i := 0; i < b.N; i++ {
+			res, err := s.Query(q.Parsed, core.QueryOptions{
+				ReplanThreshold: -1,
+				Faults:          fp,
+				MaxTaskAttempts: maxAttempts,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim += int64(res.SimTime)
+			rec += int64(res.Resilience.RecoveryTime)
+		}
+		b.ReportMetric(float64(sim)/float64(b.N)/1e6, "sim-ms/op")
+		b.ReportMetric(float64(rec)/float64(b.N)/1e6, "recovery-ms/op")
+	}
+	b.Run("fault-free", func(b *testing.B) { run(b, nil, 0) })
+	for _, sched := range chaosSchedules {
+		b.Run(sched.name, func(b *testing.B) { run(b, sched.fp, sched.maxAttempts) })
+	}
+}

@@ -29,6 +29,10 @@ type Config struct {
 	// MaxParallel bounds real goroutine parallelism when executing
 	// stages; 0 means GOMAXPROCS.
 	MaxParallel int
+	// Faults is an optional cluster-wide fault-injection schedule;
+	// queries may override it per QueryOptions. Nil (or inactive) means
+	// every resilience hook stays off the execution hot path.
+	Faults *FaultPlan
 }
 
 // DefaultConfig mirrors the paper's benchmark environment: 9 workers,
@@ -48,6 +52,9 @@ func (c Config) Validate() error {
 	}
 	if c.DefaultPartitions <= 0 {
 		return fmt.Errorf("cluster: DefaultPartitions must be positive, got %d", c.DefaultPartitions)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

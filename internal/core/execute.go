@@ -53,6 +53,26 @@ type QueryOptions struct {
 	// cost-based planner modes re-plan — the heuristic and naive modes
 	// reproduce the paper's static behaviour exactly.
 	ReplanThreshold float64
+	// Faults injects a deterministic fault schedule for this query,
+	// overriding the cluster-wide plan (cluster.Config.Faults). Nil
+	// inherits the cluster's; a nil or inactive resolved plan keeps
+	// execution on the unchanged fault-free hot path (no checksums, no
+	// attempt bookkeeping). Fault options never affect planning, so
+	// cached plans are shared across fault settings.
+	Faults *cluster.FaultPlan
+	// MaxTaskAttempts bounds execution attempts per task under an
+	// active fault plan (0 = DefaultMaxTaskAttempts); exhausting it
+	// aborts the query with a *TaskFailedError.
+	MaxTaskAttempts int
+	// RetryBackoff is the base virtual backoff charged between a failed
+	// attempt and its retry, doubling per failure up to MaxRetryBackoff
+	// (0 = DefaultRetryBackoff).
+	RetryBackoff time.Duration
+	// SpeculativeFactor is the straggler-detection multiple: an attempt
+	// running past this multiple of the median sibling time gets a
+	// speculative duplicate, first finisher wins (0 =
+	// DefaultSpeculativeFactor; negative disables speculation).
+	SpeculativeFactor float64
 }
 
 // DefaultReplanThreshold is the estimation-error factor that triggers
@@ -105,6 +125,10 @@ type Result struct {
 	// entry: a corrected plan written back by a previous execution's
 	// re-plan, so this execution never repeats the original mistake.
 	CacheFeedback bool
+	// Resilience is the query's recovery record under fault injection:
+	// attempts, retries, speculation, checksum failures and the priced
+	// recovery time SimTime absorbed. Zero for fault-free executions.
+	Resilience ResilienceStats
 }
 
 // ReplanSummary renders the adaptive re-planning record for EXPLAIN
@@ -233,6 +257,20 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	}
 	tree := &JoinTree{Nodes: ordered}
 
+	// Resolve the fault plan: per-query override first, then the
+	// cluster-wide schedule; an inactive plan keeps the fault-free hot
+	// path (faults stays nil, so no checksum or attempt bookkeeping).
+	faults := opts.Faults
+	if faults == nil {
+		faults = s.cluster.Config().Faults
+	}
+	if !faults.Active() {
+		faults = nil
+	}
+	var faultSalt uint64
+	if faults != nil {
+		faultSalt = queryFaultSalt(q)
+	}
 	sched := &scheduler{
 		store:           s,
 		nodes:           entry.nodes,
@@ -246,8 +284,18 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		distinct:        q.Distinct,
 		costs:           s.planCosts(snap.col, opts),
 		replanCharge:    s.cluster.Config().Cost.SQLPlanning,
+		faults:          faults,
+		faultSalt:       faultSalt,
+		maxAttempts:     opts.maxTaskAttempts(),
+		retryBackoff:    opts.retryBackoffBase(),
+		specFactor:      opts.speculativeFactor(),
 	}
 	rootTask, err := sched.execute(pl)
+	if sched.faults != nil {
+		// Recovery counters aggregate on the store even when the query
+		// aborted — failed recovery is exactly what /stats should show.
+		s.resilience.absorb(&sched.res)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +361,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		Clock:         clock,
 		Replans:       sched.events,
 		CacheFeedback: entry.corrected,
+		Resilience:    sched.res.stats(),
 	}, nil
 }
 

@@ -49,10 +49,18 @@ type execTask struct {
 	// forever, when execution failed before it could run).
 	rel *engine.Relation
 	// done is the task's virtual completion time: start plus the task's
-	// own stage time.
+	// own stage time (plus recovery, under fault injection).
 	done time.Duration
 	// stages is the task's priced stage trace.
 	stages []cluster.StageRecord
+
+	// xsum is the delivered exchange checksum of the task's output in
+	// the packed-uint64 wire format, possibly corrupted in flight by the
+	// fault plan; the consumer verifies it against the payload before
+	// reading. Guarded by hasXsum and only set under an active fault
+	// plan — the fault-free path never computes checksums.
+	xsum    uint64
+	hasXsum bool
 }
 
 // boundInput wires one materialized intermediate into the next round:
@@ -81,6 +89,10 @@ type roundRun struct {
 	floor time.Duration
 	root  *execTask
 	tasks []*execTask
+	// idx is the round's position in the adaptive sequence; fault
+	// decisions key on (round, node ID) so a re-planned round rolls
+	// fresh fates for its tasks.
+	idx int
 	// pauseAt is the round's re-plan pause point: the minimum virtual
 	// completion time over executed operators whose observed
 	// cardinality missed its estimate beyond the re-plan bound
@@ -174,6 +186,17 @@ type scheduler struct {
 	failed  atomic.Bool
 	errOnce sync.Once
 	err     error
+
+	// Fault injection: the active fault plan (nil keeps execution on the
+	// unchanged fault-free hot path — no checksums, no attempt
+	// bookkeeping), the per-task attempt budget, the base retry backoff
+	// and the straggler-speculation multiple (0 disables speculation).
+	faults       *cluster.FaultPlan
+	faultSalt    uint64
+	maxAttempts  int
+	retryBackoff time.Duration
+	specFactor   float64
+	res          resilienceRecorder
 }
 
 // buildTasks flattens the plan into tasks, children before parents.
@@ -200,17 +223,34 @@ func buildTasks(root *plan.Node) (rootTask *execTask, all []*execTask) {
 func (sc *scheduler) execute(pl *plan.Plan) (*execTask, error) {
 	round := &roundRun{plan: pl, obs: plan.NewObservation(pl)}
 	round.pauseAt.Store(math.MaxInt64)
+	if sc.faults != nil {
+		round.obs.EnableAttempts()
+	}
 	sc.rounds = append(sc.rounds, round)
 	for {
 		if err := sc.runRound(round); err != nil {
 			return nil, err
 		}
 		if round.pauseAt.Load() == math.MaxInt64 {
+			if sc.faults != nil {
+				// The root's own delivery to the driver is an exchange too:
+				// verify it and recompute from lineage on corruption, so the
+				// epilogue always reads a clean payload.
+				extra, err := sc.verifyInput(round.root)
+				if err != nil {
+					return nil, err
+				}
+				round.root.done += extra
+			}
 			return round.root, nil
 		}
 		next, err := sc.replan(round)
 		if err != nil {
 			return nil, err
+		}
+		next.idx = round.idx + 1
+		if sc.faults != nil {
+			next.obs.EnableAttempts()
 		}
 		sc.rounds = append(sc.rounds, next)
 		round = next
@@ -387,13 +427,23 @@ func (sc *scheduler) run(rr *roundRun, t *execTask) {
 	}
 	if t.node.Op == plan.OpBound {
 		// The relation was materialized by an earlier round; adopt it
-		// and its completion time without charging anything.
+		// and its completion time without charging anything. Under fault
+		// injection the payload was verified (and any corruption
+		// recovered) when the round boundary bound it, so its delivered
+		// checksum is clean by construction.
 		b := rr.bound[t.node.Leaf]
 		t.rel = b.rel
 		t.done = b.done
 		rr.bound[t.node.Leaf].rel = nil
+		if sc.faults != nil {
+			t.xsum, t.hasXsum = t.rel.Checksum(), true
+		}
 		rr.obs.Record(t.node, int64(t.rel.NumRows()))
 		sc.completed.Add(1)
+		return
+	}
+	if sc.faults != nil {
+		sc.runResilient(rr, t)
 		return
 	}
 	clk := cluster.NewClock()
@@ -403,7 +453,7 @@ func (sc *scheduler) run(rr *roundRun, t *execTask) {
 	e.StartCost = 0
 	e.BroadcastThreshold = sc.opts.BroadcastThreshold
 
-	rel, err := sc.execOp(e, t)
+	rel, err := sc.execOp(e, t, taskInputs(t))
 	if err != nil {
 		sc.fail(err)
 		return
@@ -411,16 +461,7 @@ func (sc *scheduler) run(rr *roundRun, t *execTask) {
 	t.rel = rel
 	rr.obs.Record(t.node, int64(rel.NumRows()))
 	t.stages = clk.Stages()
-	if sc.replanThreshold <= 0 {
-		// Release consumed inputs eagerly so large intermediates do not
-		// outlive the join that read them. Adaptive runs keep them
-		// until the round quiesces — a later trigger may discard this
-		// task and hand its inputs to the re-planner as bound leaves —
-		// and release everything unneeded at the round boundary.
-		for _, d := range t.deps {
-			d.rel = nil
-		}
-	}
+	sc.releaseInputs(t)
 	elapsed := clk.Elapsed()
 	if elapsed <= 0 {
 		// Zero-cost operators (empty-table shortcuts) still complete
@@ -430,16 +471,261 @@ func (sc *scheduler) run(rr *roundRun, t *execTask) {
 	}
 	t.done = t.start + elapsed
 	sc.completed.Add(1)
+	sc.checkTrigger(rr, t)
+}
 
-	// Adaptive trigger: a scan or join whose observed cardinality
-	// missed its estimate beyond the bound pauses the frontier at its
-	// virtual completion — everything virtually starting later is
-	// re-planned. (Projection and DISTINCT estimates are derivative;
-	// their errors always trace back to a scan or join below.)
+// releaseInputs eagerly frees a completed task's consumed inputs in
+// non-adaptive runs, so large intermediates do not outlive the join
+// that read them. Adaptive runs keep them until the round quiesces — a
+// later trigger may discard this task and hand its inputs to the
+// re-planner as bound leaves — and release everything unneeded at the
+// round boundary. Under fault injection a freed input can still be
+// recovered: lineage recomputation re-executes its subtree on demand.
+func (sc *scheduler) releaseInputs(t *execTask) {
+	if sc.replanThreshold > 0 {
+		return
+	}
+	for _, d := range t.deps {
+		d.rel = nil
+	}
+}
+
+// checkTrigger fires the adaptive pause when a scan or join's observed
+// cardinality missed its estimate beyond the bound: the frontier pauses
+// at the trigger's virtual completion and everything virtually starting
+// later is re-planned. (Projection and DISTINCT estimates are
+// derivative; their errors always trace back to a scan or join below.)
+func (sc *scheduler) checkTrigger(rr *roundRun, t *execTask) {
 	if sc.replanThreshold > 0 && (t.node.Op == plan.OpJoin || t.node.Op == plan.OpScan) &&
 		obsErrRatio(rr.obs, t.node) > sc.replanThreshold {
 		rr.pause(t.done)
 	}
+}
+
+// taskKey identifies one task for the fault plan: deterministic in the
+// round index and the node's stable plan ID, independent of pool
+// interleaving. The scheduler XORs in its per-query fault salt so two
+// queries whose plans happen to share small node IDs still draw
+// independent fault schedules.
+func taskKey(roundIdx, nodeID int) uint64 {
+	return uint64(roundIdx)<<32 | uint64(uint32(nodeID))
+}
+
+// corruptFlip is the bit pattern a corrupted exchange XORs into the
+// delivered checksum, guaranteeing a detectable mismatch.
+const corruptFlip uint64 = 0xDEADBEEFCAFEF00D
+
+// runResilient executes one task under the active fault plan: the
+// attempt loop retries injected failures with capped exponential
+// virtual backoff (re-executing the operator for real each time), the
+// straggler detector launches a speculative duplicate when an attempt
+// runs past specFactor times the median sibling time, and every input
+// is checksum-verified before reading — a corrupted exchange recomputes
+// its producer from lineage. All recovery is priced into the task's
+// virtual completion, so SimTime reflects recovery cost; exhausting the
+// attempt budget aborts the query with a typed *TaskFailedError
+// carrying the attempt trace.
+//
+// Every fault decision is a pure function of (seed, round, node ID,
+// attempt, virtual start), so the recovery schedule — and therefore
+// SimTime — is deterministic across runs and concurrency levels.
+func (sc *scheduler) runResilient(rr *roundRun, t *execTask) {
+	fp := sc.faults
+	workers := sc.store.cluster.Workers()
+	key := taskKey(rr.idx, t.node.ID) ^ sc.faultSalt
+
+	// Consumer-side integrity check: verify each input's delivered
+	// checksum against its payload before reading it; recovery time is
+	// sequenced before this task's own attempts.
+	vstart := t.start
+	for _, d := range t.deps {
+		extra, err := sc.verifyInput(d)
+		if err != nil {
+			sc.fail(err)
+			return
+		}
+		vstart += extra
+	}
+
+	var trace []TaskAttempt
+	for attempt := 1; ; attempt++ {
+		dec := fp.Decide(key, attempt, vstart, workers)
+		clk := cluster.NewClock()
+		e := engine.NewExec(sc.store.cluster, clk)
+		e.StartCost = 0
+		e.BroadcastThreshold = sc.opts.BroadcastThreshold
+		rel, err := sc.execOp(e, t, taskInputs(t))
+		if err != nil {
+			// A real execution error, not an injected fault: fail fast.
+			sc.fail(err)
+			return
+		}
+		elapsed := clk.Elapsed()
+		if elapsed <= 0 {
+			elapsed = 1
+		}
+		sc.res.attempts.Add(1)
+
+		if dec.Fail {
+			// The attempt dies after consuming its priced time; the retry
+			// backs off exponentially and rotates to another worker.
+			outcome := AttemptFailed
+			if dec.Outage {
+				outcome = AttemptOutage
+			}
+			trace = append(trace, TaskAttempt{
+				Attempt: attempt, Worker: dec.Worker,
+				Start: vstart, End: vstart + elapsed, Outcome: outcome,
+			})
+			if attempt >= sc.maxAttempts {
+				sc.res.taskFailed.Add(1)
+				sc.fail(&TaskFailedError{
+					Task:           nodeDesc(t.node),
+					Attempts:       trace,
+					CompletedTasks: int(sc.completed.Load()),
+					TotalTasks:     int(sc.totalTasks.Load()),
+				})
+				return
+			}
+			sc.res.retries.Add(1)
+			wait := retryDelay(sc.retryBackoff, attempt)
+			sc.res.addRecovery(elapsed + wait)
+			vstart += elapsed + wait
+			continue
+		}
+
+		done := vstart + elapsed
+		if dec.DelayFactor > 1 {
+			// Straggling attempt: its priced time stretches by the delay
+			// factor. Sibling partition tasks of one operator are symmetric
+			// in the simulator, so the attempt's own fault-free priced time
+			// stands in for the median sibling time; the detector fires
+			// when the straggler runs past specFactor times that median and
+			// launches a speculative duplicate — first finisher wins.
+			sc.res.stragglers.Add(1)
+			slowDone := vstart + scaleDuration(elapsed, dec.DelayFactor)
+			done = slowDone
+			specWon := false
+			if sf := sc.specFactor; sf > 0 && dec.DelayFactor > sf {
+				specStart := vstart + scaleDuration(elapsed, sf)
+				// The duplicate rolls its own fate (placement and straggler
+				// delay; its attempt number is past the injected-failure
+				// cap, so only an outage window can kill it).
+				specDec := fp.Decide(key, attempt+specAttemptBase, specStart, workers)
+				sc.res.specLaunch.Add(1)
+				sc.res.attempts.Add(1)
+				if !specDec.Fail {
+					specDone := specStart + scaleDuration(elapsed, math.Max(specDec.DelayFactor, 1))
+					if specDone < slowDone {
+						specWon = true
+						done = specDone
+						sc.res.specWins.Add(1)
+						trace = append(trace,
+							TaskAttempt{Attempt: attempt, Worker: dec.Worker, Start: vstart, End: slowDone, Outcome: AttemptStragglerLost},
+							TaskAttempt{Attempt: attempt, Worker: specDec.Worker, Start: specStart, End: specDone, Outcome: AttemptSpeculativeWin, Speculative: true})
+					}
+				}
+			}
+			if !specWon {
+				trace = append(trace, TaskAttempt{
+					Attempt: attempt, Worker: dec.Worker,
+					Start: vstart, End: slowDone, Outcome: AttemptStraggler,
+				})
+			}
+			sc.res.addRecovery(done - (vstart + elapsed))
+		} else {
+			trace = append(trace, TaskAttempt{
+				Attempt: attempt, Worker: dec.Worker,
+				Start: vstart, End: done, Outcome: AttemptOK,
+			})
+		}
+
+		t.rel = rel
+		t.stages = clk.Stages()
+		t.done = done
+		break
+	}
+
+	// Delivered checksum over the packed-uint64 payload: a corrupted
+	// exchange flips bits in flight; the consumer detects the mismatch
+	// and recomputes this task from lineage.
+	sum := t.rel.Checksum()
+	if fp.CorruptDelivery(key) {
+		sum ^= corruptFlip
+	}
+	t.xsum, t.hasXsum = sum, true
+
+	rr.obs.Record(t.node, int64(t.rel.NumRows()))
+	rr.obs.RecordAttempts(t.node, len(trace))
+	sc.releaseInputs(t)
+	sc.completed.Add(1)
+	sc.checkTrigger(rr, t)
+}
+
+// specAttemptBase offsets speculative duplicates into their own fault
+// decision stream, far past any real attempt number.
+const specAttemptBase = 1 << 16
+
+// verifyInput checks a produced task's delivered checksum against its
+// payload. On mismatch — the simulated exchange corrupted the relation
+// in flight — the producer is re-executed from its lineage (inputs
+// already freed by the eager-release policy are recursively recomputed;
+// scans re-read the store), the re-delivery is marked clean, and the
+// recomputation's priced time is returned for the consumer to sequence
+// before its own work. A task's relation has exactly one consumer (the
+// plan is a tree), so no locking is needed.
+func (sc *scheduler) verifyInput(d *execTask) (time.Duration, error) {
+	if !d.hasXsum || d.rel == nil || d.xsum == d.rel.Checksum() {
+		return 0, nil
+	}
+	sc.res.checksums.Add(1)
+	clk := cluster.NewClock()
+	e := engine.NewExec(sc.store.cluster, clk)
+	e.StartCost = 0
+	e.BroadcastThreshold = sc.opts.BroadcastThreshold
+	rel, err := sc.recompute(e, d)
+	if err != nil {
+		return 0, err
+	}
+	d.rel = rel
+	d.xsum = rel.Checksum()
+	elapsed := clk.Elapsed()
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	sc.res.addRecovery(elapsed)
+	return elapsed, nil
+}
+
+// recompute re-executes a task's operator from its recorded lineage —
+// the task tree itself: dependencies whose relations were eagerly freed
+// are recursively recomputed (scans re-read the store), exactly the
+// lineage-based recovery Spark performs for a lost partition. The
+// transient input relations are not re-retained; only the requested
+// task's output is returned.
+func (sc *scheduler) recompute(e *engine.Exec, t *execTask) (*engine.Relation, error) {
+	sc.res.recomputes.Add(1)
+	if t.node.Op == plan.OpBound {
+		// Bound relations are retained for their whole round, so reaching
+		// one without a relation means the lineage chain is broken.
+		if t.rel == nil {
+			return nil, fmt.Errorf("core: bound leaf %s lost its relation during lineage recompute", nodeDesc(t.node))
+		}
+		return t.rel, nil
+	}
+	in := make([]*engine.Relation, len(t.deps))
+	for i, d := range t.deps {
+		if d.rel != nil {
+			in[i] = d.rel
+			continue
+		}
+		rel, err := sc.recompute(e, d)
+		if err != nil {
+			return nil, err
+		}
+		in[i] = rel
+	}
+	return sc.execOp(e, t, in)
 }
 
 // replan converts a quiesced round with blocked joins into the next
@@ -460,24 +746,40 @@ func (sc *scheduler) replan(rr *roundRun) (*roundRun, error) {
 
 	kept := func(t *execTask) bool { return t.executed && !t.discarded }
 	curRound := len(sc.rounds) - 1
-	var walk func(t *execTask)
-	walk = func(t *execTask) {
+	var walk func(t *execTask) error
+	walk = func(t *execTask) error {
 		if kept(t) {
-			// A materialized fragment the remainder consumes.
+			// A materialized fragment the remainder consumes. Under fault
+			// injection its delivery is verified here — crossing the round
+			// boundary is the exchange — so every bound relation the next
+			// round adopts is clean, with the recovery priced into the
+			// fragment's completion time.
+			if sc.faults != nil {
+				extra, err := sc.verifyInput(t)
+				if err != nil {
+					return err
+				}
+				t.done += extra
+			}
 			idx := len(bounds)
 			boundIdx[t.node.ID] = idx
 			leaf := sc.boundLeaf(rr, t, idx)
 			bounds = append(bounds, leaf)
 			inputs = append(inputs, boundInput{rel: t.rel, done: t.done, round: curRound, node: t.node, leaf: leaf})
 			t.rel = nil
-			return
+			return nil
 		}
 		unexec[t.node.ID] = true
 		for _, d := range t.deps {
-			walk(d)
+			if err := walk(d); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	walk(rr.root)
+	if err := walk(rr.root); err != nil {
+		return nil, err
+	}
 	// The frontier's relations now live in the bound inputs; every
 	// other retained relation (discarded work, fragments interior to a
 	// kept subtree) is garbage.
@@ -633,6 +935,7 @@ func (sc *scheduler) executedPlan() *plan.Plan {
 		}
 		c := *n
 		c.Actual = sc.rounds[ri].obs.Actual(n)
+		c.Attempts = sc.rounds[ri].obs.AttemptsOf(n)
 		if len(n.Children) > 0 {
 			c.Children = make([]*plan.Node, len(n.Children))
 			for i, ch := range n.Children {
@@ -663,10 +966,35 @@ func (sc *scheduler) appendTrace(clock *cluster.Clock) {
 		}
 		walk(rr.root)
 	}
+	if sc.faults != nil {
+		// Recovery shows up in the trace as one aggregate record — the
+		// stage list keeps the clean per-operator stages, and SimTime
+		// (the critical path) already includes each task's recovery.
+		if rec := time.Duration(sc.res.recoveryNS.Load()); rec > 0 {
+			clock.Charge("fault recovery (retries, backoff, speculation, recompute)", rec)
+		}
+	}
 }
 
-// execOp evaluates one plan operator over its dependencies' relations.
-func (sc *scheduler) execOp(e *engine.Exec, t *execTask) (*engine.Relation, error) {
+// taskInputs gathers a task's dependency relations in child order —
+// the inputs execOp evaluates over in normal execution. Lineage
+// recomputation passes reconstructed relations instead.
+func taskInputs(t *execTask) []*engine.Relation {
+	if len(t.deps) == 0 {
+		return nil
+	}
+	in := make([]*engine.Relation, len(t.deps))
+	for i, d := range t.deps {
+		in[i] = d.rel
+	}
+	return in
+}
+
+// execOp evaluates one plan operator over the given input relations
+// (one per child, in child order). Inputs are passed explicitly rather
+// than read off the task's dependencies so lineage recomputation can
+// re-run an operator whose original inputs were freed.
+func (sc *scheduler) execOp(e *engine.Exec, t *execTask, in []*engine.Relation) (*engine.Relation, error) {
 	n := t.node
 	switch n.Op {
 	case plan.OpScan:
@@ -676,17 +1004,17 @@ func (sc *scheduler) execOp(e *engine.Exec, t *execTask) (*engine.Relation, erro
 		}
 		return rel, nil
 	case plan.OpFilter:
-		return applyResidualFilters(e, t.deps[0].rel, pickFilters(sc.filters, n.Filters))
+		return applyResidualFilters(e, in[0], pickFilters(sc.filters, n.Filters))
 	case plan.OpJoin:
-		rel, err := e.JoinKeep(t.deps[0].rel, t.deps[1].rel, n.Children[1].Label, joinStrategy(n.Method), n.Keep)
+		rel, err := e.JoinKeep(in[0], in[1], n.Children[1].Label, joinStrategy(n.Method), n.Keep)
 		if err != nil {
 			return nil, fmt.Errorf("core: joining %s: %w", n.Children[1].Label, err)
 		}
 		return rel, nil
 	case plan.OpProject:
-		return e.Project(t.deps[0].rel, n.Cols)
+		return e.Project(in[0], n.Cols)
 	case plan.OpDistinct:
-		return e.Distinct(t.deps[0].rel)
+		return e.Distinct(in[0])
 	default:
 		return nil, fmt.Errorf("core: unknown plan operator %v", n.Op)
 	}

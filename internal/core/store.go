@@ -144,6 +144,9 @@ type Store struct {
 
 	// adaptive aggregates re-planning counters across queries.
 	adaptive adaptiveCounters
+	// resilience aggregates fault-recovery counters across queries; all
+	// zero unless fault injection ran.
+	resilience resilienceCounters
 	// estSources tallies, across every plan built, how its estimating
 	// nodes were priced (characteristic sets, pair sketches, or the
 	// independence fallback).

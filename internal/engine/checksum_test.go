@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func ckRel(parts [][]Row) *Relation {
+	return &Relation{schema: Schema{"a", "b"}, parts: parts}
+}
+
+func TestChecksumStableAndSensitive(t *testing.T) {
+	base := ckRel([][]Row{{{1, 2}, {3, 4}}, {{5, 6}}})
+	if base.Checksum() != ckRel([][]Row{{{1, 2}, {3, 4}}, {{5, 6}}}).Checksum() {
+		t.Fatal("identical relations hash differently")
+	}
+	variants := map[string]*Relation{
+		"value changed":   ckRel([][]Row{{{1, 2}, {3, 7}}, {{5, 6}}}),
+		"rows regrouped":  ckRel([][]Row{{{1, 2, 3, 4}}, {{5, 6}}}),
+		"rows reordered":  ckRel([][]Row{{{3, 4}, {1, 2}}, {{5, 6}}}),
+		"row moved":       ckRel([][]Row{{{1, 2}}, {{3, 4}, {5, 6}}}),
+		"row dropped":     ckRel([][]Row{{{1, 2}, {3, 4}}, {}}),
+		"empty row added": ckRel([][]Row{{{1, 2}, {3, 4}}, {{5, 6}, {}}}),
+	}
+	for name, v := range variants {
+		if v.Checksum() == base.Checksum() {
+			t.Errorf("%s: checksum unchanged", name)
+		}
+	}
+}
+
+func TestChecksumEmptyPartitionsDistinct(t *testing.T) {
+	a := ckRel([][]Row{{}, {}})
+	b := ckRel([][]Row{{}, {}, {}})
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("partition count not reflected in checksum")
+	}
+}
+
+func TestChecksumMatchesAfterRebuild(t *testing.T) {
+	rows := []Row{}
+	for i := 0; i < 500; i++ {
+		rows = append(rows, Row{rdf.ID(i), rdf.ID(i * 3)})
+	}
+	a, err := Partition(Schema{"x", "y"}, rows, "x", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(Schema{"x", "y"}, rows, "x", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("deterministic rebuild produced different checksum")
+	}
+}

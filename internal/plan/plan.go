@@ -178,6 +178,12 @@ type Node struct {
 	// execution records actuals into a per-execution Observation, and
 	// Stamp produces a private copy with the actuals filled in.
 	Actual int64
+	// Attempts is the number of execution attempts the operator's task
+	// took under fault injection (failed tries, the winning try and any
+	// speculative duplicate all count). 0 or 1 — a clean first run —
+	// renders nothing; recovery renders as " attempts=N" in EXPLAIN.
+	// Like Actual it is stamped per execution, never onto cached plans.
+	Attempts int
 	// Children are the operator inputs (0 for Scan, 1 for
 	// Filter/Project/Distinct, 2 for Join).
 	Children []*Node
@@ -259,6 +265,10 @@ func (p *Plan) assignIDs() {
 // to shared state.
 type Observation struct {
 	actual []int64
+	// attempts holds per-node execution attempt counts, allocated only
+	// when a fault-injected run records one — fault-free executions never
+	// touch it.
+	attempts []int32
 }
 
 // NewObservation returns an empty observation for the plan: every node
@@ -287,6 +297,32 @@ func (o *Observation) Actual(n *Node) int64 {
 	return o.actual[n.ID]
 }
 
+// EnableAttempts allocates the per-node attempt slots. The
+// fault-injected executor calls it once before concurrent tasks record;
+// fault-free executions skip it and pay nothing.
+func (o *Observation) EnableAttempts() {
+	if o.attempts == nil {
+		o.attempts = make([]int32, len(o.actual))
+	}
+}
+
+// RecordAttempts stores a node's execution attempt count. A no-op
+// unless EnableAttempts was called first.
+func (o *Observation) RecordAttempts(n *Node, attempts int) {
+	if o != nil && o.attempts != nil && n.ID >= 0 && n.ID < len(o.attempts) {
+		o.attempts[n.ID] = int32(attempts)
+	}
+}
+
+// AttemptsOf returns a node's recorded attempt count, or 0 when the
+// execution never recorded one (fault-free runs record none).
+func (o *Observation) AttemptsOf(n *Node) int {
+	if o == nil || o.attempts == nil || n.ID < 0 || n.ID >= len(o.attempts) {
+		return 0
+	}
+	return int(o.attempts[n.ID])
+}
+
 // Stamp returns a copy of the plan with the observation's actual
 // cardinalities filled into the nodes — the per-execution view EXPLAIN
 // renders. The receiver is not modified; nodes the observation never
@@ -297,6 +333,7 @@ func (p *Plan) Stamp(o *Observation) *Plan {
 	clone = func(n *Node) *Node {
 		c := *n
 		c.Actual = o.Actual(n)
+		c.Attempts = o.AttemptsOf(n)
 		if len(n.Children) > 0 {
 			c.Children = make([]*Node, len(n.Children))
 			for i, ch := range n.Children {
@@ -334,6 +371,7 @@ func (p *Plan) Rebase() *Plan {
 			c.Est = float64(n.Actual)
 		}
 		c.Actual = -1
+		c.Attempts = 0
 		if len(n.Children) > 0 {
 			c.Children = make([]*Node, len(n.Children))
 			for i, ch := range n.Children {
@@ -404,6 +442,9 @@ func (p *Plan) render(sb *strings.Builder, n *Node, indent string) {
 	}
 	if n.EstSource != "" {
 		actual += " est-source=" + n.EstSource
+	}
+	if n.Attempts > 1 {
+		actual += fmt.Sprintf(" attempts=%d", n.Attempts)
 	}
 	fmt.Fprintf(sb, "%s%-52s est=%-10.4g %s\n", indent, desc, n.Est, actual)
 	child := indent + "  "

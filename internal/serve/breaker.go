@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker defaults, applied when the corresponding Config knob
+// is zero.
+const (
+	// DefaultBreakerWindow is the sliding window over which the failure
+	// rate is measured.
+	DefaultBreakerWindow = 30 * time.Second
+	// DefaultBreakerThreshold is the execution-failure rate that trips
+	// the breaker once enough samples are in the window.
+	DefaultBreakerThreshold = 0.5
+	// DefaultBreakerMinSamples is the minimum number of executions in the
+	// window before the rate is trusted.
+	DefaultBreakerMinSamples = 5
+	// DefaultBreakerCooldown is how long a tripped breaker rejects
+	// queries before letting a probe through.
+	DefaultBreakerCooldown = 5 * time.Second
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerEvent is one execution outcome on the breaker's timeline.
+type breakerEvent struct {
+	at     time.Time
+	failed bool
+}
+
+// breaker sheds /sparql load when the store itself is failing: once the
+// execution-failure rate over a sliding window crosses the threshold it
+// opens and rejects queries instantly (fast 503s instead of queueing
+// doomed work), then after a cooldown lets probes through half-open —
+// one success closes it, one failure re-opens it. Only execution
+// outcomes feed the window; caller mistakes (400s) and shed requests
+// are not evidence about store health.
+type breaker struct {
+	window     time.Duration
+	threshold  float64
+	minSamples int
+	cooldown   time.Duration
+	now        func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	events   []breakerEvent
+	openedAt time.Time
+}
+
+// newBreaker applies defaults to zero knobs and returns a closed
+// breaker on the real clock.
+func newBreaker(window time.Duration, threshold float64, minSamples int, cooldown time.Duration) *breaker {
+	if window <= 0 {
+		window = DefaultBreakerWindow
+	}
+	if threshold <= 0 || threshold > 1 {
+		threshold = DefaultBreakerThreshold
+	}
+	if minSamples <= 0 {
+		minSamples = DefaultBreakerMinSamples
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{
+		window:     window,
+		threshold:  threshold,
+		minSamples: minSamples,
+		cooldown:   cooldown,
+		now:        time.Now,
+	}
+}
+
+// allow reports whether a query may execute now. An open breaker past
+// its cooldown moves to half-open and admits probes.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+	}
+	return true
+}
+
+// record feeds one execution outcome into the automaton.
+func (b *breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case breakerHalfOpen:
+		if failed {
+			b.trip(now)
+		} else {
+			b.state = breakerClosed
+			b.events = b.events[:0]
+		}
+	case breakerClosed:
+		b.events = append(b.events, breakerEvent{at: now, failed: failed})
+		b.prune(now)
+		failures := 0
+		for _, e := range b.events {
+			if e.failed {
+				failures++
+			}
+		}
+		if len(b.events) >= b.minSamples &&
+			float64(failures)/float64(len(b.events)) >= b.threshold {
+			b.trip(now)
+		}
+	}
+}
+
+// trip opens the breaker and discards the window.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.events = b.events[:0]
+}
+
+// prune drops events older than the sliding window.
+func (b *breaker) prune(now time.Time) {
+	cut := now.Add(-b.window)
+	i := 0
+	for i < len(b.events) && b.events[i].at.Before(cut) {
+		i++
+	}
+	if i > 0 {
+		b.events = append(b.events[:0], b.events[i:]...)
+	}
+}
+
+// stateName is the current state for /stats and /readyz.
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

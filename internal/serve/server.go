@@ -13,13 +13,26 @@
 //	                     re-plan events / feedback provenance, Join
 //	                     Tree and stage trace (?analyze=0 plans only)
 //	GET      /stats    — plan-cache hit rate (incl. feedback hits),
-//	                     adaptive re-plan counters, query counters and
-//	                     estimation-error aggregates, as JSON
-//	GET      /healthz  — liveness probe
+//	                     adaptive re-plan counters, query counters,
+//	                     estimation-error aggregates and the resilience
+//	                     block (fault recovery, breaker, shed), as JSON
+//	GET      /healthz  — liveness probe (200 as long as the process
+//	                     can serve HTTP at all)
+//	GET      /readyz   — readiness probe: 503 while draining or while
+//	                     the circuit breaker is open
 //
 // Config.QueryTimeout bounds each query's execution; a query past the
 // deadline stops at the next operator boundary and the request
-// returns 504 with partial trace info.
+// returns 504 with partial trace info. A query that exhausts its task
+// attempts under fault injection returns 500 with its attempt trace —
+// the two are counted separately (queries.timeouts vs queries.failed).
+//
+// The server degrades instead of collapsing: queries over the
+// in-flight bound are shed immediately with 503 + Retry-After rather
+// than queued, and a sliding-window circuit breaker trips /sparql to
+// fast 503s when the execution-failure rate crosses its threshold.
+// Drain stops admitting queries while letting in-flight ones finish,
+// for graceful SIGTERM shutdown.
 package serve
 
 import (
@@ -29,8 +42,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -59,6 +74,16 @@ type Config struct {
 	// the request returns 504 with partial trace info (how much of the
 	// plan had executed). 0 means no timeout.
 	QueryTimeout time.Duration
+	// BreakerWindow, BreakerThreshold, BreakerMinSamples and
+	// BreakerCooldown configure the /sparql circuit breaker: once at
+	// least MinSamples executions land in the sliding Window and their
+	// failure rate reaches Threshold, the breaker opens and queries are
+	// shed with fast 503s until a post-Cooldown probe succeeds. Zero
+	// values take the DefaultBreaker* constants.
+	BreakerWindow     time.Duration
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooldown   time.Duration
 }
 
 // Server is the prost-serve HTTP handler. It is safe for concurrent
@@ -67,11 +92,23 @@ type Server struct {
 	cfg Config
 	mux *http.ServeMux
 	sem chan struct{}
+	brk *breaker
+
+	// shed counts requests rejected without executing: in-flight
+	// overflow, open breaker, draining.
+	shed atomic.Uint64
+
+	// drainMu guards the drain state and the in-flight request count.
+	drainMu  sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{} // closed when inflight drops to 0 during drain
 
 	mu         sync.Mutex
 	queries    uint64
 	errors     uint64
 	timeouts   uint64
+	failed     uint64
 	simTotal   time.Duration
 	wallTotal  time.Duration
 	estObs     uint64
@@ -92,14 +129,88 @@ func New(cfg Config) (*Server, error) {
 		cfg: cfg,
 		mux: http.NewServeMux(),
 		sem: make(chan struct{}, cfg.MaxInflight),
+		brk: newBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 	}
 	s.mux.HandleFunc("/sparql", s.handleSPARQL)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness only: stays 200 while draining or tripped so the
+		// process is not killed mid-drain; readiness is /readyz.
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s, nil
+}
+
+// handleReadyz is the readiness probe: not ready while draining or
+// while the breaker is open (load balancers should route elsewhere),
+// ready otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if st := s.brk.stateName(); st == "open" {
+		http.Error(w, "circuit breaker open", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// beginRequest admits a query into the in-flight count, or refuses it
+// while draining.
+func (s *Server) beginRequest() error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return unavailable{msg: "draining: server is shutting down", retryAfter: time.Second}
+	}
+	s.inflight++
+	return nil
+}
+
+// endRequest retires a query and wakes a pending Drain when the last
+// one finishes.
+func (s *Server) endRequest() {
+	s.drainMu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.drainMu.Unlock()
+}
+
+// Drain stops admitting new queries (they are shed with 503; /readyz
+// reports not-ready) and blocks until every in-flight query has
+// finished or ctx expires. Safe to call once during shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	var idle chan struct{}
+	if s.inflight > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.drainMu.Unlock()
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.drainMu.Lock()
+		n := s.inflight
+		s.drainMu.Unlock()
+		return fmt.Errorf("drain: %d queries still in flight: %w", n, ctx.Err())
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -152,9 +263,38 @@ func (s *Server) requestOptions(r *http.Request) (core.QueryOptions, error) {
 // in-flight bound, recording the server-level counters (failed
 // requests — bad parameters, parse errors, execution errors — count
 // as errors; deadline-exceeded queries additionally count as
-// timeouts).
+// timeouts, permanently failed or otherwise broken executions as
+// failed). Shed requests (open breaker, draining, in-flight overflow)
+// are rejected before executing and counted only in shedRequests.
 func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
+	if !s.brk.allow() {
+		s.shed.Add(1)
+		return nil, unavailable{
+			msg:        "circuit breaker open: shedding load until the store recovers",
+			retryAfter: s.brk.cooldown,
+		}
+	}
+	if err := s.beginRequest(); err != nil {
+		s.shed.Add(1)
+		return nil, err
+	}
+	defer s.endRequest()
+
 	res, err := s.doQuery(r)
+
+	var ua unavailable
+	if errors.As(err, &ua) {
+		// Shed at the in-flight bound: never executed, so neither a
+		// query counter nor a breaker sample.
+		s.shed.Add(1)
+		return nil, err
+	}
+	var br badRequest
+	isBad := errors.As(err, &br)
+	if !isBad {
+		// Only execution outcomes are evidence about store health.
+		s.brk.record(err != nil)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -163,6 +303,8 @@ func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
 		s.errors++
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.timeouts++
+		} else if !isBad {
+			s.failed++
 		}
 		return nil, err
 	}
@@ -188,18 +330,47 @@ type badRequest struct{ err error }
 
 func (e badRequest) Error() string { return e.err.Error() }
 
+// unavailable marks a request shed without executing (overflow, open
+// breaker, draining); it renders as 503 with a Retry-After hint.
+type unavailable struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e unavailable) Error() string { return e.msg }
+
 // errStatus maps an error to its HTTP status: 400 for caller mistakes,
-// 504 for queries stopped at their deadline, 500 for other execution
-// failures, so retry policies and monitoring can tell them apart.
+// 503 for shed load, 504 for queries stopped at their deadline, 500
+// for other execution failures (including fault-exhausted tasks, whose
+// *core.TaskFailedError body carries the attempt trace), so retry
+// policies and monitoring can tell them apart.
 func errStatus(err error) int {
 	var br badRequest
 	if errors.As(err, &br) {
 		return http.StatusBadRequest
 	}
+	var ua unavailable
+	if errors.As(err, &ua) {
+		return http.StatusServiceUnavailable
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
+}
+
+// writeError renders an error response, attaching Retry-After to shed
+// requests so well-behaved clients back off.
+func writeError(w http.ResponseWriter, err error) {
+	var ua unavailable
+	if errors.As(err, &ua) {
+		secs := int(ua.retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	http.Error(w, err.Error(), errStatus(err))
 }
 
 // doQuery is runQuery without the bookkeeping. With a configured
@@ -219,7 +390,17 @@ func (s *Server) doQuery(r *http.Request) (*core.Result, error) {
 	if err != nil {
 		return nil, badRequest{err}
 	}
-	s.sem <- struct{}{}
+	// Shed instead of queue: a request over the in-flight bound gets an
+	// immediate 503 + Retry-After, keeping latency bounded under
+	// overload instead of building an invisible queue.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return nil, unavailable{
+			msg:        fmt.Sprintf("over capacity: %d queries already executing", cap(s.sem)),
+			retryAfter: time.Second,
+		}
+	}
 	defer func() { <-s.sem }()
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
@@ -270,7 +451,7 @@ type sparqlResponse struct {
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	res, err := s.runQuery(r)
 	if err != nil {
-		http.Error(w, err.Error(), errStatus(err))
+		writeError(w, err)
 		return
 	}
 	rows := res.SortedRows()
@@ -350,13 +531,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.runQuery(r)
 	if err != nil {
-		http.Error(w, err.Error(), errStatus(err))
+		writeError(w, err)
 		return
 	}
 	fmt.Fprint(w, res.Plan.String())
 	fmt.Fprintln(w, res.Plan.ErrorSummary())
 	if adaptive := res.ReplanSummary(); adaptive != "" {
 		fmt.Fprint(w, adaptive)
+	}
+	if rs := res.Resilience.String(); rs != "" {
+		fmt.Fprint(w, rs)
 	}
 	fmt.Fprintf(w, "\n%d rows; simulated cluster time %v (wall %v)\n", len(res.Rows), res.SimTime, res.WallTime)
 	fmt.Fprintln(w, "\nJoin Tree:")
@@ -377,12 +561,31 @@ type statsResponse struct {
 		CorrectedEntries int     `json:"correctedEntries"`
 	} `json:"planCache"`
 	Queries struct {
-		Total    uint64  `json:"total"`
+		Total uint64 `json:"total"`
+		// Errors counts every errored query; Timeouts the subset stopped
+		// at their deadline (504), Failed the subset broken by execution
+		// itself — e.g. a task that exhausted its fault-injection attempt
+		// budget (500).
 		Errors   uint64  `json:"errors"`
 		Timeouts uint64  `json:"timeouts"`
+		Failed   uint64  `json:"failed"`
 		AvgSimMS float64 `json:"avgSimMs"`
 		AvgWall  float64 `json:"avgWallMs"`
 	} `json:"queries"`
+	// Resilience aggregates fault-recovery activity across queries plus
+	// the server's own degradation state.
+	Resilience struct {
+		Attempts            uint64 `json:"attempts"`
+		Retries             uint64 `json:"retries"`
+		Stragglers          uint64 `json:"stragglers"`
+		SpeculativeLaunched uint64 `json:"speculativeLaunched"`
+		SpeculativeWins     uint64 `json:"speculativeWins"`
+		ChecksumFailures    uint64 `json:"checksumFailures"`
+		LineageRecomputes   uint64 `json:"lineageRecomputes"`
+		TasksFailed         uint64 `json:"tasksFailed"`
+		BreakerState        string `json:"breakerState"`
+		ShedRequests        uint64 `json:"shedRequests"`
+	} `json:"resilience"`
 	Adaptive struct {
 		ReplansEvaluated uint64 `json:"replansEvaluated"`
 		ReplansAdopted   uint64 `json:"replansAdopted"`
@@ -434,6 +637,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.Estimation.SketchNodes = em.Sketch
 	doc.Estimation.IndepNodes = em.Indep
 
+	rm := s.cfg.Store.ResilienceMetrics()
+	doc.Resilience.Attempts = rm.Attempts
+	doc.Resilience.Retries = rm.Retries
+	doc.Resilience.Stragglers = rm.Stragglers
+	doc.Resilience.SpeculativeLaunched = rm.SpeculativeLaunched
+	doc.Resilience.SpeculativeWins = rm.SpeculativeWins
+	doc.Resilience.ChecksumFailures = rm.ChecksumFailures
+	doc.Resilience.LineageRecomputes = rm.LineageRecomputes
+	doc.Resilience.TasksFailed = rm.TasksFailed
+	doc.Resilience.BreakerState = s.brk.stateName()
+	doc.Resilience.ShedRequests = s.shed.Load()
+
 	if js, ok := s.cfg.Store.Stats().JoinStatsSummary(); ok {
 		doc.JoinStats.Collected = true
 		doc.JoinStats.CSets = js.CSets
@@ -448,6 +663,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.Queries.Total = s.queries
 	doc.Queries.Errors = s.errors
 	doc.Queries.Timeouts = s.timeouts
+	doc.Queries.Failed = s.failed
 	if ok := s.queries - s.errors; ok > 0 {
 		doc.Queries.AvgSimMS = float64(s.simTotal) / float64(ok) / float64(time.Millisecond)
 		doc.Queries.AvgWall = float64(s.wallTotal) / float64(ok) / float64(time.Millisecond)

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -293,6 +295,17 @@ func TestConcurrentRequests(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < 4; r++ {
 				w := get(t, srv, "/sparql?format=tsv&query="+url.QueryEscape(serveQuery))
+				// Load over the in-flight bound is shed with 503 +
+				// Retry-After rather than queued; honour it like a
+				// well-behaved client and try again.
+				for w.Code == http.StatusServiceUnavailable {
+					if w.Header().Get("Retry-After") == "" {
+						errs <- fmt.Errorf("shed response missing Retry-After: %s", w.Body)
+						return
+					}
+					time.Sleep(time.Millisecond)
+					w = get(t, srv, "/sparql?format=tsv&query="+url.QueryEscape(serveQuery))
+				}
 				if w.Code != http.StatusOK {
 					errs <- fmt.Errorf("status %d: %s", w.Code, w.Body)
 					return
@@ -308,5 +321,229 @@ func TestConcurrentRequests(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// waitInflight polls until the server's in-flight count reaches n.
+func waitInflight(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		srv.drainMu.Lock()
+		cur := srv.inflight
+		srv.drainMu.Unlock()
+		if cur == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("in-flight count never reached %d", n)
+}
+
+// TestDrainCompletesInflightQuery pins graceful shutdown: Drain stops
+// admitting queries immediately (503, /readyz not ready, /healthz
+// still alive) but blocks until the in-flight query finishes — and
+// that query still succeeds.
+func TestDrainCompletesInflightQuery(t *testing.T) {
+	srv := testServer(t)
+	want := get(t, srv, "/sparql?format=tsv&query="+url.QueryEscape(serveQuery)).Body.String()
+
+	// Hold a query in flight by stalling its POST body mid-read.
+	pr, pw := io.Pipe()
+	req := httptest.NewRequest(http.MethodPost, "/sparql?format=tsv", pr)
+	held := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(held, req)
+		close(done)
+	}()
+	waitInflight(t, srv, 1)
+
+	// A drain against an already-expired context must report the stuck
+	// query instead of returning success.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Drain(expired); err == nil {
+		t.Error("Drain with expired context reported success with a query in flight")
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	time.Sleep(5 * time.Millisecond)
+
+	if w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery)); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Errorf("query during drain = %d %q, want 503 draining", w.Code, w.Body)
+	}
+	if w := get(t, srv, "/readyz"); w.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", w.Code)
+	}
+	if w := get(t, srv, "/healthz"); w.Code != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness only)", w.Code)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) before the in-flight query finished", err)
+	default:
+	}
+
+	// Release the held query: it completes normally despite the drain,
+	// and only then does Drain return.
+	if _, err := pw.Write([]byte(serveQuery)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	<-done
+	if held.Code != http.StatusOK || held.Body.String() != want {
+		t.Errorf("in-flight query during drain: %d %q, want 200 with normal rows", held.Code, held.Body)
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("Drain after last query finished: %v", err)
+	}
+}
+
+// TestFaultShedOverflowReturns503 pins load shedding at the in-flight
+// bound: with the only execution slot taken, a query is rejected
+// immediately with 503 + Retry-After, counted as shed rather than as a
+// failed query.
+func TestFaultShedOverflowReturns503(t *testing.T) {
+	base := testServer(t)
+	srv, err := New(Config{Store: base.cfg.Store, MaxInflight: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.sem <- struct{}{} // occupy the only execution slot
+	w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "over capacity") {
+		t.Fatalf("overflow = %d %q, want 503 over capacity", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	var doc struct {
+		Queries    struct{ Total, Errors uint64 }
+		Resilience struct {
+			ShedRequests uint64 `json:"shedRequests"`
+		}
+	}
+	if err := json.Unmarshal(get(t, srv, "/stats").Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad stats JSON: %v", err)
+	}
+	if doc.Resilience.ShedRequests != 1 || doc.Queries.Total != 0 || doc.Queries.Errors != 0 {
+		t.Errorf("shed request miscounted: shed=%d queries=%+v, want shed=1 and no query counters",
+			doc.Resilience.ShedRequests, doc.Queries)
+	}
+
+	<-srv.sem // free the slot: back to normal service
+	if w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery)); w.Code != http.StatusOK {
+		t.Errorf("query after slot freed = %d (%s), want 200", w.Code, w.Body)
+	}
+}
+
+// TestFaultBreakerTripsAndRecovers drives the breaker through its full
+// cycle on a fake clock: unrecoverable fault injection produces 500s
+// with attempt traces (counted as queries.failed, not timeouts), the
+// failure rate trips the breaker to fast 503s and flips /readyz, and
+// after the cooldown a successful half-open probe closes it again.
+func TestFaultBreakerTripsAndRecovers(t *testing.T) {
+	srv := testServer(t)
+	clock := time.Unix(1000, 0)
+	srv.brk.now = func() time.Time { return clock }
+
+	// Every attempt fails and the budget is one: each query aborts with
+	// a *core.TaskFailedError.
+	srv.cfg.Options.Faults = &cluster.FaultPlan{Seed: 1, FailRate: 1, MaxFailuresPerTask: 100}
+	srv.cfg.Options.MaxTaskAttempts = 1
+	for i := 0; i < DefaultBreakerMinSamples; i++ {
+		w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery))
+		if w.Code != http.StatusInternalServerError {
+			t.Fatalf("faulted query %d = %d (%s), want 500", i, w.Code, w.Body)
+		}
+		if !strings.Contains(w.Body.String(), "failed permanently") {
+			t.Fatalf("500 body lacks the attempt trace: %s", w.Body)
+		}
+	}
+
+	w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "circuit breaker") {
+		t.Fatalf("post-trip query = %d %q, want breaker 503", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("breaker 503 missing Retry-After")
+	}
+	if w := get(t, srv, "/readyz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "circuit breaker") {
+		t.Errorf("readyz with open breaker = %d %q, want 503", w.Code, w.Body)
+	}
+
+	var doc struct {
+		Queries struct {
+			Total, Errors, Timeouts, Failed uint64
+		}
+		Resilience struct {
+			TasksFailed  uint64 `json:"tasksFailed"`
+			BreakerState string `json:"breakerState"`
+			ShedRequests uint64 `json:"shedRequests"`
+		}
+	}
+	if err := json.Unmarshal(get(t, srv, "/stats").Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad stats JSON: %v", err)
+	}
+	if doc.Queries.Failed != uint64(DefaultBreakerMinSamples) || doc.Queries.Timeouts != 0 {
+		t.Errorf("queries = %+v, want %d failed / 0 timeouts", doc.Queries, DefaultBreakerMinSamples)
+	}
+	if doc.Resilience.BreakerState != "open" || doc.Resilience.ShedRequests == 0 || doc.Resilience.TasksFailed == 0 {
+		t.Errorf("resilience = %+v, want open breaker with shed requests and failed tasks", doc.Resilience)
+	}
+
+	// Cooldown elapses and the store heals: the half-open probe succeeds
+	// and closes the breaker.
+	clock = clock.Add(DefaultBreakerCooldown + time.Second)
+	srv.cfg.Options.Faults = nil
+	srv.cfg.Options.MaxTaskAttempts = 0
+	if w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery)); w.Code != http.StatusOK {
+		t.Fatalf("probe after cooldown = %d (%s), want 200", w.Code, w.Body)
+	}
+	if st := srv.brk.stateName(); st != "closed" {
+		t.Errorf("breaker state after successful probe = %q, want closed", st)
+	}
+	if w := get(t, srv, "/readyz"); w.Code != http.StatusOK {
+		t.Errorf("readyz after recovery = %d, want 200", w.Code)
+	}
+}
+
+// TestFaultStatsAndExplainShowRecovery pins the observability surface
+// of recoverable faults: /explain renders per-node attempt counts, the
+// resilience summary and the priced recovery stage, and /stats
+// aggregates the recovery counters while the breaker stays closed
+// (retried-to-success queries are not failures).
+func TestFaultStatsAndExplainShowRecovery(t *testing.T) {
+	srv := testServer(t)
+	srv.cfg.Options.Faults = &cluster.FaultPlan{Seed: 3, FailRate: 1, MaxFailuresPerTask: 2}
+	w := get(t, srv, "/explain?query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusOK {
+		t.Fatalf("explain under recoverable faults = %d (%s)", w.Code, w.Body)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"resilience: attempts=", "attempts=3", "fault recovery"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("explain output missing %q:\n%s", want, body)
+		}
+	}
+
+	var doc struct {
+		Queries    struct{ Errors uint64 }
+		Resilience struct {
+			Attempts     uint64 `json:"attempts"`
+			Retries      uint64 `json:"retries"`
+			BreakerState string `json:"breakerState"`
+		}
+	}
+	if err := json.Unmarshal(get(t, srv, "/stats").Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad stats JSON: %v", err)
+	}
+	if doc.Resilience.Attempts == 0 || doc.Resilience.Retries == 0 {
+		t.Errorf("resilience counters empty after recovered faults: %+v", doc.Resilience)
+	}
+	if doc.Queries.Errors != 0 || doc.Resilience.BreakerState != "closed" {
+		t.Errorf("recovered faults should not look like failures: %+v %+v", doc.Queries, doc.Resilience)
 	}
 }
