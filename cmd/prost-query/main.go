@@ -10,6 +10,11 @@
 //	prost-query -in dataset.nt -q 'SELECT ?s WHERE { ?s <http://…> ?o . }'
 //	prost-query -in dataset.nt -f query.sparql -strategy vp-only -explain
 //	prost-query -in dataset.nt -f query.sparql -planner heuristic -explain
+//	prost-query -in dataset.nt -f query.sparql -streaming -chunk-size 1024
+//
+// With -streaming the query executes through the morsel-driven
+// pipelines over columnar chunks and the summary additionally reports
+// first-row latency and the peak intermediate-memory footprint.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	strategy := flag.String("strategy", "mixed", "query strategy: "+strings.Join(core.StrategyNames(), ", "))
 	planner := flag.String("planner", "cost", "planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
 	workers := flag.Int("workers", 9, "simulated worker machines")
+	streaming := flag.Bool("streaming", false, "execute through the morsel-driven streaming pipelines instead of materialized stages")
+	chunkSize := flag.Int("chunk-size", 0, "streaming rows-per-chunk granularity (0 = default)")
 	explain := flag.Bool("explain", false, "print the physical plan (with estimated vs actual cardinalities), re-plan events, the Join Tree and the stage trace")
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
@@ -51,13 +58,13 @@ func main() {
 	if !faults.Active() {
 		faults = nil
 	}
-	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *explain, *maxRows, *replan, *sketches, faults); err != nil {
+	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *streaming, *chunkSize, *explain, *maxRows, *replan, *sketches, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, queryText, queryFile, strategy, planner string, workers int, explain bool, maxRows int, replan float64, sketches int, faults *cluster.FaultPlan) error {
+func run(in, queryText, queryFile, strategy, planner string, workers int, streaming bool, chunkSize int, explain bool, maxRows int, replan float64, sketches int, faults *cluster.FaultPlan) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -107,7 +114,8 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 		return err
 	}
 
-	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan, Faults: faults})
+	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan,
+		Faults: faults, Streaming: streaming, ChunkSize: chunkSize})
 	if err != nil {
 		return err
 	}
@@ -126,6 +134,12 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, explai
 	}
 	fmt.Printf("\n%d rows; simulated cluster time %v (wall %v, strategy %s)\n",
 		len(res.Rows), res.SimTime, res.WallTime, strat)
+	if res.Streamed {
+		fmt.Printf("streamed over morsel pipelines: first row at %v; peak intermediate footprint %d B\n",
+			res.FirstRow, res.PeakMemBytes)
+	} else if streaming {
+		fmt.Println("streaming requested but the query fell back to materialized execution")
+	}
 	if explain {
 		fmt.Println()
 		fmt.Print(res.Plan.String())

@@ -15,8 +15,11 @@
 // Endpoints:
 //
 //	/sparql   execute a query (?query=… or POST body); JSON results by
-//	          default, TSV with ?format=tsv; per-request ?planner= and
-//	          ?strategy= overrides
+//	          default, TSV with ?format=tsv; per-request ?planner=,
+//	          ?strategy=, ?streaming= and ?chunk= overrides. Streaming
+//	          queries write results incrementally (chunked transfer
+//	          with periodic flushes) and report first-row latency and
+//	          peak intermediate memory in the response stats
 //	/explain  physical plan with estimated vs actual cardinalities,
 //	          estimation-error summary, Join Tree and stage trace
 //	          (?analyze=0 plans without executing)
@@ -56,6 +59,8 @@ type options struct {
 	in, addr          string
 	strategy, planner string
 	workers           int
+	streaming         bool
+	chunkSize         int
 	inflight          int
 	parallelism       int
 	cacheSize         int
@@ -83,6 +88,8 @@ func main() {
 	flag.StringVar(&o.strategy, "strategy", "mixed", "default query strategy: "+strings.Join(core.StrategyNames(), ", "))
 	flag.StringVar(&o.planner, "planner", "cost", "default planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
 	flag.IntVar(&o.workers, "workers", 9, "simulated worker machines")
+	flag.BoolVar(&o.streaming, "streaming", false, "default to morsel-driven streaming execution (per-request ?streaming= overrides)")
+	flag.IntVar(&o.chunkSize, "chunk-size", 0, "streaming rows-per-chunk granularity (0 = default; per-request ?chunk= overrides)")
 	flag.IntVar(&o.inflight, "max-inflight", serve.DefaultMaxInflight, "maximum concurrently executing queries; overflow is shed with 503 + Retry-After")
 	flag.IntVar(&o.parallelism, "parallelism", 0, "per-query scheduler pool width (0 = GOMAXPROCS)")
 	flag.IntVar(&o.cacheSize, "plan-cache", 0, "plan cache entries (0 = default, negative = disabled)")
@@ -179,6 +186,8 @@ func run(o options) error {
 			Planner:         mode,
 			Parallelism:     o.parallelism,
 			ReplanThreshold: o.replan,
+			Streaming:       o.streaming,
+			ChunkSize:       o.chunkSize,
 		},
 		MaxInflight:      o.inflight,
 		MaxRows:          o.maxRows,

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Morsel-granular stage pricing for the streaming executor. A query's
+// pipelines (scan → fused filters/probes → sink) are each split into
+// fixed-size morsels of priced work; SimulateMorsels list-schedules
+// every morsel onto the simulated workers, so SimTime reflects actual
+// worker contention across concurrent pipelines instead of the
+// materialized scheduler's max-of-branches critical path. Fault
+// injection prices at the same granularity: each morsel rolls its own
+// attempt fates from the FaultPlan, retries back off and rotate
+// workers, stragglers stretch and speculate — mirroring the
+// whole-operator resilience loop, but a retry now re-runs one morsel
+// of work rather than a whole operator.
+//
+// The simulation is a pure function of its inputs: placement is
+// earliest-free-worker with deterministic tie-breaks, fault decisions
+// key on (salt, pipeline, morsel, attempt), and result deliveries fold
+// in completion order — so a streaming query's SimTime, first-row
+// latency and recovery record are exactly reproducible.
+
+// MorselPipeline is one pipeline's aggregate priced work, split evenly
+// into morsels by the simulator.
+type MorselPipeline struct {
+	// Name labels the pipeline in traces and failure reports.
+	Name string
+	// Deps lists pipelines (by index, each < this pipeline's index)
+	// whose completion gates this pipeline — hash-join build sides the
+	// probe chain waits on.
+	Deps []int
+	// Launch is the stage-launch overhead charged once at the
+	// pipeline's gate (shuffle/broadcast boundaries crossed by its
+	// fused probes; zero for pure scan pipelines).
+	Launch time.Duration
+	// Morsels is the number of morsels the work splits into (min 1).
+	Morsels int
+	// Work is the pipeline's total priced work, divided evenly across
+	// morsels.
+	Work TaskStats
+	// EmitBytes is the result payload this pipeline delivers to the
+	// driver (root pipeline only; zero elsewhere). Deliveries serialize
+	// at the driver, which is what makes first-row latency strictly
+	// earlier than query completion whenever more than one result
+	// morsel exists.
+	EmitBytes int64
+	// EmitRows reports whether the pipeline produces result rows at
+	// all; first-row latency is only defined when it does.
+	EmitRows bool
+}
+
+// MorselSimConfig configures one simulation run.
+type MorselSimConfig struct {
+	// Workers is the simulated worker count.
+	Workers int
+	// Cost prices each morsel's split of the pipeline work.
+	Cost CostModel
+	// Start is the query's planning charge; no morsel starts before it.
+	Start time.Duration
+	// Faults, when active, prices per-morsel fault injection; FaultSalt
+	// decorrelates schedules across queries.
+	Faults    *FaultPlan
+	FaultSalt uint64
+	// MaxAttempts bounds attempts per morsel; exhausting it fails the
+	// simulation with a *MorselFailedError.
+	MaxAttempts int
+	// RetryBackoff is the base virtual backoff after a failed attempt,
+	// doubling per failure up to MaxBackoff.
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// SpecFactor is the straggler-detection multiple (0 disables
+	// speculation).
+	SpecFactor float64
+}
+
+// MorselRecovery aggregates the simulation's fault-recovery activity,
+// mirroring the materialized executor's resilience record.
+type MorselRecovery struct {
+	Attempts, Retries, Stragglers int64
+	SpecLaunched, SpecWins        int64
+	ChecksumFailures, Recomputes  int64
+	Recovery                      time.Duration
+}
+
+// MorselSimResult is the priced outcome of one streaming execution.
+type MorselSimResult struct {
+	// Done is the simulated completion time of the whole query.
+	Done time.Duration
+	// FirstEmit is when the first result morsel finished delivering to
+	// the driver (zero when no pipeline emits rows).
+	FirstEmit time.Duration
+	// PipelineDone records each pipeline's completion time.
+	PipelineDone []time.Duration
+	// Recovery is the fault-injection record (zero-valued without an
+	// active fault plan).
+	Recovery MorselRecovery
+}
+
+// MorselAttempt is one attempt of one morsel on the virtual timeline.
+type MorselAttempt struct {
+	Attempt     int
+	Worker      int
+	Start, End  time.Duration
+	Outcome     string
+	Speculative bool
+}
+
+// MorselFailedError reports a morsel that exhausted its attempt budget
+// under fault injection.
+type MorselFailedError struct {
+	Pipeline string
+	Morsel   int
+	Attempts []MorselAttempt
+}
+
+// Error implements error.
+func (e *MorselFailedError) Error() string {
+	return fmt.Sprintf("cluster: pipeline %q morsel %d failed permanently after %d attempts",
+		e.Pipeline, e.Morsel, len(e.Attempts))
+}
+
+// morselSpecBase offsets speculative duplicates into their own fault
+// decision stream, matching the materialized executor's convention.
+const morselSpecBase = 1 << 16
+
+// morselKey derives the fault key of one morsel, decorrelated across
+// pipelines and queries.
+func morselKey(salt uint64, pipeline, morsel int) uint64 {
+	return mix64(salt, uint64(pipeline)<<20|uint64(morsel), 0x5EED)
+}
+
+// splitWork divides a pipeline's total priced time into m near-equal
+// morsel durations (the first morsel absorbs the rounding remainder).
+func splitWork(total time.Duration, m int) (base, first time.Duration) {
+	if m < 1 {
+		m = 1
+	}
+	base = total / time.Duration(m)
+	first = total - base*time.Duration(m-1)
+	return base, first
+}
+
+// SimulateMorsels list-schedules every pipeline's morsels onto the
+// simulated workers and returns the priced outcome. Pipelines must be
+// topologically ordered (each Deps entry refers to an earlier index).
+// On a *MorselFailedError the partial result is returned alongside the
+// error: its Recovery record holds the attempts spent before the
+// abort, which callers aggregate exactly like a successful run's.
+func SimulateMorsels(pipelines []MorselPipeline, cfg MorselSimConfig) (*MorselSimResult, error) {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	free := make([]time.Duration, workers)
+	for i := range free {
+		free[i] = cfg.Start
+	}
+	res := &MorselSimResult{PipelineDone: make([]time.Duration, len(pipelines))}
+	faults := cfg.Faults
+	if !faults.Active() {
+		faults = nil
+	}
+
+	type emitRec struct {
+		done    time.Duration
+		deliver time.Duration
+	}
+	var emits []emitRec
+
+	for pi, p := range pipelines {
+		gate := cfg.Start
+		for _, d := range p.Deps {
+			if d < 0 || d >= pi {
+				return nil, fmt.Errorf("cluster: pipeline %d dep %d not topologically ordered", pi, d)
+			}
+			if res.PipelineDone[d] > gate {
+				gate = res.PipelineDone[d]
+			}
+		}
+		gate += p.Launch
+
+		m := p.Morsels
+		if m < 1 {
+			m = 1
+		}
+		base, firstDur := splitWork(cfg.Cost.TaskTime(p.Work), m)
+		var emitPer int64
+		if p.EmitBytes > 0 {
+			emitPer = p.EmitBytes / int64(m)
+		}
+
+		var done time.Duration
+		for mi := 0; mi < m; mi++ {
+			dur := base
+			if mi == 0 {
+				dur = firstDur
+			}
+			if dur <= 0 {
+				// Like the materialized scheduler, zero-cost work still
+				// completes strictly after it starts.
+				dur = 1
+			}
+			// Earliest-free worker, lowest index on ties: deterministic
+			// list scheduling.
+			w := 0
+			for k := 1; k < workers; k++ {
+				if free[k] < free[w] {
+					w = k
+				}
+			}
+			start := free[w]
+			if gate > start {
+				start = gate
+			}
+
+			var mDone time.Duration
+			if faults == nil {
+				mDone = start + dur
+			} else {
+				var err error
+				mDone, err = runMorselResilient(faults, cfg, morselKey(cfg.FaultSalt, pi, mi), start, dur, workers, p.Name, mi, &res.Recovery)
+				if err != nil {
+					return res, err
+				}
+			}
+			free[w] = mDone
+			if mDone > done {
+				done = mDone
+			}
+			if p.EmitRows {
+				var deliver time.Duration
+				if emitPer > 0 && cfg.Cost.NetworkBytesPerSec > 0 {
+					deliver = time.Duration(float64(emitPer) / cfg.Cost.NetworkBytesPerSec * float64(time.Second))
+				}
+				if deliver <= 0 {
+					deliver = 1
+				}
+				emits = append(emits, emitRec{done: mDone, deliver: deliver})
+			}
+		}
+
+		// Corrupted pipeline delivery: the consumer's checksum catches
+		// it and one morsel's work is recomputed from lineage before
+		// dependents (or the driver) read the output.
+		if faults != nil && faults.CorruptDelivery(morselKey(cfg.FaultSalt, pi, 1<<19)) {
+			res.Recovery.ChecksumFailures++
+			res.Recovery.Recomputes++
+			penalty := base
+			if penalty <= 0 {
+				penalty = firstDur
+			}
+			if penalty <= 0 {
+				penalty = 1
+			}
+			done += penalty
+			res.Recovery.Recovery += penalty
+		}
+
+		res.PipelineDone[pi] = done
+		if done > res.Done {
+			res.Done = done
+		}
+	}
+
+	// Result deliveries serialize at the driver in completion order.
+	sort.Slice(emits, func(i, j int) bool { return emits[i].done < emits[j].done })
+	var driverFree time.Duration
+	for i, e := range emits {
+		start := e.done
+		if driverFree > start {
+			start = driverFree
+		}
+		driverFree = start + e.deliver
+		if i == 0 {
+			res.FirstEmit = driverFree
+		}
+	}
+	if driverFree > res.Done {
+		res.Done = driverFree
+	}
+	return res, nil
+}
+
+// runMorselResilient prices one morsel's attempt loop under the fault
+// plan: failed attempts consume their time and back off, stragglers
+// stretch and may speculate, and exhaustion fails the simulation. The
+// recovery record accumulates into rec.
+func runMorselResilient(fp *FaultPlan, cfg MorselSimConfig, key uint64, start, dur time.Duration, workers int, name string, morsel int, rec *MorselRecovery) (time.Duration, error) {
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var trace []MorselAttempt
+	vstart := start
+	for attempt := 1; ; attempt++ {
+		dec := fp.Decide(key, attempt, vstart, workers)
+		rec.Attempts++
+		if dec.Fail {
+			outcome := "failed"
+			if dec.Outage {
+				outcome = "worker-outage"
+			}
+			trace = append(trace, MorselAttempt{Attempt: attempt, Worker: dec.Worker, Start: vstart, End: vstart + dur, Outcome: outcome})
+			if attempt >= maxAttempts {
+				return 0, &MorselFailedError{Pipeline: name, Morsel: morsel, Attempts: trace}
+			}
+			rec.Retries++
+			wait := cfg.RetryBackoff << (attempt - 1)
+			if wait > cfg.MaxBackoff || wait <= 0 {
+				wait = cfg.MaxBackoff
+			}
+			rec.Recovery += dur + wait
+			vstart += dur + wait
+			continue
+		}
+		done := vstart + dur
+		if dec.DelayFactor > 1 {
+			rec.Stragglers++
+			slowDone := vstart + time.Duration(float64(dur)*dec.DelayFactor)
+			done = slowDone
+			if sf := cfg.SpecFactor; sf > 0 && dec.DelayFactor > sf {
+				specStart := vstart + time.Duration(float64(dur)*sf)
+				specDec := fp.Decide(key, attempt+morselSpecBase, specStart, workers)
+				rec.SpecLaunched++
+				rec.Attempts++
+				if !specDec.Fail {
+					specDone := specStart + time.Duration(float64(dur)*math.Max(specDec.DelayFactor, 1))
+					if specDone < slowDone {
+						done = specDone
+						rec.SpecWins++
+					}
+				}
+			}
+			rec.Recovery += done - (vstart + dur)
+		}
+		return done, nil
+	}
+}

@@ -73,6 +73,18 @@ type QueryOptions struct {
 	// speculative duplicate, first finisher wins (0 =
 	// DefaultSpeculativeFactor; negative disables speculation).
 	SpeculativeFactor float64
+	// Streaming routes the query through the morsel-driven pipeline
+	// executor: operators fuse into chunk-at-a-time pipelines, SimTime
+	// comes from list-scheduling priced morsels onto the simulated
+	// workers, and the result carries first-row latency and the peak
+	// intermediate footprint. Queries the streaming engine does not
+	// take (LIMIT/OFFSET, adaptive Bound plans) fall back to the
+	// materialized scheduler transparently; both modes produce
+	// identical SortedRows.
+	Streaming bool
+	// ChunkSize is the streaming executor's rows-per-chunk (and morsel
+	// batch) granularity (0 = DefaultChunkSize).
+	ChunkSize int
 }
 
 // DefaultReplanThreshold is the estimation-error factor that triggers
@@ -129,6 +141,20 @@ type Result struct {
 	// attempts, retries, speculation, checksum failures and the priced
 	// recovery time SimTime absorbed. Zero for fault-free executions.
 	Resilience ResilienceStats
+	// Streamed reports that the morsel-driven streaming executor ran
+	// the query (false when QueryOptions.Streaming was off, or the
+	// query fell back to the materialized scheduler).
+	Streamed bool
+	// FirstRow is the simulated latency until the first result morsel
+	// finished delivering to the driver — strictly earlier than
+	// SimTime whenever the query emits more than one result morsel.
+	// Zero for materialized executions and empty results.
+	FirstRow time.Duration
+	// PeakMemBytes is the simulated peak intermediate memory: for a
+	// streamed query, hash-join build sides + the distinct set + the
+	// in-flight chunk budget; for a materialized query, the peak of
+	// live intermediate relations over the virtual timeline.
+	PeakMemBytes int64
 }
 
 // ReplanSummary renders the adaptive re-planning record for EXPLAIN
@@ -271,6 +297,21 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	if faults != nil {
 		faultSalt = queryFaultSalt(q)
 	}
+
+	// Streaming dispatch: the morsel-driven executor takes every plan
+	// it can run (LIMIT/OFFSET and adaptive Bound plans fall back).
+	// handled=false means no work was done — the materialized path
+	// below executes as if Streaming were off.
+	if opts.Streaming && q.Limit < 0 && q.Offset <= 0 {
+		res, handled, err := s.queryStreaming(ctx, q, opts, clock, entry, tree, filters, faults, faultSalt, start)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return res, nil
+		}
+	}
+
 	sched := &scheduler{
 		store:           s,
 		nodes:           entry.nodes,
@@ -362,6 +403,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		Replans:       sched.events,
 		CacheFeedback: entry.corrected,
 		Resilience:    sched.res.stats(),
+		PeakMemBytes:  materializedPeakBytes(sched, simTime),
 	}, nil
 }
 
@@ -590,49 +632,12 @@ func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern, pushed []com
 		return s.emptyRelation(outVars), nil
 	}
 
-	// Assemble the scan-time predicate over the raw (s,o) columns.
-	var checks []func(engine.Row) bool
-	if !tp.S.IsVar() {
-		sid, ok := s.dict.Lookup(tp.S.Term)
-		if !ok {
-			return s.emptyRelation(outVars), nil
-		}
-		checks = append(checks, func(r engine.Row) bool { return r[0] == sid })
+	pred, ok, err := s.vpScanPred(tp, pushed)
+	if err != nil {
+		return nil, err
 	}
-	if !tp.O.IsVar() {
-		oid, ok := s.dict.Lookup(tp.O.Term)
-		if !ok {
-			return s.emptyRelation(outVars), nil
-		}
-		checks = append(checks, func(r engine.Row) bool { return r[1] == oid })
-	}
-	if tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var {
-		checks = append(checks, func(r engine.Row) bool { return r[0] == r[1] })
-	}
-	for _, f := range pushed {
-		col := -1
-		if tp.S.IsVar() && f.v == tp.S.Var {
-			col = 0
-		} else if tp.O.IsVar() && f.v == tp.O.Var {
-			col = 1
-		}
-		if col < 0 {
-			return nil, fmt.Errorf("core: pushed filter variable ?%s not in pattern %s", f.v, tp)
-		}
-		c, pred := col, f.pred
-		checks = append(checks, func(r engine.Row) bool { return pred(r[c]) })
-	}
-	var pred func(engine.Row) bool
-	if len(checks) > 0 {
-		cs := checks
-		pred = func(r engine.Row) bool {
-			for _, c := range cs {
-				if !c(r) {
-					return false
-				}
-			}
-			return true
-		}
+	if !ok {
+		return s.emptyRelation(outVars), nil
 	}
 	rel, err := e.ScanFiltered(table.Rel, "VP "+localName(tp.P.Term.Value), table.FileBytes, pred)
 	if err != nil {
@@ -668,6 +673,59 @@ func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern, pushed []com
 	}
 }
 
+// vpScanPred assembles the scan-time predicate over a VP table's raw
+// (s,o) rows for one pattern: bound-position constraints,
+// repeated-variable equality and pushed-down FILTER predicates, fused
+// into one check. ok=false reports a bound term absent from the
+// dictionary — the scan is empty. A nil predicate with ok=true keeps
+// every row. Shared by the materialized operator and the streaming
+// pipeline source, so both modes test rows identically.
+func (s *Store) vpScanPred(tp sparql.TriplePattern, pushed []compiledFilter) (pred func(engine.Row) bool, ok bool, err error) {
+	var checks []func(engine.Row) bool
+	if !tp.S.IsVar() {
+		sid, found := s.dict.Lookup(tp.S.Term)
+		if !found {
+			return nil, false, nil
+		}
+		checks = append(checks, func(r engine.Row) bool { return r[0] == sid })
+	}
+	if !tp.O.IsVar() {
+		oid, found := s.dict.Lookup(tp.O.Term)
+		if !found {
+			return nil, false, nil
+		}
+		checks = append(checks, func(r engine.Row) bool { return r[1] == oid })
+	}
+	if tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var {
+		checks = append(checks, func(r engine.Row) bool { return r[0] == r[1] })
+	}
+	for _, f := range pushed {
+		col := -1
+		if tp.S.IsVar() && f.v == tp.S.Var {
+			col = 0
+		} else if tp.O.IsVar() && f.v == tp.O.Var {
+			col = 1
+		}
+		if col < 0 {
+			return nil, false, fmt.Errorf("core: pushed filter variable ?%s not in pattern %s", f.v, tp)
+		}
+		c, p := col, f.pred
+		checks = append(checks, func(r engine.Row) bool { return p(r[c]) })
+	}
+	if len(checks) == 0 {
+		return nil, true, nil
+	}
+	cs := checks
+	return func(r engine.Row) bool {
+		for _, c := range cs {
+			if !c(r) {
+				return false
+			}
+		}
+		return true
+	}, true, nil
+}
+
 // existenceRelation reduces a relation to zero columns: one empty row if
 // any row matched, none otherwise.
 func (s *Store) existenceRelation(rel *engine.Relation) *engine.Relation {
@@ -682,6 +740,24 @@ func (s *Store) existenceRelation(rel *engine.Relation) *engine.Relation {
 // triple data — the fallback path outside the WatDiv workload.
 func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern, pushed []compiledFilter) (*engine.Relation, error) {
 	outVars := tp.Vars()
+	rows, err := s.triplesMatches(tp, pushed)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := engine.Partition(engine.Schema(outVars), rows, outVars[0], s.parts)
+	if err != nil {
+		return nil, err
+	}
+	// Charge a full-dataset scan (sum of all VP files).
+	return e.Scan(rel, "triples ?"+tp.P.Var, s.triplesScanBytes())
+}
+
+// triplesMatches collects the raw-triple rows matching a
+// variable-predicate pattern, applying pushed filters — the shared row
+// source of the materialized operator and the streaming pipeline.
+// Returned rows are freshly allocated (stable).
+func (s *Store) triplesMatches(tp sparql.TriplePattern, pushed []compiledFilter) ([]engine.Row, error) {
+	outVars := tp.Vars()
 	rowPred, err := rowPredicate(outVars, pushed)
 	if err != nil {
 		return nil, err
@@ -691,14 +767,14 @@ func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern, pushed 
 	if !tp.S.IsVar() {
 		id, ok := s.dict.Lookup(tp.S.Term)
 		if !ok {
-			return s.emptyRelation(outVars), nil
+			return nil, nil
 		}
 		sid = id
 	}
 	if !tp.O.IsVar() {
 		id, ok := s.dict.Lookup(tp.O.Term)
 		if !ok {
-			return s.emptyRelation(outVars), nil
+			return nil, nil
 		}
 		oid = id
 	}
@@ -734,14 +810,15 @@ func (s *Store) execTriplesNode(e *engine.Exec, tp sparql.TriplePattern, pushed 
 			rows = append(rows, row)
 		}
 	}
-	// Charge a full-dataset scan (sum of all VP files).
-	var totalBytes int64
+	return rows, nil
+}
+
+// triplesScanBytes is the disk charge of a raw-triples fallback scan:
+// the whole dataset (sum of all VP files).
+func (s *Store) triplesScanBytes() int64 {
+	var total int64
 	for _, t := range s.vp {
-		totalBytes += t.FileBytes
+		total += t.FileBytes
 	}
-	rel, err := engine.Partition(engine.Schema(outVars), rows, outVars[0], s.parts)
-	if err != nil {
-		return nil, err
-	}
-	return e.Scan(rel, "triples ?"+tp.P.Var, totalBytes)
+	return total
 }

@@ -34,16 +34,54 @@ type patSpec struct {
 // predicates are tested on each candidate row inside the same scan
 // stage, before it is materialized.
 func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node, pushed []compiledFilter) (*engine.Relation, error) {
+	spec := s.ptNodeScan(pt, n)
+	if spec.empty {
+		return s.emptyRelation(append([]string{n.Key}, nodeValueVars(n, pt.mode)...)), nil
+	}
+	rowPred, err := rowPredicate(spec.schema, pushed)
+	if err != nil {
+		return nil, err
+	}
+	perPartDisk := pt.scanBytes(spec.preds) / int64(len(pt.parts))
+	outParts := make([][]engine.Row, len(pt.parts))
+	err = s.cluster.RunStage(e.Clock, e.Launch(false), "scan "+n.Label(), len(pt.parts), func(p int) (cluster.TaskStats, error) {
+		arena := engine.NewRowArena(len(spec.schema), 0)
+		processed := scanPTPartition(pt.parts[p], spec.specs, len(spec.schema), rowPred, arena.AppendCopy)
+		outParts[p] = arena.Rows()
+		return cluster.TaskStats{
+			DiskBytes: perPartDisk,
+			Rows:      processed + int64(arena.Len()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewRelation(spec.schema, outParts, n.Key), nil
+}
+
+// ptNodeScan is a PT/IPT node's scan recipe, shared by the
+// materialized operator and the streaming pipeline source: the output
+// schema, the per-pattern specs, and the predicate columns the pruned
+// scan reads. empty marks a node some required predicate or bound term
+// makes unanswerable.
+type ptNodeScan struct {
+	schema engine.Schema
+	specs  []patSpec
+	preds  []rdf.ID
+	empty  bool
+}
+
+// ptNodeScan resolves a PT/IPT node's patterns against the dictionary
+// and the table's columns into a scan recipe.
+func (s *Store) ptNodeScan(pt *PropertyTable, n *Node) ptNodeScan {
 	keyVar := n.Key
 	schema := engine.Schema{keyVar}
 	specs := make([]patSpec, 0, len(n.Patterns))
 	preds := make([]rdf.ID, 0, len(n.Patterns))
-
-	outVars := append([]string{keyVar}, nodeValueVars(n, pt.mode)...)
 	for _, tp := range n.Patterns {
 		pid, ok := s.dict.Lookup(tp.P.Term)
 		if !ok || !pt.HasColumn(pid) {
-			return s.emptyRelation(outVars), nil
+			return ptNodeScan{empty: true}
 		}
 		value := valueTerm(tp, pt.mode)
 		spec := patSpec{pid: pid, newCol: -1, eqCol: -1}
@@ -51,7 +89,7 @@ func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node, pushed []
 		case !value.IsVar():
 			vid, ok := s.dict.Lookup(value.Term)
 			if !ok {
-				return s.emptyRelation(outVars), nil
+				return ptNodeScan{empty: true}
 			}
 			spec.boundVal = vid
 		case value.Var == keyVar:
@@ -67,25 +105,7 @@ func (s *Store) execPTNode(e *engine.Exec, pt *PropertyTable, n *Node, pushed []
 		specs = append(specs, spec)
 		preds = append(preds, pid)
 	}
-
-	rowPred, err := rowPredicate(schema, pushed)
-	if err != nil {
-		return nil, err
-	}
-	perPartDisk := pt.scanBytes(preds) / int64(len(pt.parts))
-	outParts := make([][]engine.Row, len(pt.parts))
-	err = s.cluster.RunStage(e.Clock, e.Launch(false), "scan "+n.Label(), len(pt.parts), func(p int) (cluster.TaskStats, error) {
-		rows, processed := scanPTPartition(pt.parts[p], specs, len(schema), rowPred)
-		outParts[p] = rows
-		return cluster.TaskStats{
-			DiskBytes: perPartDisk,
-			Rows:      processed + int64(len(rows)),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return engine.NewRelation(schema, outParts, keyVar), nil
+	return ptNodeScan{schema: schema, specs: specs, preds: preds}
 }
 
 // nodeValueVars lists the node's value-position variables (used only to
@@ -112,19 +132,20 @@ func valueTerm(tp sparql.TriplePattern, mode ptKeyMode) sparql.PatternTerm {
 	return tp.O
 }
 
-// scanPTPartition scans one PT partition for the node's specs. It
-// returns the emitted rows and the number of keys examined. Rows are
-// emitted into a flat engine.RowArena — the same representation the
-// join core produces — sized by the driving column's key count. A
-// non-nil rowPred (pushed-down FILTER predicates) gates each candidate
-// row before emission.
-func scanPTPartition(part *ptPartition, specs []patSpec, width int, rowPred func(engine.Row) bool) ([]engine.Row, int64) {
+// scanPTPartition scans one PT partition for the node's specs,
+// yielding each emitted row and returning the number of keys examined.
+// The yielded row is a reused scratch buffer — the callback MUST copy
+// anything it retains (the materialized operator copies into a flat
+// engine.RowArena; the streaming source copies into its current
+// chunk's arena). A non-nil rowPred (pushed-down FILTER predicates)
+// gates each candidate row before it is yielded.
+func scanPTPartition(part *ptPartition, specs []patSpec, width int, rowPred func(engine.Row) bool, yield func(engine.Row)) int64 {
 	cols := make([]*ptColumn, len(specs))
 	driver := -1
 	for i, sp := range specs {
 		col := part.cols[sp.pid]
 		if col == nil {
-			return nil, 0 // a required predicate has no cells here
+			return 0 // a required predicate has no cells here
 		}
 		cols[i] = col
 		if driver < 0 || col.keys() < cols[driver].keys() {
@@ -132,7 +153,6 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int, rowPred func
 		}
 	}
 
-	arena := engine.NewRowArena(width, cols[driver].keys())
 	var processed int64
 	scratch := make([]rdf.ID, 1)
 	lists := make([][]rdf.ID, len(specs))
@@ -170,7 +190,7 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int, rowPred func
 		rec = func(i int) {
 			if i == len(specs) {
 				if rowPred == nil || rowPred(row) {
-					arena.AppendCopy(row)
+					yield(row)
 				}
 				return
 			}
@@ -204,7 +224,7 @@ func scanPTPartition(part *ptPartition, specs []patSpec, width int, rowPred func
 		processed++
 		emit(key)
 	}
-	return arena.Rows(), processed
+	return processed
 }
 
 // containsID reports whether vs contains v.

@@ -196,14 +196,14 @@ var (
 // Only fault-injected executions touch it; the fault-free path never
 // reads or writes these fields.
 type resilienceRecorder struct {
-	attempts    atomic.Int64
-	retries     atomic.Int64
-	stragglers  atomic.Int64
-	specLaunch  atomic.Int64
-	specWins    atomic.Int64
-	checksums   atomic.Int64
-	recomputes  atomic.Int64
-	taskFailed  atomic.Int64
+	attempts   atomic.Int64
+	retries    atomic.Int64
+	stragglers atomic.Int64
+	specLaunch atomic.Int64
+	specWins   atomic.Int64
+	checksums  atomic.Int64
+	recomputes atomic.Int64
+	taskFailed atomic.Int64
 	recoveryNS atomic.Int64 // priced recovery, nanoseconds
 }
 

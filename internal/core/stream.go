@@ -1,0 +1,1399 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/columnar"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Morsel-driven streaming execution. The materialized scheduler runs a
+// plan operator at a time, each one materializing its full output
+// relation before the next starts; this file rebuilds the same plan as
+// pull-based pipelines over fixed-size column chunks. A pipeline fuses
+// one source scan with every filter, hash-join probe, projection and
+// distinct step up to the next pipeline breaker (a hash-join build
+// side, or the driver), so an intermediate row lives exactly as long
+// as the chunk carrying it. Rows cross pipeline boundaries encoded as
+// columnar.RowChunk batches — the same chunk format the on-disk tables
+// use — which is what drops the memory high-water mark from
+// O(intermediate relations) to O(build sides + chunks in flight).
+//
+// Execution and pricing are decoupled: the real row work runs first
+// (producing exactly the materialized path's row multisets, since the
+// probe/emission code paths are shared with the engine's join), then a
+// virtual morsel scheduler (cluster.SimulateMorsels) prices the
+// per-pipeline work split into morsels and list-scheduled onto the
+// simulated workers. SimTime therefore reflects worker contention
+// across concurrent pipelines, first-row latency falls out of the
+// per-morsel result deliveries, and fault injection retries single
+// morsels instead of whole operators — all of it deterministic,
+// because every priced quantity is a multiset invariant of the query
+// (row counts per operator) rather than an artifact of goroutine
+// interleaving.
+
+// DefaultChunkSize is the number of rows per streaming chunk (and per
+// morsel batch) when QueryOptions.ChunkSize is zero. Small enough that
+// the in-flight budget (workers x chunk x width) stays a rounding
+// error next to a C-family build side; large enough that per-chunk
+// encode overhead amortizes.
+const DefaultChunkSize = 2048
+
+// memBytesPerValue is the in-memory footprint of one bound value
+// (rdf.ID is a uint32). Distinct from engine.BytesPerValue, the
+// serialized wire/disk footprint the cost model prices.
+const memBytesPerValue = 4
+
+// chunkSize resolves the options' streaming chunk size.
+func (o QueryOptions) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return DefaultChunkSize
+}
+
+// stepKind enumerates the fused per-chunk operators.
+type stepKind uint8
+
+const (
+	stepFilter stepKind = iota
+	stepProbe
+	stepProject
+	stepDistinct
+)
+
+// filterCheck is one residual FILTER predicate bound to its column,
+// with the rows that entered it counted for stage-pricing parity (the
+// materialized path charges each filter as its own stage over the
+// previous filter's output).
+type filterCheck struct {
+	col  int
+	pred func(rdf.ID) bool
+	in   atomic.Int64
+}
+
+// streamStep is one fused operator of a pipeline. Steps are shared by
+// every partition worker of the pipeline; all mutable state is either
+// atomic (counters) or lock-guarded (the distinct set).
+type streamStep struct {
+	kind stepKind
+	node *plan.Node
+	// width is the step's output row width.
+	width int
+	// checks are the filter step's predicates, applied in plan order.
+	checks []*filterCheck
+	// jr is the probe step's join.
+	jr *streamJoinRef
+	// proj maps output columns into the input row.
+	proj []int
+	// dedup is the distinct step's row set; mu serializes inserts
+	// across partition workers.
+	mu    sync.Mutex
+	dedup *engine.RowDeduper
+	// out counts the step's emitted rows — the plan node's observed
+	// cardinality.
+	out atomic.Int64
+}
+
+// apply runs one chunk batch through the step. Input rows must be
+// stable; output rows are stable (filter/distinct pass rows through,
+// probe and project emit arena-backed rows).
+func (st *streamStep) apply(rows []engine.Row) []engine.Row {
+	switch st.kind {
+	case stepFilter:
+		for _, c := range st.checks {
+			if len(rows) == 0 {
+				break
+			}
+			c.in.Add(int64(len(rows)))
+			kept := make([]engine.Row, 0, len(rows))
+			for _, r := range rows {
+				if c.pred(r[c.col]) {
+					kept = append(kept, r)
+				}
+			}
+			rows = kept
+		}
+	case stepProbe:
+		arena := engine.NewRowArena(st.width, len(rows))
+		for _, r := range rows {
+			st.jr.hash.Probe(r, arena)
+		}
+		rows = arena.Rows()
+	case stepProject:
+		arena := engine.NewRowArena(st.width, len(rows))
+		for _, r := range rows {
+			arena.AppendProjected(r, st.proj)
+		}
+		rows = arena.Rows()
+	case stepDistinct:
+		kept := make([]engine.Row, 0, len(rows))
+		st.mu.Lock()
+		for _, r := range rows {
+			if st.dedup.Insert(r) {
+				kept = append(kept, r)
+			}
+		}
+		st.mu.Unlock()
+		rows = kept
+	}
+	st.out.Add(int64(len(rows)))
+	return rows
+}
+
+// streamJoinRef is one hash join shared between its build pipeline
+// (which fills hash) and the probe step of the pipeline that continues
+// through the join.
+type streamJoinRef struct {
+	node        *plan.Node
+	left, right *plan.Node
+	join        *engine.StreamJoin
+	// buildIsLeft records which plan child buffers; chosen from the
+	// planner's estimates, before any row is produced.
+	buildIsLeft bool
+	buildPipe   int
+	buildWidth  int
+	// hash and buildRows are set when the build pipeline completes.
+	hash      *engine.StreamHash
+	buildRows int64
+}
+
+// srcKind enumerates pipeline sources.
+type srcKind uint8
+
+const (
+	// srcEmpty is a scan a dictionary miss made unanswerable.
+	srcEmpty srcKind = iota
+	srcVP
+	// srcVPExist is a fully-bound pattern: an existence test emitting
+	// one width-0 row when any row matches.
+	srcVPExist
+	srcPT
+	srcTriples
+)
+
+// streamSource is a pipeline's scan: where its rows come from and how
+// they are shaped to the pattern's variables.
+type streamSource struct {
+	kind   srcKind
+	node   *plan.Node
+	label  string
+	schema engine.Schema
+	parts  int
+
+	// VP: the table, the fused scan predicate, and the output shape —
+	// rows emit as r[lo:hi] of the stored (s,o) row, aliasing the
+	// table's stable storage. shapeCharge marks the shapes the
+	// materialized path pays an extra Project pass for.
+	table       *VPTable
+	pred        func(engine.Row) bool
+	lo, hi      int
+	shapeCharge bool
+
+	// PT/IPT.
+	pt      *PropertyTable
+	spec    ptNodeScan
+	rowPred func(engine.Row) bool
+
+	// Triples fallback.
+	tp     sparql.TriplePattern
+	pushed []compiledFilter
+
+	// out counts emitted source rows (the scan node's observed
+	// cardinality); scanned counts input units examined (PT keys),
+	// where that differs from a precomputed table size.
+	out     atomic.Int64
+	scanned atomic.Int64
+}
+
+// streamPipe is one pipeline: a source, the fused steps, and a sink —
+// either a hash-join build (sink != nil) or the driver (root).
+type streamPipe struct {
+	id    int
+	name  string
+	deps  []int
+	src   *streamSource
+	steps []*streamStep
+	sink  *streamJoinRef
+	// width is the sink row width.
+	width int
+
+	// outChunks collects the sink's encoded chunks per source
+	// partition (each partition is processed by one worker, so the
+	// slots need no locking).
+	outChunks [][]columnar.RowChunk
+	outRows   atomic.Int64
+}
+
+// streamPlan is a compiled streaming query: pipelines in dependency
+// order (every build pipeline precedes the pipeline probing it).
+type streamPlan struct {
+	pipes []*streamPipe
+	joins []*streamJoinRef
+	// pipeOf maps plan node ID -> the pipeline carrying its work;
+	// stepOf maps node ID -> its fused step (scans map to sources).
+	pipeOf map[int]int
+	stepOf map[int]*streamStep
+	root   *streamPipe
+	// maxWidth is the widest row any pipeline stage carries — the
+	// in-flight memory term.
+	maxWidth int
+}
+
+// streamCompiler lowers a physical plan into pipelines. unsupported
+// marks plans the streaming engine hands back to the materialized path
+// (Bound leaves from adaptive rounds, defensive schema mismatches);
+// err marks real failures.
+type streamCompiler struct {
+	store       *Store
+	nodes       []*Node
+	filters     []compiledFilter
+	sp          *streamPlan
+	unsupported bool
+	err         error
+}
+
+// compileStreamPlan lowers pl into a streaming plan. ok=false reports
+// a plan shape the streaming engine does not execute — the caller
+// falls back to the materialized scheduler.
+func (s *Store) compileStreamPlan(pl *plan.Plan, nodes []*Node, filters []compiledFilter) (*streamPlan, bool, error) {
+	c := &streamCompiler{
+		store:   s,
+		nodes:   nodes,
+		filters: filters,
+		sp:      &streamPlan{pipeOf: map[int]int{}, stepOf: map[int]*streamStep{}},
+	}
+	rootPipe := c.compile(pl.Root)
+	if c.err != nil {
+		return nil, false, c.err
+	}
+	if c.unsupported {
+		return nil, false, nil
+	}
+	c.sp.root = c.sp.pipes[rootPipe]
+	return c.sp, true, nil
+}
+
+// notchWidth tracks the widest row in flight.
+func (c *streamCompiler) notchWidth(w int) {
+	if w > c.sp.maxWidth {
+		c.sp.maxWidth = w
+	}
+}
+
+// pipe returns the pipeline by index.
+func (c *streamCompiler) pipe(i int) *streamPipe { return c.sp.pipes[i] }
+
+// compile lowers one plan node, returning the index of the pipeline
+// that carries its output. Joins compile the build child first, so a
+// pipeline's dependencies always have smaller indexes — the
+// topological order both the real executor and the morsel simulator
+// rely on.
+func (c *streamCompiler) compile(n *plan.Node) int {
+	if c.err != nil || c.unsupported {
+		return 0
+	}
+	switch n.Op {
+	case plan.OpScan:
+		src := c.buildSource(n)
+		if src == nil {
+			return 0
+		}
+		p := &streamPipe{id: len(c.sp.pipes), name: src.label, src: src, width: len(src.schema)}
+		c.sp.pipes = append(c.sp.pipes, p)
+		c.sp.pipeOf[n.ID] = p.id
+		c.notchWidth(p.width)
+		return p.id
+
+	case plan.OpFilter:
+		pi := c.compile(n.Children[0])
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		in := engine.Schema(n.Children[0].Vars)
+		var checks []*filterCheck
+		for _, f := range pickFilters(c.filters, n.Filters) {
+			col := in.Index(f.v)
+			if col < 0 {
+				c.err = fmt.Errorf("core: residual filter variable ?%s not in schema %v", f.v, in)
+				return 0
+			}
+			checks = append(checks, &filterCheck{col: col, pred: f.pred})
+		}
+		st := &streamStep{kind: stepFilter, node: n, width: len(n.Vars), checks: checks}
+		c.pipe(pi).steps = append(c.pipe(pi).steps, st)
+		c.sp.pipeOf[n.ID], c.sp.stepOf[n.ID] = pi, st
+		return pi
+
+	case plan.OpProject:
+		pi := c.compile(n.Children[0])
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		in := engine.Schema(n.Children[0].Vars)
+		proj := make([]int, len(n.Cols))
+		for i, col := range n.Cols {
+			proj[i] = in.Index(col)
+			if proj[i] < 0 {
+				c.err = fmt.Errorf("core: projected column ?%s not in schema %v", col, in)
+				return 0
+			}
+		}
+		st := &streamStep{kind: stepProject, node: n, width: len(n.Cols), proj: proj}
+		p := c.pipe(pi)
+		p.steps = append(p.steps, st)
+		p.width = len(n.Cols)
+		c.sp.pipeOf[n.ID], c.sp.stepOf[n.ID] = pi, st
+		c.notchWidth(p.width)
+		return pi
+
+	case plan.OpDistinct:
+		pi := c.compile(n.Children[0])
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		st := &streamStep{
+			kind:  stepDistinct,
+			node:  n,
+			width: len(n.Vars),
+			dedup: engine.NewRowDeduper(len(n.Vars), 0),
+		}
+		c.pipe(pi).steps = append(c.pipe(pi).steps, st)
+		c.sp.pipeOf[n.ID], c.sp.stepOf[n.ID] = pi, st
+		return pi
+
+	case plan.OpJoin:
+		l, r := n.Children[0], n.Children[1]
+		// The build side buffers; pick the smaller estimated side, as
+		// the planner's pricing did. The probe chain fuses onward, so
+		// the (estimated) bigger side never materializes.
+		buildIsLeft := estBytes(l) < estBytes(r)
+		buildNode, probeNode := r, l
+		if buildIsLeft {
+			buildNode, probeNode = l, r
+		}
+		bi := c.compile(buildNode)
+		pi := c.compile(probeNode)
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		jr := &streamJoinRef{
+			node: n, left: l, right: r,
+			buildIsLeft: buildIsLeft,
+			buildPipe:   bi,
+			buildWidth:  len(buildNode.Vars),
+			join:        engine.NewStreamJoin(engine.Schema(l.Vars), engine.Schema(r.Vars), n.Keep),
+		}
+		if !schemaEq(jr.join.OutSchema(), n.Vars) {
+			// The engine would emit a different column order than the
+			// plan recorded — hand the query back rather than risk a
+			// mismatched result.
+			c.unsupported = true
+			return 0
+		}
+		c.pipe(bi).sink = jr
+		st := &streamStep{kind: stepProbe, node: n, width: len(n.Vars), jr: jr}
+		p := c.pipe(pi)
+		p.steps = append(p.steps, st)
+		p.width = len(n.Vars)
+		p.deps = append(p.deps, bi)
+		c.sp.joins = append(c.sp.joins, jr)
+		c.sp.pipeOf[n.ID], c.sp.stepOf[n.ID] = pi, st
+		c.notchWidth(p.width)
+		return pi
+
+	default:
+		// OpBound (an adaptive round's materialized intermediate) and
+		// anything newer than this compiler.
+		c.unsupported = true
+		return 0
+	}
+}
+
+// estBytes is a node's estimated payload, the build-side selection
+// metric (same formula as Relation.EstimatedBytes over the estimate).
+func estBytes(n *plan.Node) float64 {
+	return n.Est * float64(len(n.Vars)) * float64(engine.BytesPerValue)
+}
+
+// schemaEq reports whether an engine schema equals a plan var list.
+func schemaEq(s engine.Schema, vars []string) bool {
+	if len(s) != len(vars) {
+		return false
+	}
+	for i, c := range s {
+		if c != vars[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildSource lowers one Scan node into a pipeline source, resolving
+// dictionary lookups exactly like the materialized scan operators (a
+// miss produces an empty source, not an error).
+func (c *streamCompiler) buildSource(n *plan.Node) *streamSource {
+	cn := c.nodes[n.Leaf]
+	pushed := pickFilters(c.filters, n.Filters)
+	schema := engine.Schema(n.Vars)
+	empty := func() *streamSource {
+		return &streamSource{kind: srcEmpty, node: n, label: cn.Label(), schema: schema}
+	}
+	switch cn.Kind {
+	case NodeVP:
+		tp := cn.Patterns[0]
+		pid, ok := c.store.dict.Lookup(tp.P.Term)
+		if !ok {
+			return empty()
+		}
+		table := c.store.vp[pid]
+		if table == nil {
+			return empty()
+		}
+		pred, ok, err := c.store.vpScanPred(tp, pushed)
+		if err != nil {
+			c.err = err
+			return nil
+		}
+		if !ok {
+			return empty()
+		}
+		src := &streamSource{
+			node: n, label: cn.Label(), schema: schema,
+			table: table, pred: pred, parts: table.Rel.Partitions(),
+		}
+		switch {
+		case tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var:
+			src.kind, src.lo, src.hi, src.shapeCharge = srcVP, 0, 1, true
+		case tp.S.IsVar() && tp.O.IsVar():
+			src.kind, src.lo, src.hi = srcVP, 0, 2
+		case tp.S.IsVar():
+			src.kind, src.lo, src.hi, src.shapeCharge = srcVP, 0, 1, true
+		case tp.O.IsVar():
+			src.kind, src.lo, src.hi, src.shapeCharge = srcVP, 1, 2, true
+		default:
+			src.kind, src.parts = srcVPExist, 1
+		}
+		if src.kind == srcVP && len(schema) != src.hi-src.lo {
+			c.unsupported = true
+			return nil
+		}
+		return src
+
+	case NodePT, NodeIPT:
+		pt := c.store.pt
+		if cn.Kind == NodeIPT {
+			pt = c.store.ipt
+			if pt == nil {
+				c.err = fmt.Errorf("core: inverse property table not loaded")
+				return nil
+			}
+		}
+		spec := c.store.ptNodeScan(pt, cn)
+		if spec.empty {
+			return empty()
+		}
+		if !schemaEq(spec.schema, n.Vars) {
+			c.unsupported = true
+			return nil
+		}
+		rowPred, err := rowPredicate(spec.schema, pushed)
+		if err != nil {
+			c.err = err
+			return nil
+		}
+		return &streamSource{
+			kind: srcPT, node: n, label: cn.Label(), schema: schema,
+			pt: pt, spec: spec, rowPred: rowPred, parts: len(pt.parts),
+		}
+
+	case NodeTriples:
+		tp := cn.Patterns[0]
+		return &streamSource{
+			kind: srcTriples, node: n, label: cn.Label(), schema: schema,
+			tp: tp, pushed: pushed, parts: 1,
+		}
+
+	default:
+		c.err = fmt.Errorf("core: unknown node kind %v", cn.Kind)
+		return nil
+	}
+}
+
+// run executes every pipeline for real, in dependency order: source
+// partitions stream through the fused steps in chunkSize batches, sink
+// chunks are encoded columnar, and each completed build pipeline's
+// rows are decoded once into its join's hash table.
+func (sp *streamPlan) run(ctx context.Context, s *Store, chunkSize, par int) error {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	for done, p := range sp.pipes {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return &CancelError{Err: cerr, CompletedTasks: done, TotalTasks: len(sp.pipes)}
+			}
+		}
+		if err := p.run(ctx, s, chunkSize, par); err != nil {
+			return err
+		}
+		if p.sink != nil {
+			rows, err := decodeChunks(p.outChunks, p.width)
+			if err != nil {
+				return err
+			}
+			p.sink.buildRows = int64(len(rows))
+			p.sink.hash = p.sink.join.Build(rows, p.sink.buildIsLeft)
+			// The chunks fed the hash table; drop them (the hash table
+			// itself is the build side's memory, and the peak sweep
+			// prices it as such).
+			p.outChunks = nil
+		}
+	}
+	return nil
+}
+
+// run executes one pipeline's source partitions through its steps.
+func (p *streamPipe) run(ctx context.Context, s *Store, chunkSize, par int) error {
+	switch p.src.kind {
+	case srcEmpty:
+		return nil
+
+	case srcVPExist:
+		return p.runExistence(chunkSize)
+
+	case srcVP:
+		p.outChunks = make([][]columnar.RowChunk, p.src.parts)
+		return p.forEachPart(ctx, par, func(pi int) error { return p.scanVPPart(pi, chunkSize) })
+
+	case srcPT:
+		p.outChunks = make([][]columnar.RowChunk, p.src.parts)
+		return p.forEachPart(ctx, par, func(pi int) error { return p.scanPTPart(pi, chunkSize) })
+
+	case srcTriples:
+		p.outChunks = make([][]columnar.RowChunk, 1)
+		rows, err := s.triplesMatches(p.src.tp, p.src.pushed)
+		if err != nil {
+			return err
+		}
+		p.src.out.Add(int64(len(rows)))
+		for start := 0; start < len(rows); start += chunkSize {
+			end := start + chunkSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if err := p.processBatch(0, rows[start:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("core: unknown stream source kind %d", p.src.kind)
+	}
+}
+
+// forEachPart runs fn over the source partitions on a bounded worker
+// pool, one worker per partition (so per-partition state needs no
+// locks). The first error wins; a context cancellation stops new
+// partitions from starting.
+func (p *streamPipe) forEachPart(ctx context.Context, par int, fn func(pi int) error) error {
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	stopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for pi := 0; pi < p.src.parts; pi++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				fail(&CancelError{Err: cerr, CompletedTasks: pi, TotalTasks: p.src.parts})
+				break
+			}
+		}
+		if stopped() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(pi int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if stopped() {
+				return
+			}
+			if err := fn(pi); err != nil {
+				fail(err)
+			}
+		}(pi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// scanVPPart streams one VP partition through the pipeline: the fused
+// scan predicate runs on the raw (s,o) rows, survivors are shaped by
+// slicing (aliasing the table's stable storage — no copy), and batches
+// of chunkSize flow through the steps.
+func (p *streamPipe) scanVPPart(pi, chunkSize int) error {
+	src := p.src
+	batch := make([]engine.Row, 0, chunkSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		src.out.Add(int64(len(batch)))
+		err := p.processBatch(pi, batch)
+		batch = batch[:0]
+		return err
+	}
+	for _, r := range src.table.Rel.Part(pi) {
+		if src.pred != nil && !src.pred(r) {
+			continue
+		}
+		batch = append(batch, r[src.lo:src.hi])
+		if len(batch) == chunkSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// scanPTPart streams one PT partition: the cartesian flatten yields
+// reused scratch rows, which are copied into a fresh per-batch arena
+// (retained rows must be stable) and flushed through the steps at
+// chunk boundaries.
+func (p *streamPipe) scanPTPart(pi, chunkSize int) error {
+	src := p.src
+	width := len(src.spec.schema)
+	arena := engine.NewRowArena(width, chunkSize)
+	var ferr error
+	flush := func() {
+		rows := arena.Rows()
+		if len(rows) == 0 {
+			return
+		}
+		src.out.Add(int64(len(rows)))
+		if err := p.processBatch(pi, rows); err != nil && ferr == nil {
+			ferr = err
+		}
+		arena = engine.NewRowArena(width, chunkSize)
+	}
+	processed := scanPTPartition(src.pt.parts[pi], src.spec.specs, width, src.rowPred, func(r engine.Row) {
+		if ferr != nil {
+			return
+		}
+		arena.AppendCopy(r)
+		if arena.Len() >= chunkSize {
+			flush()
+		}
+	})
+	src.scanned.Add(processed)
+	flush()
+	return ferr
+}
+
+// runExistence answers a fully-bound pattern: scan until any row
+// matches, then feed a single width-0 row through the chain (cartesian
+// with one empty row is the join identity, exactly like the
+// materialized existenceRelation).
+func (p *streamPipe) runExistence(chunkSize int) error {
+	src := p.src
+	found := false
+	for pi := 0; pi < src.table.Rel.Partitions() && !found; pi++ {
+		for _, r := range src.table.Rel.Part(pi) {
+			if src.pred == nil || src.pred(r) {
+				found = true
+				break
+			}
+		}
+	}
+	p.outChunks = make([][]columnar.RowChunk, 1)
+	if !found {
+		return nil
+	}
+	src.out.Add(1)
+	return p.processBatch(0, []engine.Row{{}})
+}
+
+// processBatch pushes one chunk batch through the pipeline's steps and
+// encodes the survivors at the sink.
+func (p *streamPipe) processBatch(part int, rows []engine.Row) error {
+	for _, st := range p.steps {
+		rows = st.apply(rows)
+		if len(rows) == 0 {
+			return nil
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	rc, err := columnar.EncodeRows(p.width, idRows(rows))
+	if err != nil {
+		return err
+	}
+	p.outChunks[part] = append(p.outChunks[part], rc)
+	p.outRows.Add(int64(len(rows)))
+	return nil
+}
+
+// idRows reinterprets engine rows as raw ID rows for chunk encoding.
+func idRows(rows []engine.Row) [][]rdf.ID {
+	out := make([][]rdf.ID, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// decodeChunks materializes a pipeline's sink chunks back into rows,
+// in partition order. Decoded rows are freshly allocated — the stable
+// rows a hash build or the driver retains.
+func decodeChunks(parts [][]columnar.RowChunk, width int) ([]engine.Row, error) {
+	var out []engine.Row
+	for _, chunks := range parts {
+		for _, rc := range chunks {
+			rows, err := rc.Decode()
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				out = append(out, engine.Row(r))
+			}
+		}
+	}
+	_ = width
+	return out, nil
+}
+
+// recordObs fills the observation with every node's streamed output
+// cardinality — the same numbers the materialized operators would have
+// recorded, since both modes compute identical row multisets.
+func (sp *streamPlan) recordObs(obs *plan.Observation) {
+	for _, p := range sp.pipes {
+		obs.Record(p.src.node, p.src.out.Load())
+	}
+	for _, st := range sp.stepOf {
+		obs.Record(st.node, st.out.Load())
+	}
+}
+
+// vLayout is the virtual partitioning of one operator's output — the
+// layout the materialized relation would have carried — used to price
+// shuffle avoidance identically to the engine's alignedOnCols rule.
+type vLayout struct {
+	partCols []string
+	nparts   int
+}
+
+// alignedOn mirrors engine alignedOnCols on the virtual layout.
+func (v vLayout) alignedOn(cols []string, n int) bool {
+	if len(cols) == 0 || len(v.partCols) != len(cols) || v.nparts != n {
+		return false
+	}
+	for i, c := range cols {
+		if v.partCols[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// survivingVCols mirrors engine survivingCols: cols survive only when
+// the schema retains every one of them.
+func survivingVCols(cols []string, schema []string) []string {
+	s := engine.Schema(schema)
+	for _, c := range cols {
+		if !s.Contains(c) {
+			return nil
+		}
+	}
+	return append([]string(nil), cols...)
+}
+
+// price walks the plan bottom-up and converts each pipeline's work
+// into a morsel pipeline: aggregate TaskStats mirroring exactly what
+// the materialized operators would have charged (scan disk + rows,
+// join shuffle/broadcast bytes on actual cardinalities, per-filter
+// cascades), the launch overheads of the boundaries the pipeline's
+// probes cross, and the result payload the root delivers. Streaming
+// distinct and the dropped collect stage charge no launch — the
+// streaming path's structural savings.
+func (sp *streamPlan) price(s *Store, opts QueryOptions, pl *plan.Plan, chunkSize int) []cluster.MorselPipeline {
+	cost := s.cluster.Config().Cost
+	workers := s.cluster.Workers()
+	defParts := s.cluster.DefaultPartitions()
+	boundary := cost.SQLStageLaunch
+
+	stats := make([]cluster.TaskStats, len(sp.pipes))
+	launch := make([]time.Duration, len(sp.pipes))
+
+	counts := map[int]int64{}
+	for _, p := range sp.pipes {
+		counts[p.src.node.ID] = p.src.out.Load()
+	}
+	for id, st := range sp.stepOf {
+		counts[id] = st.out.Load()
+	}
+
+	bt := opts.BroadcastThreshold
+	if bt == 0 {
+		bt = engine.DefaultBroadcastThreshold
+	}
+
+	var walk func(n *plan.Node) vLayout
+	walk = func(n *plan.Node) vLayout {
+		pi := sp.pipeOf[n.ID]
+		switch n.Op {
+		case plan.OpScan:
+			return priceSource(sp.pipes[pi].src, s, &stats[pi])
+
+		case plan.OpFilter:
+			lay := walk(n.Children[0])
+			if st := sp.stepOf[n.ID]; st != nil {
+				for _, c := range st.checks {
+					stats[pi].Rows += c.in.Load()
+				}
+			}
+			return lay
+
+		case plan.OpProject:
+			lay := walk(n.Children[0])
+			stats[pi].Rows += counts[n.Children[0].ID]
+			return vLayout{partCols: survivingVCols(lay.partCols, n.Cols), nparts: lay.nparts}
+
+		case plan.OpDistinct:
+			// Driver-side streaming dedup: per-row insert cost, no
+			// shuffle and no stage launch (the materialized Distinct
+			// pays both).
+			lay := walk(n.Children[0])
+			stats[pi].Rows += counts[n.Children[0].ID]
+			return lay
+
+		case plan.OpJoin:
+			l, r := n.Children[0], n.Children[1]
+			lLay := walk(l)
+			rLay := walk(r)
+			lAct, rAct, outAct := counts[l.ID], counts[r.ID], counts[n.ID]
+			lb := lAct * int64(len(l.Vars)) * engine.BytesPerValue
+			rb := rAct * int64(len(r.Vars)) * engine.BytesPerValue
+			jr := sp.stepOf[n.ID].jr
+			shared := jr.join.Shared()
+
+			if len(shared) == 0 {
+				// Cartesian: the smaller actual side broadcasts.
+				smallB, largeParts := rb, lLay.nparts
+				if lb < rb {
+					smallB, largeParts = lb, rLay.nparts
+				}
+				stats[pi].Rows += outAct
+				stats[pi].NetBytes += smallB * int64(minInt(workers, largeParts))
+				launch[pi] += boundary / 3
+				return vLayout{nparts: largeParts}
+			}
+
+			// The engine's runtime join rule on actual sizes.
+			useBroadcast, buildLeft := false, false
+			switch {
+			case n.Method == plan.MethodBroadcast:
+				useBroadcast, buildLeft = true, lb < rb
+			case bt > 0 && rb <= bt && rb <= lb:
+				useBroadcast = true
+			case bt > 0 && lb <= bt:
+				useBroadcast, buildLeft = true, true
+			}
+			if useBroadcast {
+				buildB, probeAct, probeLay := rb, lAct, lLay
+				if buildLeft {
+					buildB, probeAct, probeLay = lb, rAct, rLay
+				}
+				stats[pi].Rows += probeAct + outAct
+				stats[pi].NetBytes += buildB * int64(minInt(workers, probeLay.nparts))
+				launch[pi] += boundary / 3
+				return vLayout{
+					partCols: survivingVCols(probeLay.partCols, n.Vars),
+					nparts:   probeLay.nparts,
+				}
+			}
+			// Shuffle: each side not already aligned on the join key
+			// ships every row.
+			if !lLay.alignedOn(shared, defParts) {
+				stats[pi].NetBytes += lAct * int64(len(l.Vars)) * engine.BytesPerValue
+			}
+			if !rLay.alignedOn(shared, defParts) {
+				stats[pi].NetBytes += rAct * int64(len(r.Vars)) * engine.BytesPerValue
+			}
+			stats[pi].Rows += lAct + rAct + outAct
+			launch[pi] += boundary
+			return vLayout{
+				partCols: survivingVCols(shared, n.Vars),
+				nparts:   defParts,
+			}
+
+		default:
+			return vLayout{}
+		}
+	}
+	walk(pl.Root)
+
+	out := make([]cluster.MorselPipeline, len(sp.pipes))
+	for i, p := range sp.pipes {
+		mp := cluster.MorselPipeline{
+			Name:    p.name,
+			Deps:    p.deps,
+			Launch:  launch[i],
+			Morsels: morselCount(sourceInputRows(p.src), chunkSize, workers),
+			Work:    stats[i],
+		}
+		if p.sink == nil {
+			outRows := p.outRows.Load()
+			mp.EmitBytes = outRows * int64(p.width) * engine.BytesPerValue
+			mp.EmitRows = outRows > 0
+		}
+		out[i] = mp
+	}
+	return out
+}
+
+// priceSource charges one scan's work (mirroring the materialized scan
+// stages, including integer-division rounding of per-partition disk
+// bytes) and returns its virtual output layout.
+func priceSource(src *streamSource, s *Store, st *cluster.TaskStats) vLayout {
+	switch src.kind {
+	case srcEmpty:
+		// The materialized path short-circuits to an empty relation
+		// without charging a stage.
+		return vLayout{nparts: s.parts}
+
+	case srcVP:
+		n := int64(src.table.Rel.Partitions())
+		st.DiskBytes += (src.table.FileBytes / n) * n
+		st.Rows += int64(src.table.Rel.NumRows())
+		if src.shapeCharge {
+			st.Rows += src.out.Load()
+		}
+		lay := vLayout{nparts: src.table.Rel.Partitions()}
+		if src.lo == 0 {
+			// Subject survives the shaping, so subject partitioning
+			// does too.
+			lay.partCols = []string{src.schema[0]}
+		}
+		return lay
+
+	case srcVPExist:
+		n := int64(src.table.Rel.Partitions())
+		st.DiskBytes += (src.table.FileBytes / n) * n
+		st.Rows += int64(src.table.Rel.NumRows())
+		return vLayout{nparts: 1}
+
+	case srcPT:
+		n := int64(src.parts)
+		st.DiskBytes += (src.pt.scanBytes(src.spec.preds) / n) * n
+		st.Rows += src.scanned.Load() + src.out.Load()
+		return vLayout{partCols: []string{src.schema[0]}, nparts: src.parts}
+
+	case srcTriples:
+		n := int64(s.parts)
+		st.DiskBytes += (s.triplesScanBytes() / n) * n
+		st.Rows += src.out.Load()
+		return vLayout{partCols: []string{src.schema[0]}, nparts: s.parts}
+
+	default:
+		return vLayout{}
+	}
+}
+
+// sourceInputRows is the scan input driving a pipeline's morsel split:
+// the rows (or keys) the source examines, not the rows it emits.
+func sourceInputRows(src *streamSource) int64 {
+	switch src.kind {
+	case srcVP, srcVPExist:
+		return int64(src.table.Rel.NumRows())
+	case srcPT:
+		return src.scanned.Load()
+	case srcTriples:
+		return src.out.Load()
+	default:
+		return 0
+	}
+}
+
+// morselCount splits a pipeline's scan into morsels: chunk-granular,
+// but never fewer than two waves per worker (so contention and
+// first-row serialization are visible even on small inputs), and never
+// more morsels than rows.
+func morselCount(srcRows int64, chunkSize, workers int) int {
+	m := (srcRows + int64(chunkSize) - 1) / int64(chunkSize)
+	if cap2w := minInt64(srcRows, int64(2*workers)); cap2w > m {
+		m = cap2w
+	}
+	if m < 1 {
+		m = 1
+	}
+	return int(m)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// memEvent is one +/- step of a memory-over-virtual-time sweep.
+type memEvent struct {
+	at    time.Duration
+	delta int64
+}
+
+// sweepPeak returns the maximum running sum of the events. Acquires
+// sort before releases at equal timestamps, so a handoff (producer
+// freed exactly when the consumer materializes) counts both — the
+// conservative reading.
+func sweepPeak(evs []memEvent) int64 {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta > evs[j].delta
+	})
+	var cur, peak int64
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// peakMemBytes sweeps the streaming execution's simulated memory
+// high-water mark: each hash-join build side lives from its build
+// pipeline's gate until its probe pipeline drains, the distinct set
+// lives to the end, and each pipeline carries its in-flight chunk
+// occupancy — up to Workers concurrently active morsels, each holding
+// its share of the pipeline's copied rows (VP source batches alias the
+// stored tables and count nothing, mirroring the materialized sweep's
+// zero-copy scan exclusion) — while it runs. Result chunks stream to
+// the driver morsel by morsel, so the root output never accumulates.
+func (sp *streamPlan) peakMemBytes(pipes []cluster.MorselPipeline, res *cluster.MorselSimResult, start time.Duration, workers, chunkSize int) int64 {
+	gates := make([]time.Duration, len(pipes))
+	for i, p := range pipes {
+		g := start
+		for _, d := range p.Deps {
+			if res.PipelineDone[d] > g {
+				g = res.PipelineDone[d]
+			}
+		}
+		gates[i] = g + p.Launch
+	}
+	var evs []memEvent
+	for _, jr := range sp.joins {
+		b := jr.buildRows * int64(jr.buildWidth) * memBytesPerValue
+		if b <= 0 {
+			continue
+		}
+		probePipe := sp.pipeOf[jr.node.ID]
+		evs = append(evs,
+			memEvent{at: gates[jr.buildPipe], delta: b},
+			memEvent{at: res.PipelineDone[probePipe], delta: -b},
+		)
+	}
+	for id, st := range sp.stepOf {
+		if st.kind != stepDistinct {
+			continue
+		}
+		b := int64(st.dedup.Len()) * int64(st.width) * memBytesPerValue
+		if b <= 0 {
+			continue
+		}
+		pi := sp.pipeOf[id]
+		evs = append(evs,
+			memEvent{at: gates[pi], delta: b},
+			memEvent{at: res.Done, delta: -b},
+		)
+	}
+	perMorsel := func(rows int64, m int) int64 {
+		return (rows + int64(m) - 1) / int64(m)
+	}
+	for i, p := range sp.pipes {
+		m := pipes[i].Morsels
+		if m < 1 {
+			m = 1
+		}
+		// Bytes one active morsel holds: its current batch at every
+		// copying stage (PT/triples source arenas, probe and project
+		// output arenas, the sink's encoded chunk).
+		var per int64
+		switch p.src.kind {
+		case srcPT, srcTriples:
+			per += perMorsel(p.src.out.Load(), m) * int64(len(p.src.schema)) * memBytesPerValue
+		}
+		for _, st := range p.steps {
+			if st.kind == stepProbe || st.kind == stepProject {
+				per += perMorsel(st.out.Load(), m) * int64(st.width) * memBytesPerValue
+			}
+		}
+		if p.sink != nil {
+			per += perMorsel(p.outRows.Load(), m) * int64(p.width) * memBytesPerValue
+		}
+		b := int64(minInt(workers, m)) * per
+		if b <= 0 {
+			continue
+		}
+		end := res.PipelineDone[i]
+		if end <= gates[i] {
+			end = gates[i] + 1
+		}
+		evs = append(evs, memEvent{at: gates[i], delta: b}, memEvent{at: end, delta: -b})
+	}
+	return sweepPeak(evs)
+}
+
+// materializedPeakBytes sweeps the materialized scheduler's simulated
+// memory high-water mark after a successful run. The scheduler retains
+// every executed operator's relation until its round ends — adaptive
+// re-planning may bind any intermediate into the next round, and the
+// lineage-retry fault layer recomputes consumers from their retained
+// inputs — so each relation lives from its task's completion to the
+// end of the query. Scans whose output aliases the stored table (an
+// unshaped, unfiltered VP scan) count nothing, matching the streaming
+// sweep's treatment of aliased source batches.
+//
+// Broadcast joins additionally pin one deserialized copy of the build
+// relation on every receiving executor for the rest of the job — the
+// Spark broadcast-variable semantics the cost model already prices as
+// network transfer (buildBytes × min(workers, probe partitions)). Each
+// task's retained stage trace records exactly those bytes, so the
+// sweep converts them from wire width to resident width and holds them
+// from the join's start to the end of the query. The streaming sweep
+// charges each build hash once instead: morsel workers share one hash
+// table, so the same transfer lands every datum in memory exactly once
+// — that asymmetry, not scheduling, is the broadcast memory story.
+func materializedPeakBytes(sc *scheduler, simTime time.Duration) int64 {
+	var evs []memEvent
+	for _, rr := range sc.rounds {
+		for _, t := range rr.tasks {
+			if !t.executed || t.discarded || t.node.Op == plan.OpBound {
+				continue
+			}
+			for _, st := range t.stages {
+				if !strings.HasPrefix(st.Name, "broadcast join ") && !strings.HasPrefix(st.Name, "cartesian ") {
+					continue
+				}
+				rep := st.Stats.NetBytes / engine.BytesPerValue * memBytesPerValue
+				if rep <= 0 {
+					continue
+				}
+				to := simTime
+				if to <= t.start {
+					to = t.start + 1
+				}
+				evs = append(evs, memEvent{at: t.start, delta: rep}, memEvent{at: to, delta: -rep})
+			}
+			act := rr.obs.Actual(t.node)
+			if act <= 0 || sc.zeroCopyScan(t.node) {
+				continue
+			}
+			b := act * int64(len(t.node.Vars)) * memBytesPerValue
+			if b <= 0 {
+				continue
+			}
+			to := simTime
+			if to <= t.done {
+				to = t.done + 1
+			}
+			evs = append(evs, memEvent{at: t.done, delta: b}, memEvent{at: to, delta: -b})
+		}
+	}
+	return sweepPeak(evs)
+}
+
+// zeroCopyScan reports a scan whose output relation aliases the stored
+// VP table rows (two distinct free variables, no predicate, no pushed
+// filters) — no intermediate copy exists, so the peak sweep skips it.
+func (sc *scheduler) zeroCopyScan(n *plan.Node) bool {
+	if n.Op != plan.OpScan || len(n.Filters) > 0 {
+		return false
+	}
+	cn := sc.nodes[n.Leaf]
+	if cn.Kind != NodeVP {
+		return false
+	}
+	tp := cn.Patterns[0]
+	return tp.S.IsVar() && tp.O.IsVar() && tp.S.Var != tp.O.Var
+}
+
+// morselRecorder converts the morsel simulation's recovery record into
+// the store-level resilience recorder shape.
+func morselRecorder(r cluster.MorselRecovery, failed bool) *resilienceRecorder {
+	rec := &resilienceRecorder{}
+	rec.attempts.Store(r.Attempts)
+	rec.retries.Store(r.Retries)
+	rec.stragglers.Store(r.Stragglers)
+	rec.specLaunch.Store(r.SpecLaunched)
+	rec.specWins.Store(r.SpecWins)
+	rec.checksums.Store(r.ChecksumFailures)
+	rec.recomputes.Store(r.Recomputes)
+	rec.recoveryNS.Store(int64(r.Recovery))
+	if failed {
+		rec.taskFailed.Store(1)
+	}
+	return rec
+}
+
+// queryStreaming executes one query through the streaming engine.
+// handled=false (with a nil error) reports a plan the streaming path
+// does not take — the caller falls back to the materialized scheduler
+// without any work having been done. Once real execution starts,
+// errors are final (no fallback: the failure modes are shared with the
+// materialized path).
+func (s *Store) queryStreaming(ctx context.Context, q *sparql.Query, opts QueryOptions, clock *cluster.Clock, entry *cachedPlan, tree *JoinTree, filters []compiledFilter, faults *cluster.FaultPlan, faultSalt uint64, start time.Time) (*Result, bool, error) {
+	pl := entry.plan
+	sp, ok, err := s.compileStreamPlan(pl, entry.nodes, filters)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+
+	chunk := opts.chunkSize()
+	if err := sp.run(ctx, s, chunk, opts.Parallelism); err != nil {
+		return nil, true, err
+	}
+
+	obs := plan.NewObservation(pl)
+	sp.recordObs(obs)
+
+	cost := s.cluster.Config().Cost
+	workers := s.cluster.Workers()
+	pipes := sp.price(s, opts, pl, chunk)
+	simRes, serr := cluster.SimulateMorsels(pipes, cluster.MorselSimConfig{
+		Workers:      workers,
+		Cost:         cost,
+		Start:        cost.SQLPlanning,
+		Faults:       faults,
+		FaultSalt:    faultSalt,
+		MaxAttempts:  opts.maxTaskAttempts(),
+		RetryBackoff: opts.retryBackoffBase(),
+		MaxBackoff:   MaxRetryBackoff,
+		SpecFactor:   opts.speculativeFactor(),
+	})
+	var resil ResilienceStats
+	if faults != nil && simRes != nil {
+		// Recovery counters aggregate on the store even when the
+		// query aborted — failed recovery is exactly what /stats
+		// should show.
+		rec := morselRecorder(simRes.Recovery, serr != nil)
+		s.resilience.absorb(rec)
+		resil = rec.stats()
+	}
+	if serr != nil {
+		var mfe *cluster.MorselFailedError
+		if errors.As(serr, &mfe) {
+			attempts := make([]TaskAttempt, len(mfe.Attempts))
+			for i, a := range mfe.Attempts {
+				attempts[i] = TaskAttempt{
+					Attempt: a.Attempt, Worker: a.Worker,
+					Start: a.Start, End: a.End,
+					Outcome: a.Outcome, Speculative: a.Speculative,
+				}
+			}
+			completed := 0
+			for _, d := range simRes.PipelineDone {
+				if d > 0 {
+					completed++
+				}
+			}
+			return nil, true, &TaskFailedError{
+				Task:           fmt.Sprintf("%s (morsel %d)", mfe.Pipeline, mfe.Morsel),
+				Attempts:       attempts,
+				CompletedTasks: completed,
+				TotalTasks:     len(pipes),
+			}
+		}
+		return nil, true, serr
+	}
+
+	peak := sp.peakMemBytes(pipes, simRes, cost.SQLPlanning, workers, chunk)
+
+	// Publish the trace: one record per pipeline (display-only; the
+	// clock advances by the simulated completion, not the stage sum).
+	trace := cluster.NewClock()
+	trace.Charge("query planning", cost.SQLPlanning)
+	for _, p := range pipes {
+		mk := cost.TaskTime(p.Work)
+		trace.Absorb([]cluster.StageRecord{{
+			Name:     "pipeline " + p.Name,
+			Launch:   p.Launch,
+			Tasks:    p.Morsels,
+			Elapsed:  p.Launch + mk,
+			Makespan: mk,
+			Stats:    p.Work,
+		}})
+	}
+	if rec := simRes.Recovery.Recovery; rec > 0 {
+		trace.Charge("fault recovery (retries, backoff, speculation, recompute)", rec)
+	}
+	clock.MergeTrace(trace.Stages(), simRes.Done)
+
+	rows, err := decodeChunks(sp.root.outChunks, sp.root.width)
+	if err != nil {
+		return nil, true, err
+	}
+	decoded := make([][]rdf.Term, len(rows))
+	for i, r := range rows {
+		terms := make([]rdf.Term, len(r))
+		for j, id := range r {
+			terms[j] = s.dict.Term(id)
+		}
+		decoded[i] = terms
+	}
+
+	return &Result{
+		Vars:          q.Projection(),
+		Rows:          decoded,
+		SimTime:       simRes.Done,
+		WallTime:      time.Since(start),
+		Tree:          tree,
+		Plan:          pl.Stamp(obs),
+		Clock:         clock,
+		CacheFeedback: entry.corrected,
+		Resilience:    resil,
+		Streamed:      true,
+		FirstRow:      simRes.FirstEmit,
+		PeakMemBytes:  peak,
+	}, true, nil
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sparql"
+	"repro/internal/watdiv"
+)
+
+// streamStoreOnce shares one WatDiv store across the streaming tests
+// (loading dominates their runtime; queries are read-only).
+var (
+	streamStoreOnce sync.Once
+	streamStore     *Store
+)
+
+func watdivStreamStore(t testing.TB) *Store {
+	streamStoreOnce.Do(func() {
+		g := watdiv.MustGenerate(watdiv.Config{Scale: 120, Seed: 11})
+		c := cluster.MustNew(cluster.Config{Workers: 4, DefaultPartitions: 8})
+		s, err := Load(g, Options{Cluster: c, BuildInversePT: true})
+		if err != nil {
+			panic(err)
+		}
+		streamStore = s
+	})
+	if streamStore == nil {
+		t.Fatal("WatDiv store failed to load")
+	}
+	return streamStore
+}
+
+func renderSorted(res *Result) string {
+	var sb strings.Builder
+	for _, row := range res.SortedRows() {
+		for i, term := range row {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			sb.WriteString(term.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+var streamStrategies = []Strategy{StrategyMixed, StrategyVPOnly, StrategyMixedIPT}
+var streamPlanners = []PlannerMode{PlannerNaive, PlannerCost, PlannerCostLeftDeep, PlannerHeuristic}
+
+// TestStreamingByteIdenticalOnWatDiv is the streaming-correctness
+// property test: for every WatDiv query, across all four planner modes
+// and all three storage strategies, the morsel-driven streaming
+// executor must return byte-identical sorted rows to the materialized
+// scheduler.
+func TestStreamingByteIdenticalOnWatDiv(t *testing.T) {
+	s := watdivStreamStore(t)
+	for _, q := range watdiv.BasicQuerySet() {
+		for _, strat := range streamStrategies {
+			for _, mode := range streamPlanners {
+				base := QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: -1}
+				mat, err := s.Query(q.Parsed, base)
+				if err != nil {
+					t.Fatalf("%s/%s/%v materialized: %v", q.Name, strat, mode, err)
+				}
+				opts := base
+				opts.Streaming = true
+				str, err := s.Query(q.Parsed, opts)
+				if err != nil {
+					t.Fatalf("%s/%s/%v streaming: %v", q.Name, strat, mode, err)
+				}
+				if !str.Streamed {
+					t.Fatalf("%s/%s/%v: streaming query fell back to the materialized path", q.Name, strat, mode)
+				}
+				if got, want := renderSorted(str), renderSorted(mat); got != want {
+					t.Errorf("%s/%s/%v: streaming rows differ from materialized\nplan:\n%s", q.Name, strat, mode, str.Plan)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingByteIdenticalUnderFaults re-runs the identity property
+// under a seeded rates-only fault plan: injected morsel retries,
+// stragglers, speculation and corrupted deliveries may reshape the
+// virtual timeline, but never the rows.
+func TestStreamingByteIdenticalUnderFaults(t *testing.T) {
+	s := watdivStreamStore(t)
+	fp := &cluster.FaultPlan{
+		Seed:          42,
+		FailRate:      0.15,
+		StragglerRate: 0.1,
+		CorruptRate:   0.1,
+	}
+	for _, q := range watdiv.BasicQuerySet() {
+		base := QueryOptions{Strategy: StrategyMixed, ReplanThreshold: -1}
+		mat, err := s.Query(q.Parsed, base)
+		if err != nil {
+			t.Fatalf("%s materialized: %v", q.Name, err)
+		}
+		opts := base
+		opts.Streaming = true
+		opts.Faults = fp
+		str, err := s.Query(q.Parsed, opts)
+		if err != nil {
+			t.Fatalf("%s streaming+faults: %v", q.Name, err)
+		}
+		if !str.Streamed {
+			t.Fatalf("%s: fell back to materialized", q.Name)
+		}
+		if str.Resilience.Attempts == 0 {
+			t.Errorf("%s: active fault plan recorded no morsel attempts", q.Name)
+		}
+		if got, want := renderSorted(str), renderSorted(mat); got != want {
+			t.Errorf("%s: rows differ under fault injection", q.Name)
+		}
+		clean := base
+		clean.Streaming = true
+		cleanRes, err := s.Query(q.Parsed, clean)
+		if err != nil {
+			t.Fatalf("%s streaming clean: %v", q.Name, err)
+		}
+		if str.SimTime < cleanRes.SimTime {
+			t.Errorf("%s: faulted SimTime %v below clean %v", q.Name, str.SimTime, cleanRes.SimTime)
+		}
+		if overhead := str.SimTime - cleanRes.SimTime; overhead > str.Resilience.RecoveryTime {
+			t.Errorf("%s: SimTime overhead %v exceeds priced recovery %v", q.Name, overhead, str.Resilience.RecoveryTime)
+		}
+	}
+}
+
+// TestStreamingSimTimeWithinBudget is the perf acceptance gate: on
+// every WatDiv query (Mixed strategy, cost planner), streaming SimTime
+// must not regress more than 5% over the materialized executor.
+func TestStreamingSimTimeWithinBudget(t *testing.T) {
+	s := watdivStreamStore(t)
+	for _, q := range watdiv.BasicQuerySet() {
+		base := QueryOptions{Strategy: StrategyMixed, ReplanThreshold: -1}
+		mat, err := s.Query(q.Parsed, base)
+		if err != nil {
+			t.Fatalf("%s materialized: %v", q.Name, err)
+		}
+		opts := base
+		opts.Streaming = true
+		str, err := s.Query(q.Parsed, opts)
+		if err != nil {
+			t.Fatalf("%s streaming: %v", q.Name, err)
+		}
+		if limit := mat.SimTime + mat.SimTime/20; str.SimTime > limit {
+			t.Errorf("%s: streaming SimTime %v exceeds 105%% of materialized %v",
+				q.Name, str.SimTime, mat.SimTime)
+		}
+	}
+}
+
+// TestStreamingFirstRowBeatsSimTime checks the latency half of the
+// tentpole: on every multi-join query that returns rows, the first
+// result morsel lands at the driver strictly before the query
+// completes.
+func TestStreamingFirstRowBeatsSimTime(t *testing.T) {
+	s := watdivStreamStore(t)
+	checked := 0
+	for _, q := range watdiv.BasicQuerySet() {
+		res, err := s.Query(q.Parsed, QueryOptions{Strategy: StrategyMixed, Streaming: true, ReplanThreshold: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if !res.Streamed || len(res.Rows) == 0 {
+			continue
+		}
+		if res.FirstRow <= 0 {
+			t.Errorf("%s: streamed query with %d rows has no FirstRow", q.Name, len(res.Rows))
+			continue
+		}
+		if res.FirstRow >= res.SimTime {
+			t.Errorf("%s: FirstRow %v not earlier than SimTime %v", q.Name, res.FirstRow, res.SimTime)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no streamed query with rows was checked")
+	}
+}
+
+// TestStreamingPeakMemoryDrop checks the memory half of the tentpole:
+// on the C-family queries (Mixed strategy) the streaming executor's
+// peak intermediate footprint is at least 4x below the materialized
+// scheduler's. The comparison runs at the default cluster shape
+// (9 workers) — the broadcast-replica share of the materialized peak
+// scales with min(workers, partitions), so the narrow 4-worker store
+// the other tests share would understate the production gap.
+func TestStreamingPeakMemoryDrop(t *testing.T) {
+	g := watdiv.MustGenerate(watdiv.Config{Scale: 120, Seed: 11})
+	c := cluster.MustNew(cluster.Config{Workers: 9})
+	s, err := Load(g, Options{Cluster: c})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, q := range watdiv.BasicQuerySet() {
+		if q.Group != "C" {
+			continue
+		}
+		base := QueryOptions{Strategy: StrategyMixed, ReplanThreshold: -1}
+		mat, err := s.Query(q.Parsed, base)
+		if err != nil {
+			t.Fatalf("%s materialized: %v", q.Name, err)
+		}
+		opts := base
+		opts.Streaming = true
+		str, err := s.Query(q.Parsed, opts)
+		if err != nil {
+			t.Fatalf("%s streaming: %v", q.Name, err)
+		}
+		if !str.Streamed {
+			t.Fatalf("%s: fell back to materialized", q.Name)
+		}
+		if mat.PeakMemBytes <= 0 || str.PeakMemBytes <= 0 {
+			t.Fatalf("%s: peak bytes not tracked (mat=%d stream=%d)", q.Name, mat.PeakMemBytes, str.PeakMemBytes)
+		}
+		if ratio := float64(mat.PeakMemBytes) / float64(str.PeakMemBytes); ratio < 4 {
+			t.Errorf("%s: peak memory ratio %.2fx (mat %d B / stream %d B), want >= 4x",
+				q.Name, ratio, mat.PeakMemBytes, str.PeakMemBytes)
+		}
+	}
+}
+
+// TestStreamingFallsBackOnLimit checks the LIMIT/OFFSET fallback: the
+// query still answers (identically), just through the materialized
+// path.
+func TestStreamingFallsBackOnLimit(t *testing.T) {
+	s := testStore(t, false)
+	src := `SELECT ?u ?v WHERE {
+		?u <http://example.org/follows> ?v .
+		?v <http://example.org/likes> ?p .
+	} LIMIT 2`
+	res, err := s.Query(sparql.MustParse(src), QueryOptions{Streaming: true})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Streamed {
+		t.Error("LIMIT query claims to have streamed")
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("LIMIT 2 returned %d rows", len(res.Rows))
+	}
+}
+
+// TestStreamingChunkSizeInvariance: the chunk-size knob changes morsel
+// granularity, never results.
+func TestStreamingChunkSizeInvariance(t *testing.T) {
+	s := watdivStreamStore(t)
+	q := mustQueryByName(t, "C2")
+	var want string
+	for i, chunk := range []int{64, 1024, 1 << 16} {
+		res, err := s.Query(q.Parsed, QueryOptions{Strategy: StrategyMixed, Streaming: true, ChunkSize: chunk, ReplanThreshold: -1})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if !res.Streamed {
+			t.Fatalf("chunk %d: fell back", chunk)
+		}
+		got := renderSorted(res)
+		if i == 0 {
+			want = got
+		} else if got != want {
+			t.Errorf("chunk %d: rows differ from chunk 64", chunk)
+		}
+	}
+}
+
+// TestStreamingConcurrentQueries hammers the streaming executor from
+// many goroutines (race-detector coverage for the shared pipeline
+// state: step counters, distinct sets, partition slots).
+func TestStreamingConcurrentQueries(t *testing.T) {
+	s := watdivStreamStore(t)
+	queries := watdiv.BasicQuerySet()
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := s.Query(q.Parsed, QueryOptions{Strategy: StrategyMixed, ReplanThreshold: -1})
+		if err != nil {
+			t.Fatalf("%s baseline: %v", q.Name, err)
+		}
+		want[i] = renderSorted(res)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*len(queries))
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range queries {
+				res, err := s.Query(q.Parsed, QueryOptions{Strategy: StrategyMixed, Streaming: true, ChunkSize: 512 << (w % 3), ReplanThreshold: -1})
+				if err != nil {
+					errs <- fmt.Errorf("%s worker %d: %v", q.Name, w, err)
+					return
+				}
+				if got := renderSorted(res); got != want[i] {
+					errs <- fmt.Errorf("%s worker %d: rows differ", q.Name, w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func mustQueryByName(t testing.TB, name string) watdiv.Query {
+	for _, q := range watdiv.BasicQuerySet() {
+		if q.Name == name {
+			return q
+		}
+	}
+	t.Fatalf("query %s not in basic set", name)
+	return watdiv.Query{}
+}
+
+// BenchmarkStreamingFirstRow tracks simulated first-row latency and
+// completion of the C1 streaming execution.
+func BenchmarkStreamingFirstRow(b *testing.B) {
+	s := watdivStreamStore(b)
+	q := mustQueryByName(b, "C1")
+	opts := QueryOptions{Strategy: StrategyMixed, Streaming: true, ReplanThreshold: -1}
+	b.ResetTimer()
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = s.Query(q.Parsed, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.FirstRow.Microseconds())/1e3, "firstrow-ms")
+	b.ReportMetric(float64(res.SimTime.Microseconds())/1e3, "sim-ms")
+}
+
+// BenchmarkStreamingPeakMemory tracks the simulated peak intermediate
+// footprint of C1 under both execution modes.
+func BenchmarkStreamingPeakMemory(b *testing.B) {
+	s := watdivStreamStore(b)
+	q := mustQueryByName(b, "C1")
+	b.ResetTimer()
+	var mat, str *Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		mat, err = s.Query(q.Parsed, QueryOptions{Strategy: StrategyMixed, ReplanThreshold: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		str, err = s.Query(q.Parsed, QueryOptions{Strategy: StrategyMixed, Streaming: true, ReplanThreshold: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mat.PeakMemBytes)/1024, "mat-peak-KiB")
+	b.ReportMetric(float64(str.PeakMemBytes)/1024, "stream-peak-KiB")
+}

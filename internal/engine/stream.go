@@ -1,0 +1,120 @@
+package engine
+
+// Streaming-operator surface over the hash-join internals. The
+// morsel-driven executor in internal/core fuses scans, probes,
+// projections and distinct into pull-based pipelines; this file
+// exports exactly the pieces it needs — join layout, chained hash
+// index, row dedup set — as thin wrappers so the streaming path emits
+// rows through the same packKey/joinLayout/arena machinery the
+// materialized operators use. Sharing those code paths, not just the
+// semantics, is what keeps the two execution modes byte-identical on
+// SortedRows.
+
+// StreamJoin is one hash join's precomputed layout: output schema,
+// emission index lists and per-side key columns, fixed at
+// pipeline-build time.
+type StreamJoin struct {
+	out          Schema
+	shared       []string
+	lKey, rKey   []int
+	lKeep, rKeep []int
+}
+
+// NewStreamJoin computes the join layout of left ⋈ right with fused
+// column pruning (keep == nil retains every column, exactly like
+// JoinKeep). Zero shared variables degrade to a cartesian product
+// naturally: the empty key packs to a constant, chaining every build
+// row behind every probe.
+func NewStreamJoin(left, right Schema, keep []string) *StreamJoin {
+	shared := left.Shared(right)
+	out, lKeep, rKeep := joinLayout(left, right, shared, keep)
+	return &StreamJoin{
+		out:    out,
+		shared: shared,
+		lKey:   keyIndexes(left, shared),
+		rKey:   keyIndexes(right, shared),
+		lKeep:  lKeep,
+		rKeep:  rKeep,
+	}
+}
+
+// OutSchema returns the join's output schema (left columns first, the
+// materialized operators' orientation).
+func (j *StreamJoin) OutSchema() Schema { return j.out }
+
+// Shared returns the join variables.
+func (j *StreamJoin) Shared() []string { return j.shared }
+
+// Build indexes the buffered build side. Build rows must be stable
+// (the index and probes retain them); arena-backed rows qualify.
+func (j *StreamJoin) Build(buildRows []Row, buildIsLeft bool) *StreamHash {
+	buildKey, probeKey := j.rKey, j.lKey
+	if buildIsLeft {
+		buildKey, probeKey = j.lKey, j.rKey
+	}
+	return &StreamHash{
+		j:         j,
+		ix:        buildJoinIndex(buildRows, buildKey),
+		probeKey:  probeKey,
+		buildLeft: buildIsLeft,
+	}
+}
+
+// StreamHash is a built hash table ready for chunk-at-a-time probing.
+// Probing is read-only, so concurrent probe morsels share one table.
+type StreamHash struct {
+	j         *StreamJoin
+	ix        joinIndex
+	probeKey  []int
+	buildLeft bool
+}
+
+// BuildRows returns the number of indexed build rows.
+func (h *StreamHash) BuildRows() int { return len(h.ix.rows) }
+
+// Probe appends every join match of probe row pr into arena — the
+// same chain walk and append paths as the materialized join — and
+// returns the number of rows emitted.
+func (h *StreamHash) Probe(pr Row, arena *RowArena) int {
+	n := 0
+	for i := h.ix.first(pr, h.probeKey); i != 0; i = h.ix.next[i-1] {
+		if !h.ix.match(i, pr, h.probeKey) {
+			continue
+		}
+		br := h.ix.rows[i-1]
+		lr, rr := br, pr
+		if !h.buildLeft {
+			lr, rr = pr, br
+		}
+		if h.j.lKeep == nil {
+			arena.AppendJoin(lr, rr, h.j.rKeep)
+		} else {
+			arena.AppendJoinPruned(lr, rr, h.j.lKeep, h.j.rKeep)
+		}
+		n++
+	}
+	return n
+}
+
+// RowDeduper wraps the Distinct operator's row set for streaming use:
+// pipelines insert as rows arrive instead of deduplicating a
+// materialized relation at the end.
+type RowDeduper struct {
+	set *rowSet
+}
+
+// NewRowDeduper returns a deduper for rows of the given width.
+func NewRowDeduper(width, capHint int) *RowDeduper {
+	return &RowDeduper{set: newRowSet(width, capHint)}
+}
+
+// Insert adds r unless an equal row was already seen, reporting
+// whether r was new. r is retained, not copied — callers streaming
+// from reused scratch buffers must copy first.
+func (d *RowDeduper) Insert(r Row) bool { return d.set.insert(r) }
+
+// Rows returns the retained distinct rows in first-seen order.
+func (d *RowDeduper) Rows() []Row { return d.set.rows }
+
+// Len returns the number of distinct rows seen.
+func (d *RowDeduper) Len() int { return len(d.set.rows) }

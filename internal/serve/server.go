@@ -8,7 +8,11 @@
 // Endpoints:
 //
 //	GET|POST /sparql   — execute a query (?query=… or POST body),
-//	                     JSON results by default, TSV with ?format=tsv
+//	                     JSON results by default, TSV with ?format=tsv;
+//	                     ?streaming=1 routes it through the morsel
+//	                     executor (?chunk= sets the chunk size) and the
+//	                     response body is flushed to the client in row
+//	                     chunks as it is written
 //	GET      /explain  — physical plan, estimation errors, adaptive
 //	                     re-plan events / feedback provenance, Join
 //	                     Tree and stage trace (?analyze=0 plans only)
@@ -111,6 +115,9 @@ type Server struct {
 	failed     uint64
 	simTotal   time.Duration
 	wallTotal  time.Duration
+	streamed   uint64
+	firstTotal time.Duration
+	peakMax    int64
 	estObs     uint64
 	estSum     float64
 	estMax     float64
@@ -256,6 +263,20 @@ func (s *Server) requestOptions(r *http.Request) (core.QueryOptions, error) {
 		}
 		opts.Strategy = strat
 	}
+	if v := r.URL.Query().Get("streaming"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("invalid streaming=%q: %v", v, err)
+		}
+		opts.Streaming = on
+	}
+	if v := r.URL.Query().Get("chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return opts, fmt.Errorf("invalid chunk=%q: want a positive row count", v)
+		}
+		opts.ChunkSize = n
+	}
 	return opts, nil
 }
 
@@ -310,6 +331,13 @@ func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
 	}
 	s.simTotal += res.SimTime
 	s.wallTotal += res.WallTime
+	if res.Streamed {
+		s.streamed++
+		s.firstTotal += res.FirstRow
+	}
+	if res.PeakMemBytes > s.peakMax {
+		s.peakMax = res.PeakMemBytes
+	}
 	if ratio, at := res.Plan.MaxErrorRatio(); at != nil {
 		s.estObs++
 		s.estSum += ratio
@@ -431,8 +459,24 @@ func termBinding(t rdf.Term) binding {
 	}
 }
 
-// sparqlResponse is the /sparql JSON document: the W3C SPARQL results
-// shape plus a stats block with the simulated execution record.
+// sparqlStats is the /sparql response's execution record. The
+// streaming-only fields report the morsel executor's two extra
+// metrics: when the first result row reached the driver, and the
+// simulated intermediate-memory high-water mark.
+type sparqlStats struct {
+	Rows         int     `json:"rows"`
+	Truncated    bool    `json:"truncated,omitempty"`
+	SimMS        float64 `json:"simMs"`
+	WallMS       float64 `json:"wallMs"`
+	Streamed     bool    `json:"streamed,omitempty"`
+	FirstRowMS   float64 `json:"firstRowMs,omitempty"`
+	PeakMemBytes int64   `json:"peakMemBytes,omitempty"`
+}
+
+// sparqlResponse documents the /sparql JSON shape: the W3C SPARQL
+// results layout plus a stats block. The handler writes it
+// incrementally rather than marshaling this struct, so a streamed
+// query's bindings reach the client in flushed chunks.
 type sparqlResponse struct {
 	Head struct {
 		Vars []string `json:"vars"`
@@ -440,13 +484,12 @@ type sparqlResponse struct {
 	Results struct {
 		Bindings []map[string]binding `json:"bindings"`
 	} `json:"results"`
-	Stats struct {
-		Rows      int     `json:"rows"`
-		Truncated bool    `json:"truncated,omitempty"`
-		SimMS     float64 `json:"simMs"`
-		WallMS    float64 `json:"wallMs"`
-	} `json:"stats"`
+	Stats sparqlStats `json:"stats"`
 }
+
+// flushEveryRows is how many result rows a streamed /sparql response
+// writes between http.Flusher flushes, in both formats.
+const flushEveryRows = 256
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	res, err := s.runQuery(r)
@@ -461,6 +504,29 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		truncated = true
 	}
 
+	// Chunked transfer: a streamed query's rows are flushed to the
+	// client in flushEveryRows batches, so consumers see results while
+	// the response body is still being written (the HTTP analogue of
+	// the executor's first-row latency). Materialized results write in
+	// one piece, as before.
+	flusher, _ := w.(http.Flusher)
+	maybeFlush := func(i int) {
+		if res.Streamed && flusher != nil && (i+1)%flushEveryRows == 0 {
+			flusher.Flush()
+		}
+	}
+	st := sparqlStats{
+		Rows:         len(res.Rows),
+		Truncated:    truncated,
+		SimMS:        float64(res.SimTime) / float64(time.Millisecond),
+		WallMS:       float64(res.WallTime) / float64(time.Millisecond),
+		Streamed:     res.Streamed,
+		PeakMemBytes: res.PeakMemBytes,
+	}
+	if res.Streamed {
+		st.FirstRowMS = float64(res.FirstRow) / float64(time.Millisecond)
+	}
+
 	format := r.URL.Query().Get("format")
 	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/tab-separated-values") {
 		format = "tsv"
@@ -469,17 +535,18 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	case "tsv":
 		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
 		fmt.Fprintln(w, strings.Join(res.Vars, "\t"))
-		for _, row := range rows {
+		for i, row := range rows {
 			cells := make([]string, len(row))
-			for i, t := range row {
-				cells[i] = t.String()
+			for j, t := range row {
+				cells[j] = t.String()
 			}
 			fmt.Fprintln(w, strings.Join(cells, "\t"))
+			maybeFlush(i)
 		}
 	case "", "json":
-		var doc sparqlResponse
-		doc.Head.Vars = res.Vars
-		doc.Results.Bindings = make([]map[string]binding, len(rows))
+		w.Header().Set("Content-Type", "application/json")
+		head, _ := json.Marshal(res.Vars)
+		fmt.Fprintf(w, "{\"head\":{\"vars\":%s},\"results\":{\"bindings\":[", head)
 		for i, row := range rows {
 			b := make(map[string]binding, len(row))
 			for j, t := range row {
@@ -487,13 +554,16 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 					b[res.Vars[j]] = termBinding(t)
 				}
 			}
-			doc.Results.Bindings[i] = b
+			buf, _ := json.Marshal(b)
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			io.WriteString(w, "\n")
+			w.Write(buf)
+			maybeFlush(i)
 		}
-		doc.Stats.Rows = len(res.Rows)
-		doc.Stats.Truncated = truncated
-		doc.Stats.SimMS = float64(res.SimTime) / float64(time.Millisecond)
-		doc.Stats.WallMS = float64(res.WallTime) / float64(time.Millisecond)
-		writeJSON(w, doc)
+		stats, _ := json.Marshal(st)
+		fmt.Fprintf(w, "\n]},\"stats\":%s}\n", stats)
 	default:
 		http.Error(w, fmt.Sprintf("unknown format %q (valid formats: json, tsv)", format), http.StatusBadRequest)
 	}
@@ -543,6 +613,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, rs)
 	}
 	fmt.Fprintf(w, "\n%d rows; simulated cluster time %v (wall %v)\n", len(res.Rows), res.SimTime, res.WallTime)
+	if res.Streamed {
+		fmt.Fprintf(w, "streamed: first row at %v; peak intermediate footprint %d B\n", res.FirstRow, res.PeakMemBytes)
+	}
 	fmt.Fprintln(w, "\nJoin Tree:")
 	fmt.Fprint(w, res.Tree.String())
 	fmt.Fprintln(w, "\nStage trace:")
@@ -571,6 +644,14 @@ type statsResponse struct {
 		Failed   uint64  `json:"failed"`
 		AvgSimMS float64 `json:"avgSimMs"`
 		AvgWall  float64 `json:"avgWallMs"`
+		// Streamed counts queries answered by the morsel-driven
+		// streaming executor; AvgFirstRowMS averages their simulated
+		// first-row latency, and MaxPeakMemBytes is the largest
+		// intermediate-memory high-water mark seen on any query in
+		// either execution mode.
+		Streamed        uint64  `json:"streamed"`
+		AvgFirstRowMS   float64 `json:"avgFirstRowMs"`
+		MaxPeakMemBytes int64   `json:"maxPeakMemBytes"`
 	} `json:"queries"`
 	// Resilience aggregates fault-recovery activity across queries plus
 	// the server's own degradation state.
@@ -668,6 +749,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		doc.Queries.AvgSimMS = float64(s.simTotal) / float64(ok) / float64(time.Millisecond)
 		doc.Queries.AvgWall = float64(s.wallTotal) / float64(ok) / float64(time.Millisecond)
 	}
+	doc.Queries.Streamed = s.streamed
+	if s.streamed > 0 {
+		doc.Queries.AvgFirstRowMS = float64(s.firstTotal) / float64(s.streamed) / float64(time.Millisecond)
+	}
+	doc.Queries.MaxPeakMemBytes = s.peakMax
 	doc.Estimation.Observed = s.estObs
 	if s.estObs > 0 {
 		doc.Estimation.AvgRatio = s.estSum / float64(s.estObs)

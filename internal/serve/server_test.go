@@ -547,3 +547,87 @@ func TestFaultStatsAndExplainShowRecovery(t *testing.T) {
 		t.Errorf("recovered faults should not look like failures: %+v %+v", doc.Queries, doc.Resilience)
 	}
 }
+
+// TestSPARQLStreamingEndpoint exercises the ?streaming= override end
+// to end: the streamed response carries the first-row and peak-memory
+// stats, renders byte-identical bindings to the materialized response,
+// /explain reports the streaming record, and /stats aggregates the
+// streamed-query counters.
+func TestSPARQLStreamingEndpoint(t *testing.T) {
+	srv := testServer(t)
+	base := "/sparql?query=" + url.QueryEscape(serveQuery)
+
+	mat := get(t, srv, base)
+	str := get(t, srv, base+"&streaming=1&chunk=512")
+	if str.Code != http.StatusOK {
+		t.Fatalf("streaming status = %d, body %s", str.Code, str.Body)
+	}
+	type doc struct {
+		Results struct {
+			Bindings []map[string]struct{ Type, Value string }
+		}
+		Stats struct {
+			Rows         int
+			Streamed     bool
+			FirstRowMS   float64 `json:"firstRowMs"`
+			PeakMemBytes int64   `json:"peakMemBytes"`
+		}
+	}
+	var md, sd doc
+	if err := json.Unmarshal(mat.Body.Bytes(), &md); err != nil {
+		t.Fatalf("bad materialized JSON: %v", err)
+	}
+	if err := json.Unmarshal(str.Body.Bytes(), &sd); err != nil {
+		t.Fatalf("bad streaming JSON: %v", err)
+	}
+	if !sd.Stats.Streamed {
+		t.Fatal("streaming=1 response not marked streamed")
+	}
+	if md.Stats.Streamed {
+		t.Fatal("default response claims to have streamed")
+	}
+	if sd.Stats.FirstRowMS <= 0 || sd.Stats.PeakMemBytes <= 0 {
+		t.Errorf("streaming stats firstRowMs=%g peakMemBytes=%d, want both > 0",
+			sd.Stats.FirstRowMS, sd.Stats.PeakMemBytes)
+	}
+	if fmt.Sprint(md.Results.Bindings) != fmt.Sprint(sd.Results.Bindings) {
+		t.Errorf("streaming bindings differ from materialized:\n%v\nvs\n%v",
+			sd.Results.Bindings, md.Results.Bindings)
+	}
+
+	matTSV := get(t, srv, base+"&format=tsv")
+	strTSV := get(t, srv, base+"&format=tsv&streaming=1")
+	if strTSV.Body.String() != matTSV.Body.String() {
+		t.Errorf("streaming TSV differs from materialized:\n%q\nvs\n%q", strTSV.Body, matTSV.Body)
+	}
+
+	if w := get(t, srv, base+"&chunk=bogus"); w.Code != http.StatusBadRequest {
+		t.Errorf("chunk=bogus status = %d, want 400", w.Code)
+	}
+	if w := get(t, srv, base+"&streaming=maybe"); w.Code != http.StatusBadRequest {
+		t.Errorf("streaming=maybe status = %d, want 400", w.Code)
+	}
+
+	exp := get(t, srv, "/explain?streaming=1&query="+url.QueryEscape(serveQuery))
+	if !strings.Contains(exp.Body.String(), "streamed: first row at") {
+		t.Errorf("/explain missing streaming record:\n%s", exp.Body)
+	}
+
+	var stats struct {
+		Queries struct {
+			Streamed        uint64
+			AvgFirstRowMS   float64 `json:"avgFirstRowMs"`
+			MaxPeakMemBytes int64   `json:"maxPeakMemBytes"`
+		}
+	}
+	if err := json.Unmarshal(get(t, srv, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	if stats.Queries.Streamed < 2 {
+		t.Errorf("stats streamed = %d, want >= 2", stats.Queries.Streamed)
+	}
+	if stats.Queries.AvgFirstRowMS <= 0 || stats.Queries.MaxPeakMemBytes <= 0 {
+		t.Errorf("stats avgFirstRowMs=%g maxPeakMemBytes=%d, want both > 0",
+			stats.Queries.AvgFirstRowMS, stats.Queries.MaxPeakMemBytes)
+	}
+}
