@@ -116,6 +116,11 @@ func run(scale int, seed, extrapolate int64, exp string, verify bool) error {
 			return err
 		}
 		fmt.Println(a6.Table())
+		a7, err := sys.AblationExtVP(queries)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a7.Table())
 	}
 	if want("extension") {
 		fig, err := sys.ExtensionInversePT(bench.ObjectStarQueries())

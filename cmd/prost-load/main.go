@@ -23,6 +23,7 @@ func main() {
 	partitions := flag.Int("partitions", 0, "table partitions (0 = 2x workers)")
 	inversePT := flag.Bool("inverse-pt", false, "also build the object-keyed inverse Property Table")
 	showStats := flag.Bool("stats", false, "print per-predicate statistics")
+	extvpBudget := flag.Int64("extvp-budget", 0, "byte budget for workload-driven ExtVP semi-join tables (0 = subsystem off)")
 	flag.Parse()
 
 	if *in == "" {
@@ -30,13 +31,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *workers, *partitions, *inversePT, *showStats); err != nil {
+	if err := run(*in, *workers, *partitions, *inversePT, *showStats, *extvpBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-load:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, workers, partitions int, inversePT, showStats bool) error {
+func run(in string, workers, partitions int, inversePT, showStats bool, extvpBudget int64) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -53,7 +54,7 @@ func run(in string, workers, partitions int, inversePT, showStats bool) error {
 	if err != nil {
 		return err
 	}
-	store, err := core.LoadNTriples(f, core.Options{Cluster: c, BuildInversePT: inversePT})
+	store, err := core.LoadNTriples(f, core.Options{Cluster: c, BuildInversePT: inversePT, ExtVPBudget: extvpBudget})
 	if err != nil {
 		return err
 	}
@@ -65,6 +66,9 @@ func run(in string, workers, partitions int, inversePT, showStats bool) error {
 	fmt.Printf("PT columns:     %d over %d rows\n", rep.PTColumns, store.PropertyTable().Rows())
 	if ipt := store.InversePropertyTable(); ipt != nil {
 		fmt.Printf("inverse PT:     %d columns over %d rows\n", ipt.Columns(), ipt.Rows())
+	}
+	if extvpBudget > 0 {
+		fmt.Printf("ExtVP budget:   %.2f MiB (workload-driven semi-join tables, built at query time)\n", float64(extvpBudget)/(1<<20))
 	}
 	fmt.Printf("simulated load: %v\n", rep.LoadTime)
 	fmt.Printf("wall time:      %v\n", rep.WallTime)

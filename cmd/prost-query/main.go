@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	maxRows := flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	replan := flag.Float64("replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
 	sketches := flag.Int("stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
+	extvpBudget := flag.Int64("extvp-budget", 0, "byte budget for workload-driven ExtVP semi-join tables; the query runs once to mine and build them, then the measured run may rewrite onto them (0 = subsystem off)")
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedule (fault injection is off unless a -fault-* rate is set)")
 	faultFail := flag.Float64("fault-fail-rate", 0, "probability a task attempt fails outright")
 	faultStraggle := flag.Float64("fault-straggler-rate", 0, "probability a task attempt straggles")
@@ -58,13 +60,13 @@ func main() {
 	if !faults.Active() {
 		faults = nil
 	}
-	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *streaming, *chunkSize, *explain, *maxRows, *replan, *sketches, faults); err != nil {
+	if err := run(*in, *queryText, *queryFile, *strategy, *planner, *workers, *streaming, *chunkSize, *explain, *maxRows, *replan, *sketches, *extvpBudget, faults); err != nil {
 		fmt.Fprintln(os.Stderr, "prost-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, queryText, queryFile, strategy, planner string, workers int, streaming bool, chunkSize int, explain bool, maxRows int, replan float64, sketches int, faults *cluster.FaultPlan) error {
+func run(in, queryText, queryFile, strategy, planner string, workers int, streaming bool, chunkSize int, explain bool, maxRows int, replan float64, sketches int, extvpBudget int64, faults *cluster.FaultPlan) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -109,13 +111,25 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, stream
 		BuildInversePT:   strat == core.StrategyMixedIPT,
 		SketchTopK:       max(sketches, 0),
 		DisableJoinStats: sketches < 0,
+		ExtVPBudget:      extvpBudget,
+		ExtVPBuildAfter:  1,
 	})
 	if err != nil {
 		return err
 	}
 
-	res, err := store.Query(q, core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan,
-		Faults: faults, Streaming: streaming, ChunkSize: chunkSize})
+	opts := core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: replan,
+		Faults: faults, Streaming: streaming, ChunkSize: chunkSize}
+	if extvpBudget > 0 {
+		// Priming run: mine the query's join pairs, then wait for the
+		// background builds so the measured run can rewrite onto the
+		// materialized reductions.
+		if _, err := store.Query(q, opts); err != nil {
+			return err
+		}
+		store.Workload().Wait()
+	}
+	res, err := store.Query(q, opts)
 	if err != nil {
 		return err
 	}
@@ -161,6 +175,36 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, stream
 			}
 		} else {
 			fmt.Println("join statistics: disabled (independence estimator everywhere)")
+		}
+		if wl := store.Workload(); wl != nil {
+			met := store.WorkloadMetrics()
+			fmt.Printf("\nworkload model: %d pairs tracked; %d reductions live of %d built (%d B of %d B budget, %d evicted, %d scan hits)\n",
+				met.PairsTracked, met.TablesLive, met.TablesBuilt, met.TableBytes, met.BudgetBytes, met.TablesEvicted, met.HitCount)
+			dict := store.Dictionary()
+			name := func(id uint64) string {
+				v := dict.Term(rdf.ID(id)).Value
+				if i := strings.LastIndexAny(v, "/#"); i >= 0 && i+1 < len(v) {
+					return v[i+1:]
+				}
+				return v
+			}
+			pairs := wl.Pairs()
+			const maxPairs = 8
+			for i, p := range pairs {
+				if i >= maxPairs {
+					fmt.Printf("  … (%d more pairs)\n", len(pairs)-maxPairs)
+					break
+				}
+				state := "pending"
+				if p.Built {
+					state = "built"
+				}
+				fmt.Printf("  candidate %s joined with %s at %s: %d hits, %d rows executed join volume (%s)\n",
+					name(p.P1), name(p.P2), p.Pos, p.Hits, p.Volume, state)
+			}
+			if rw := res.Plan.RewriteSummary(); rw != "" {
+				fmt.Print(rw)
+			}
 		}
 		fmt.Println("\nJoin Tree:")
 		fmt.Print(res.Tree.String())

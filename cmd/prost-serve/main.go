@@ -68,6 +68,8 @@ type options struct {
 	queryTimeout      time.Duration
 	replan            float64
 	sketches          int
+	extvpBudget       int64
+	extvpBuildAfter   int
 	drainTimeout      time.Duration
 
 	breakerThreshold float64
@@ -97,6 +99,8 @@ func main() {
 	flag.DurationVar(&o.queryTimeout, "query-timeout", 0, "per-query execution deadline; past it the query stops and the request returns 504 (0 = none)")
 	flag.Float64Var(&o.replan, "replan-threshold", 0, "adaptive re-planning trigger: estimation-error factor that pauses and re-plans the remainder (0 = default 8, negative = disabled)")
 	flag.IntVar(&o.sketches, "stats-sketches", 0, "top-K two-predicate join sketches collected at load time (0 = default 512, negative = disable join-graph statistics entirely)")
+	flag.Int64Var(&o.extvpBudget, "extvp-budget", 0, "byte budget for workload-driven ExtVP semi-join tables; hot join pairs are materialized in the background and queries rewritten onto them (0 = subsystem off)")
+	flag.IntVar(&o.extvpBuildAfter, "extvp-build-after", 0, "feedback observations of a join pair before its reduction is built (0 = default)")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 15*time.Second, "on SIGTERM, how long to wait for in-flight queries before exiting")
 	flag.Float64Var(&o.breakerThreshold, "breaker-threshold", 0, "execution-failure rate that trips the /sparql circuit breaker (0 = default)")
 	flag.DurationVar(&o.breakerWindow, "breaker-window", 0, "sliding window for the breaker's failure rate (0 = default)")
@@ -163,6 +167,8 @@ func run(o options) error {
 		PlanCacheSize:    o.cacheSize,
 		SketchTopK:       max(o.sketches, 0),
 		DisableJoinStats: o.sketches < 0,
+		ExtVPBudget:      o.extvpBudget,
+		ExtVPBuildAfter:  o.extvpBuildAfter,
 	})
 	if err != nil {
 		return err
@@ -173,6 +179,10 @@ func run(o options) error {
 	if js, ok := store.Stats().JoinStatsSummary(); ok {
 		fmt.Fprintf(os.Stderr, "join statistics: %d csets, %d/%d pair sketches (top-%d, %.1f%% volume coverage)\n",
 			js.CSets, js.SketchPairs, js.CandidatePairs, js.TopK, 100*js.VolumeCoverage)
+	}
+	if o.extvpBudget > 0 {
+		fmt.Fprintf(os.Stderr, "ExtVP enabled: %.2f MiB budget for workload-driven semi-join tables\n",
+			float64(o.extvpBudget)/(1<<20))
 	}
 	if fp := c.Config().Faults; fp != nil {
 		fmt.Fprintf(os.Stderr, "fault injection active: seed %d, fail %.2f, straggle %.2f, corrupt %.2f\n",

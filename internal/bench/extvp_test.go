@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/watdiv"
+)
+
+// TestExtVPProfileShape pins the workload-driven ExtVP acceptance
+// shape on the extrapolated cross-system fixture: once the hot pairs
+// are materialized, the C-family (complex queries, the join-heaviest
+// group) must win at least 20% aggregate SimTime against the PR 5
+// sketch store, and no query anywhere may regress more than 1% — a
+// rewrite the pricer keeps must actually pay off. The measured profile
+// is then written to BENCH_extvp.json at the repo root; all numbers
+// come from the virtual cost model, so the file only changes when a
+// pricing or engine change moves a tracked metric.
+func TestExtVPProfileShape(t *testing.T) {
+	sys := systems(t)
+	queries := watdiv.BasicQuerySet()
+	recs, err := sys.ExtVPProfile(queries)
+	if err != nil {
+		t.Fatalf("ExtVPProfile: %v", err)
+	}
+
+	famBase := map[string]float64{}
+	famWarm := map[string]float64{}
+	for _, r := range recs {
+		if r.WarmSimMS > r.BaseSimMS*1.01 {
+			t.Errorf("%s: warm %.2fms regresses >1%% vs sketch baseline %.2fms", r.Query, r.WarmSimMS, r.BaseSimMS)
+		}
+		famBase[r.Group] += r.BaseSimMS
+		famWarm[r.Group] += r.WarmSimMS
+		t.Logf("%-4s base=%9.2fms cold=%9.2fms warm=%9.2fms win=%5.1f%%",
+			r.Query, r.BaseSimMS, r.ColdSimMS, r.WarmSimMS, r.WinPct)
+	}
+	for _, g := range watdiv.Groups() {
+		win := 100 * (1 - famWarm[g]/famBase[g])
+		t.Logf("family %s aggregate win = %.1f%%", g, win)
+		if g == "C" && win < 20 {
+			t.Errorf("C-family aggregate win %.1f%%, want >= 20%%", win)
+		}
+	}
+
+	out := ExtVPTable(recs).String()
+	for _, q := range queries {
+		if !strings.Contains(out, q.Name) {
+			t.Errorf("extvp table missing %s:\n%s", q.Name, out)
+		}
+	}
+
+	path := filepath.Join("..", "..", "BENCH_extvp.json")
+	if err := WriteExtVPTrajectory(path, fixtureScale, sys.Cluster.Workers(), recs); err != nil {
+		t.Fatalf("WriteExtVPTrajectory: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trajectory: %v", err)
+	}
+	var doc struct {
+		Scale   int
+		Workers int
+		Queries []ExtVPRecord
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trajectory not valid JSON: %v", err)
+	}
+	if doc.Scale != fixtureScale || doc.Workers != sys.Cluster.Workers() || len(doc.Queries) != len(recs) {
+		t.Errorf("trajectory round-trip mismatch: scale=%d workers=%d queries=%d", doc.Scale, doc.Workers, len(doc.Queries))
+	}
+}

@@ -36,6 +36,10 @@ type plannerFixture struct {
 	indepOnce sync.Once
 	indep     *core.Store
 	indepErr  error
+
+	extvpOnce sync.Once
+	extvp     *core.Store
+	extvpErr  error
 }
 
 // indepStore returns the fixture's independence-estimator store,

@@ -59,6 +59,10 @@ type Systems struct {
 	indep     *core.Store
 	indepErr  error
 
+	extvpOnce sync.Once
+	extvp     *core.Store
+	extvpErr  error
+
 	// BroadcastThreshold is the effective broadcast-join threshold for
 	// the SQL systems, shrunk by the extrapolation factor so that a
 	// table's broadcastability reflects its extrapolated size.
@@ -179,6 +183,22 @@ func (s *Systems) PRoSTIndep() (*core.Store, error) {
 			BuildInversePT: s.inversePT, PathPrefix: "/prost-indep", DisableJoinStats: true})
 	})
 	return s.indep, s.indepErr
+}
+
+// PRoSTExtVP returns the same data loaded with the workload model
+// enabled under a generous byte budget (every hot pair is buildable)
+// and an observation threshold of one, so a single mining pass is
+// enough to queue every candidate reduction. The ExtVP ablation (A7)
+// runs on it; other experiments never pay the extra load. Built
+// lazily on first use, on the shared cluster and filesystem but under
+// its own HDFS path prefix.
+func (s *Systems) PRoSTExtVP() (*core.Store, error) {
+	s.extvpOnce.Do(func() {
+		s.extvp, s.extvpErr = core.Load(s.graph, core.Options{Cluster: s.Cluster, FS: s.FS,
+			BuildInversePT: s.inversePT, PathPrefix: "/prost-extvp",
+			ExtVPBudget: 1 << 30, ExtVPBuildAfter: 1})
+	})
+	return s.extvp, s.extvpErr
 }
 
 // Loads returns the Table 1 rows in load order.

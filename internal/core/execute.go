@@ -308,6 +308,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 			return nil, err
 		}
 		if handled {
+			s.mineWorkload(res.Plan, entry.nodes)
 			return res, nil
 		}
 	}
@@ -384,6 +385,18 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	}
 	s.adaptive.record(sched.events)
 
+	// Workload mining reads the first round's stamped plan, never the
+	// grafted executed view: grafted fragments carry Leaf indexes into
+	// other rounds' node lists, and the first round observed every
+	// operator that ran before any re-plan fired.
+	if s.workload != nil {
+		mined := executed
+		if len(sched.rounds) != 1 {
+			mined = pl.Stamp(sched.rounds[0].obs)
+		}
+		s.mineWorkload(mined, entry.nodes)
+	}
+
 	decoded := make([][]rdf.Term, len(rows))
 	for i, r := range rows {
 		terms := make([]rdf.Term, len(r))
@@ -414,7 +427,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 func (s *Store) planEntry(snap *statsSnapshot, q *sparql.Query, mode plan.Mode, opts QueryOptions) (entry *cachedPlan, key string, cacheable bool, err error) {
 	cacheable = !opts.NoPlanCache && s.planCache != nil
 	if cacheable {
-		key = planCacheKey(q, mode, opts, snap.fp)
+		key = planCacheKey(q, mode, opts, snap.fp, s.workloadEpoch())
 		if e, ok := s.planCache.get(key); ok {
 			return e, key, cacheable, nil
 		}
@@ -615,6 +628,20 @@ func (s *Store) emptyRelation(vars []string) *engine.Relation {
 	return engine.NewRelation(engine.Schema(vars), make([][]engine.Row, s.parts), "")
 }
 
+// execScanNode evaluates one plan Scan operator. A node the planner
+// rewrote to a materialized semi-join reduction resolves the reduction
+// against the live workload model first — falling back to the full VP
+// table (a superset, so results are unchanged) when it was evicted or
+// invalidated after planning. Everything else goes through execNode.
+func (s *Store) execScanNode(e *engine.Exec, cn *Node, pn *plan.Node, pushed []compiledFilter) (*engine.Relation, error) {
+	if pn != nil && pn.ExtVP != nil && cn.Kind == NodeVP {
+		if t, label, ok := s.extvpTable(pn.ExtVP); ok {
+			return s.execVPTableNode(e, cn.Patterns[0], t, label, pushed)
+		}
+	}
+	return s.execNode(e, cn, pushed)
+}
+
 // execVPNode answers one bound-predicate pattern from its VP table with
 // a single filtered scan: bound-position constraints, repeated-variable
 // equality and pushed-down FILTER predicates all run while the table
@@ -622,16 +649,23 @@ func (s *Store) emptyRelation(vars []string) *engine.Relation {
 // variables. Subject-keyed outputs stay subject-partitioned, so later
 // subject joins avoid the shuffle.
 func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern, pushed []compiledFilter) (*engine.Relation, error) {
-	outVars := tp.Vars()
 	pid, ok := s.dict.Lookup(tp.P.Term)
 	if !ok {
-		return s.emptyRelation(outVars), nil
+		return s.emptyRelation(tp.Vars()), nil
 	}
 	table := s.vp[pid]
 	if table == nil {
-		return s.emptyRelation(outVars), nil
+		return s.emptyRelation(tp.Vars()), nil
 	}
+	return s.execVPTableNode(e, tp, table, "VP "+localName(tp.P.Term.Value), pushed)
+}
 
+// execVPTableNode runs the VP scan over an explicit table — the full
+// predicate table or a workload-materialized reduction of it; both
+// hold raw (s,o) rows, so the scan predicate and output shaping are
+// identical.
+func (s *Store) execVPTableNode(e *engine.Exec, tp sparql.TriplePattern, table *VPTable, label string, pushed []compiledFilter) (*engine.Relation, error) {
+	outVars := tp.Vars()
 	pred, ok, err := s.vpScanPred(tp, pushed)
 	if err != nil {
 		return nil, err
@@ -639,7 +673,7 @@ func (s *Store) execVPNode(e *engine.Exec, tp sparql.TriplePattern, pushed []com
 	if !ok {
 		return s.emptyRelation(outVars), nil
 	}
-	rel, err := e.ScanFiltered(table.Rel, "VP "+localName(tp.P.Term.Value), table.FileBytes, pred)
+	rel, err := e.ScanFiltered(table.Rel, label, table.FileBytes, pred)
 	if err != nil {
 		return nil, err
 	}

@@ -151,6 +151,10 @@ func (s *Store) planLeaves(st *stats.Collection, tree *JoinTree) []plan.Leaf {
 			Anchor:    leafAnchor(n),
 			Pats:      leafPats(s.dict, n),
 			EstSource: src,
+			// Only VP scans can redirect to a semi-join reduction: the
+			// reduced table is scanned through the same single-predicate
+			// path, so the rewrite changes bytes read, nothing else.
+			Reducible: n.Kind == NodeVP,
 		}
 	}
 	return leaves
@@ -166,6 +170,17 @@ func (s *Store) planLeaves(st *stats.Collection, tree *JoinTree) []plan.Leaf {
 func (s *Store) leafEstimate(st *stats.Collection, n *Node) (float64, map[string]float64, string) {
 	size, dist := s.nodeEstimate(st, n)
 	if len(n.Patterns) < 2 {
+		// Cross-query seeding: a previous execution of the same
+		// (predicate, constant) subpattern recorded its exact
+		// cardinality — use it over the independence guess, capping the
+		// distinct counts (a scan cannot expose more distinct values
+		// than rows).
+		if rows, ok := s.observedScanEstimate(n); ok {
+			for v := range dist {
+				minDist(dist, v, float64(rows))
+			}
+			return float64(rows), dist, plan.EstObserved
+		}
 		return size, dist, plan.EstIndep
 	}
 	pids, boundSel, ok := s.groupPreds(st, n)
@@ -382,7 +397,7 @@ func (s *Store) planCosts(st *stats.Collection, opts QueryOptions) plan.Costs {
 	if threshold < 0 {
 		threshold = 0 // disabled
 	}
-	return plan.Costs{
+	c := plan.Costs{
 		Workers:            s.cluster.Workers(),
 		BroadcastThreshold: threshold,
 		BytesPerValue:      engine.BytesPerValue,
@@ -393,4 +408,11 @@ func (s *Store) planCosts(st *stats.Collection, opts QueryOptions) plan.Costs {
 		// estimator falls back to independence everywhere.
 		JoinStats: st,
 	}
+	// The assignment is guarded so a disabled workload leaves the
+	// interface nil (a typed-nil provider would look non-nil to the
+	// rewrite pre-pass).
+	if s.workload != nil {
+		c.ExtVP = extvpCosts{s}
+	}
+	return c
 }

@@ -185,15 +185,17 @@ func (c *planCache) metrics() CacheMetrics {
 // planCacheKey renders everything a plan depends on into a lookup key:
 // the BGP patterns and filters in written order, the effective
 // projection and DISTINCT flag, the strategy, planner mode and
-// broadcast threshold, and the loader-statistics fingerprint, so a
-// statistics reload invalidates every previously cached plan. Written
-// pattern order is kept for every mode — the naive planner keys on it
-// outright, and the heuristic/cost orderings break estimate ties by
-// translation order, so two equivalent queries written differently may
-// legitimately plan differently and must not share an entry. LIMIT
-// and OFFSET are excluded: they apply after execution and do not
-// affect the plan.
-func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP uint64) string {
+// broadcast threshold, the loader-statistics fingerprint (so a
+// statistics reload invalidates every previously cached plan), and the
+// workload epoch (so a plan priced before a reduction was installed,
+// evicted, or a scan cardinality first observed never outlives that
+// state). Written pattern order is kept for every mode — the naive
+// planner keys on it outright, and the heuristic/cost orderings break
+// estimate ties by translation order, so two equivalent queries
+// written differently may legitimately plan differently and must not
+// share an entry. LIMIT and OFFSET are excluded: they apply after
+// execution and do not affect the plan.
+func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP, wlEpoch uint64) string {
 	var sb strings.Builder
 	sb.WriteString(mode.String())
 	sb.WriteByte('|')
@@ -207,6 +209,8 @@ func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP ui
 	sb.WriteString(strconv.FormatFloat(opts.replanThreshold(mode), 'g', -1, 64))
 	sb.WriteByte('|')
 	sb.WriteString(strconv.FormatUint(statsFP, 16))
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatUint(wlEpoch, 10))
 	sb.WriteByte('|')
 	if q.Distinct {
 		sb.WriteString("distinct")

@@ -998,7 +998,7 @@ func (sc *scheduler) execOp(e *engine.Exec, t *execTask, in []*engine.Relation) 
 	n := t.node
 	switch n.Op {
 	case plan.OpScan:
-		rel, err := sc.store.execNode(e, sc.nodes[n.Leaf], pickFilters(sc.filters, n.Filters))
+		rel, err := sc.store.execScanNode(e, sc.nodes[n.Leaf], n, pickFilters(sc.filters, n.Filters))
 		if err != nil {
 			return nil, fmt.Errorf("core: executing %s: %w", sc.nodes[n.Leaf].Label(), err)
 		}

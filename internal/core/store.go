@@ -22,6 +22,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/sizeenc"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Strategy selects how the translator assigns patterns to storage
@@ -109,6 +110,16 @@ type Options struct {
 	// and for tests that exercise the adaptive re-planner's response to
 	// estimation mistakes the sketches would otherwise prevent.
 	DisableJoinStats bool
+	// ExtVPBudget enables the workload-driven ExtVP subsystem and caps
+	// the total bytes of materialized semi-join reductions. Zero (the
+	// default) disables the subsystem entirely: no mining, no
+	// background builds, no cross-query estimate seeding — the store
+	// behaves exactly as before.
+	ExtVPBudget int64
+	// ExtVPBuildAfter is the number of feedback observations a
+	// predicate pair needs before its reductions are built in the
+	// background (0 = workload.DefaultBuildAfter).
+	ExtVPBuildAfter int
 }
 
 // Store is a loaded PRoST database.
@@ -141,6 +152,11 @@ type Store struct {
 	// the loader-statistics fingerprint, so replacing the statistics
 	// invalidates every cached plan.
 	planCache *planCache
+
+	// workload is the cross-query workload model: mined predicate
+	// pairs, materialized ExtVP reductions and observed scan
+	// cardinalities. Nil unless Options.ExtVPBudget is positive.
+	workload *workload.Model
 
 	// adaptive aggregates re-planning counters across queries.
 	adaptive adaptiveCounters
@@ -191,7 +207,7 @@ func (s *Store) AdaptiveMetrics() AdaptiveMetrics {
 
 // estSourceCounters tallies estimate provenance across built plans.
 type estSourceCounters struct {
-	cset, sketch, indep atomic.Uint64
+	cset, sketch, indep, extvp, obs atomic.Uint64
 }
 
 // record counts the estimating nodes (scans and joins) of one freshly
@@ -206,6 +222,10 @@ func (e *estSourceCounters) record(p *plan.Plan) {
 			e.sketch.Add(1)
 		case plan.EstIndep:
 			e.indep.Add(1)
+		case plan.EstExtVP:
+			e.extvp.Add(1)
+		case plan.EstObserved:
+			e.obs.Add(1)
 		}
 		for _, c := range n.Children {
 			walk(c)
@@ -226,14 +246,22 @@ type EstSourceMetrics struct {
 	// Indep counts nodes priced by the independence assumption (the
 	// fallback when no sketch or cset applies).
 	Indep uint64
+	// ExtVP counts scans rewritten to materialized semi-join
+	// reductions (their estimate is the reduction's exact row count).
+	ExtVP uint64
+	// Observed counts scans seeded from a previous execution's recorded
+	// cardinality of the same (predicate, constant) subpattern.
+	Observed uint64
 }
 
 // EstSourceMetrics returns the per-source estimate counters.
 func (s *Store) EstSourceMetrics() EstSourceMetrics {
 	return EstSourceMetrics{
-		CSet:   s.estSources.cset.Load(),
-		Sketch: s.estSources.sketch.Load(),
-		Indep:  s.estSources.indep.Load(),
+		CSet:     s.estSources.cset.Load(),
+		Sketch:   s.estSources.sketch.Load(),
+		Indep:    s.estSources.indep.Load(),
+		ExtVP:    s.estSources.extvp.Load(),
+		Observed: s.estSources.obs.Load(),
 	}
 }
 
@@ -291,6 +319,11 @@ func (s *Store) swapStats(st *stats.Collection) {
 	s.statsSnap.Store(&statsSnapshot{col: st, fp: st.Fingerprint()})
 	if s.planCache != nil {
 		s.planCache.bumpGeneration()
+	}
+	if s.workload != nil {
+		// Reductions and observed cardinalities describe the old data;
+		// the generation bump also strands any build still in flight.
+		s.workload.Invalidate()
 	}
 }
 
@@ -383,6 +416,14 @@ func Load(g *rdf.Graph, opts Options) (*Store, error) {
 		// A negative size disables caching outright: planCache stays
 		// nil, so queries skip key construction and locking entirely.
 		s.planCache = newPlanCache(cacheSize)
+	}
+
+	if opts.ExtVPBudget > 0 {
+		s.workload = workload.New(workload.Config{
+			BudgetBytes: opts.ExtVPBudget,
+			BuildAfter:  opts.ExtVPBuildAfter,
+			Builder:     s.buildExtVPTable,
+		})
 	}
 
 	// Phase 4: Vertical Partitioning tables.

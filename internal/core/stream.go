@@ -462,6 +462,16 @@ func (c *streamCompiler) buildSource(n *plan.Node) *streamSource {
 		if table == nil {
 			return empty()
 		}
+		label := cn.Label()
+		// A scan the planner rewrote to a semi-join reduction streams
+		// the reduced table through the same source; a miss (evicted or
+		// invalidated since planning) keeps the full table — a
+		// superset, so results are unchanged.
+		if n.ExtVP != nil {
+			if t, l, ok := c.store.extvpTable(n.ExtVP); ok {
+				table, label = t, l
+			}
+		}
 		pred, ok, err := c.store.vpScanPred(tp, pushed)
 		if err != nil {
 			c.err = err
@@ -471,7 +481,7 @@ func (c *streamCompiler) buildSource(n *plan.Node) *streamSource {
 			return empty()
 		}
 		src := &streamSource{
-			node: n, label: cn.Label(), schema: schema,
+			node: n, label: label, schema: schema,
 			table: table, pred: pred, parts: table.Rel.Partitions(),
 		}
 		switch {

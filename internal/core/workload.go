@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/columnar"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file wires the cross-query workload model (internal/workload)
+// into the store: the Builder callback that materializes one ExtVP
+// semi-join reduction on the model's background goroutine, the
+// plan.ExtVPProvider the planner's rewrite pre-pass probes, the
+// execution-time resolution of a rewritten scan back to its table
+// (with full-table fallback when the reduction was evicted), and the
+// post-execution mining hook that feeds executed joins and scan
+// cardinalities back into the model.
+
+// Workload returns the store's workload model, or nil when the store
+// was loaded without an ExtVP budget (Options.ExtVPBudget).
+func (s *Store) Workload() *workload.Model { return s.workload }
+
+// WorkloadMetrics snapshots the workload model's counters; all zero
+// when the subsystem is disabled.
+func (s *Store) WorkloadMetrics() workload.Metrics {
+	if s.workload == nil {
+		return workload.Metrics{}
+	}
+	return s.workload.Metrics()
+}
+
+// workloadEpoch is the plan-cache key segment tying cached plans to
+// the workload state (live tables, observed cardinalities) they were
+// priced against.
+func (s *Store) workloadEpoch() uint64 {
+	if s.workload == nil {
+		return 0
+	}
+	return s.workload.Epoch()
+}
+
+// buildExtVPTable is the workload model's Builder callback: it
+// materializes the semi-join reduction of pred's VP table against
+// partner at pos — the rows of pred whose join-position value occurs
+// anywhere in partner's full table — re-partitioned by subject and
+// written to HDFS under a generation-stamped path, so a build racing a
+// statistics reload never collides with the next generation's files.
+// It runs on the model's single background goroutine, concurrently
+// with queries; everything it reads (the VP relations, the dictionary)
+// is immutable after Load.
+func (s *Store) buildExtVPTable(pred, partner uint64, pos uint8, gen uint64) (workload.Table, bool) {
+	base := s.vp[rdf.ID(pred)]
+	other := s.vp[rdf.ID(partner)]
+	if base == nil || other == nil {
+		return workload.Table{}, false
+	}
+	predCol, partnerCol := extvpCols(pos)
+	keys := make(map[rdf.ID]struct{}, other.Rel.NumRows())
+	for p := 0; p < other.Rel.Partitions(); p++ {
+		for _, r := range other.Rel.Part(p) {
+			keys[r[partnerCol]] = struct{}{}
+		}
+	}
+	var rows []engine.Row
+	for p := 0; p < base.Rel.Partitions(); p++ {
+		for _, r := range base.Rel.Part(p) {
+			if _, ok := keys[r[predCol]]; ok {
+				rows = append(rows, r)
+			}
+		}
+	}
+	// An empty reduction is useless to scan, and one as large as its
+	// source saves nothing — neither is worth budget bytes.
+	if len(rows) == 0 || len(rows) >= base.Rel.NumRows() {
+		return workload.Table{}, false
+	}
+	rel, err := engine.Partition(engine.Schema{"s", "o"}, rows, "s", s.parts)
+	if err != nil {
+		return workload.Table{}, false
+	}
+	// The in-memory relation keeps the cluster's partition count so
+	// joins stay co-partitioned with the full VP tables, but the HDFS
+	// layout is coalesced into a single columnar file: a reduction is
+	// usually far smaller than its source, and per-partition file
+	// overhead plus cross-partition term-dictionary duplication would
+	// swallow most of the byte savings the scan price is based on.
+	subjCol := make([]rdf.ID, len(rows))
+	objCol := make([]rdf.ID, len(rows))
+	localTerms := make(map[rdf.ID]struct{}, 2*len(rows))
+	for i, r := range rows {
+		subjCol[i] = r[0]
+		objCol[i] = r[1]
+		localTerms[r[0]] = struct{}{}
+		localTerms[r[1]] = struct{}{}
+	}
+	w := columnar.NewWriter(0)
+	w.AddScalar("s", subjCol)
+	w.AddScalar("o", objCol)
+	f, err := w.Finish()
+	if err != nil {
+		return workload.Table{}, false
+	}
+	fileBytes := f.SizeBytes() + compressedStringBytes(s.dict, localTerms)
+	path := fmt.Sprintf("%s/extvp/g%d/p%d_p%d_%d/part-00000.parquet",
+		s.opts.PathPrefix, gen, pred, partner, pos)
+	if _, err := s.fs.Write(path, fileBytes); err != nil {
+		return workload.Table{}, false
+	}
+	t := &VPTable{Pred: rdf.ID(pred), Rel: rel, FileBytes: fileBytes}
+	return workload.Table{Rows: int64(len(rows)), Bytes: fileBytes, Data: t}, true
+}
+
+// extvpCols maps a join position (stats.JoinPos encoding, seen from
+// pred's side) to the (s,o) column index each table joins on.
+func extvpCols(pos uint8) (predCol, partnerCol int) {
+	switch stats.JoinPos(pos) {
+	case stats.JoinSS:
+		return 0, 0
+	case stats.JoinSO:
+		return 0, 1
+	case stats.JoinOS:
+		return 1, 0
+	default:
+		return 1, 1
+	}
+}
+
+// extvpCosts implements plan.ExtVPProvider over the store's live
+// workload model — the rewrite pre-pass probes it per candidate.
+type extvpCosts struct{ s *Store }
+
+// ExtVPTable implements plan.ExtVPProvider.
+func (p extvpCosts) ExtVPTable(pred, partner uint64, pos uint8) (int64, int64, bool) {
+	t, ok := p.s.workload.Peek(pred, partner, pos)
+	if !ok {
+		return 0, 0, false
+	}
+	base := p.s.vp[rdf.ID(pred)]
+	if base == nil {
+		return 0, 0, false
+	}
+	return t.Rows, int64(base.Rows()), true
+}
+
+// extvpTable resolves a rewritten scan's reduction against the live
+// model at execution time, counting the hit. ok=false — the table was
+// evicted or invalidated after planning — sends the scan back to the
+// full VP table, a superset, so results are unchanged either way.
+func (s *Store) extvpTable(ref *plan.ExtVPRef) (*VPTable, string, bool) {
+	if s.workload == nil {
+		return nil, "", false
+	}
+	t, ok := s.workload.Lookup(ref.Pred, ref.Partner, uint8(ref.Pos))
+	if !ok {
+		return nil, "", false
+	}
+	vt, ok := t.Data.(*VPTable)
+	if !ok || vt == nil {
+		return nil, "", false
+	}
+	label := "ExtVP " + localName(s.dict.Term(rdf.ID(ref.Pred)).Value) +
+		"<-" + localName(s.dict.Term(rdf.ID(ref.Partner)).Value)
+	return vt, label, true
+}
+
+// mineWorkload feeds one executed (stamped) plan into the workload
+// model: every observed join contributes its predicate pairs weighted
+// by actual output rows, and every clean single-constant VP scan —
+// filter-free and not itself rewritten, so its actual is the full
+// subpattern cardinality — records the exact count for cross-query
+// estimate seeding. nodes is the plan's Join Tree node list
+// (Node.Leaf indexes into it).
+func (s *Store) mineWorkload(p *plan.Plan, nodes []*Node) {
+	if s.workload == nil || p == nil {
+		return
+	}
+	for _, jo := range p.JoinObservations() {
+		s.workload.ObserveJoin(jo.P1, jo.P2, uint8(jo.Pos), jo.Rows)
+	}
+	for _, n := range p.Scans() {
+		if n.Actual < 0 || len(n.Filters) > 0 || n.ExtVP != nil {
+			continue
+		}
+		if n.Leaf < 0 || n.Leaf >= len(nodes) {
+			continue
+		}
+		cn := nodes[n.Leaf]
+		if cn.Kind != NodeVP || len(cn.Patterns) != 1 {
+			continue
+		}
+		if pid, cid, subjBound, ok := s.scanObsKey(cn.Patterns[0]); ok {
+			s.workload.ObserveScan(pid, cid, subjBound, n.Actual)
+		}
+	}
+}
+
+// scanObsKey resolves a pattern's (predicate, constant) observation
+// key: a bound predicate with exactly one of subject/object bound to a
+// term the dictionary knows, the other position a variable.
+func (s *Store) scanObsKey(tp sparql.TriplePattern) (pred, constID uint64, subjBound, ok bool) {
+	if tp.P.IsVar() || tp.S.IsVar() == tp.O.IsVar() {
+		return 0, 0, false, false
+	}
+	pid, found := s.dict.Lookup(tp.P.Term)
+	if !found {
+		return 0, 0, false, false
+	}
+	bound := tp.S
+	subjBound = true
+	if tp.S.IsVar() {
+		bound = tp.O
+		subjBound = false
+	}
+	cid, found := s.dict.Lookup(bound.Term)
+	if !found {
+		return 0, 0, false, false
+	}
+	return uint64(pid), uint64(cid), subjBound, true
+}
+
+// observedScanEstimate prices a single-pattern VP node from a
+// previously recorded execution of the same (predicate, constant)
+// subpattern — the cross-query seed consumed by leafEstimate.
+func (s *Store) observedScanEstimate(n *Node) (int64, bool) {
+	if s.workload == nil || n.Kind != NodeVP || len(n.Patterns) != 1 {
+		return 0, false
+	}
+	pid, cid, subjBound, ok := s.scanObsKey(n.Patterns[0])
+	if !ok {
+		return 0, false
+	}
+	return s.workload.LookupObserved(pid, cid, subjBound)
+}

@@ -38,6 +38,12 @@ type Leaf struct {
 	// set-priced stars, EstSketch for pair-sketch-priced groups, EstIndep
 	// otherwise; "" defaults to EstIndep).
 	EstSource string
+	// Reducible marks a single-pattern VP scan the workload rewrite
+	// pre-pass may redirect to a materialized semi-join reduction.
+	Reducible bool
+	// ExtVP, when non-nil, is the reduction this leaf was rewritten to
+	// scan (set by the pre-pass, never by the translator).
+	ExtVP *ExtVPRef
 }
 
 // FilterSpec is one FILTER constraint as the planner sees it.
@@ -87,6 +93,9 @@ type Costs struct {
 	// estimation (nil falls back to the independence assumption
 	// everywhere). *stats.Collection implements it.
 	JoinStats JoinStatsProvider
+	// ExtVP resolves workload-materialized semi-join reductions for the
+	// scan rewrite pre-pass (nil disables rewriting).
+	ExtVP ExtVPProvider
 }
 
 // Build assembles a physical plan from the translated leaves.
@@ -113,7 +122,12 @@ func Build(leaves []Leaf, filters []FilterSpec, projection []string, distinct bo
 		c.BytesPerValue = 5
 	}
 
-	p := &Plan{Mode: mode, Leaves: leaves}
+	// Workload rewrite pre-pass: redirect eligible scans to materialized
+	// semi-join reductions before ordering, so join enumeration prices
+	// the reduced cardinalities.
+	leaves, rewrites := rewriteLeaves(leaves, c)
+
+	p := &Plan{Mode: mode, Leaves: leaves, Rewrites: rewrites}
 	for _, f := range filters {
 		p.FilterLabels = append(p.FilterLabels, f.Label)
 	}
@@ -377,6 +391,7 @@ func scanState(l Leaf, idx int, pushedFilters []int, filters []FilterSpec, c Cos
 		Leaf:      idx,
 		Filters:   pushedFilters,
 		EstSource: src,
+		ExtVP:     l.ExtVP,
 	}
 	s := state{
 		node:     n,

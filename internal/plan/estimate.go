@@ -35,6 +35,15 @@ const (
 	// EstExact marks a materialized intermediate (bound leaf) whose
 	// cardinality was observed, not estimated.
 	EstExact = "exact"
+	// EstExtVP marks a scan rewritten to a materialized semi-join
+	// reduction (workload-driven ExtVP table); its estimate is the
+	// reduction's exact row count (scaled by the pattern's constant
+	// selectivity when a position is bound).
+	EstExtVP = "extvp"
+	// EstObserved marks a scan whose cardinality was seeded from a
+	// previous execution of the same (predicate, constant) subpattern —
+	// the workload model's cross-query feedback.
+	EstObserved = "obs"
 )
 
 // PairPos identifies which position of each pattern in an ordered
@@ -54,6 +63,20 @@ const (
 	// PairOO joins the objects of both patterns.
 	PairOO
 )
+
+// String implements fmt.Stringer.
+func (p PairPos) String() string {
+	switch p {
+	case PairSS:
+		return "s-s"
+	case PairSO:
+		return "s-o"
+	case PairOS:
+		return "o-s"
+	default:
+		return "o-o"
+	}
+}
 
 // JoinStatsProvider is the sketch lookup the estimator prices
 // correlated joins with; *stats.Collection implements it. pos uses the

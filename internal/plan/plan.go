@@ -211,6 +211,12 @@ type Node struct {
 	// derivative operators (Filter/Project/Distinct inherit their
 	// input's quality).
 	EstSource string
+	// ExtVP, when non-nil, redirects a Scan to a workload-materialized
+	// semi-join reduction of its predicate's VP table. Executors resolve
+	// it against the live workload model and fall back to the full table
+	// when the reduction has since been evicted (a superset, so results
+	// are unchanged).
+	ExtVP *ExtVPRef
 }
 
 // Plan is a complete physical plan for one query. A Plan is immutable
@@ -237,6 +243,9 @@ type Plan struct {
 	Leaves []Leaf
 	// FilterLabels render the builder's filter specs for EXPLAIN.
 	FilterLabels []string
+	// Rewrites records every ExtVP scan-rewrite candidate the build's
+	// workload pre-pass considered (applied and declined), for EXPLAIN.
+	Rewrites []Rewrite
 
 	nodeCount int
 }

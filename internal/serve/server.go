@@ -263,14 +263,19 @@ func (s *Server) requestOptions(r *http.Request) (core.QueryOptions, error) {
 		}
 		opts.Strategy = strat
 	}
-	if v := r.URL.Query().Get("streaming"); v != "" {
+	// Boolean and integer parameters are validated whenever the key is
+	// present — ?streaming= with an empty or malformed value is a 400,
+	// not a silent no-op the caller mistakes for having taken effect.
+	if q := r.URL.Query(); q.Has("streaming") {
+		v := q.Get("streaming")
 		on, err := strconv.ParseBool(v)
 		if err != nil {
-			return opts, fmt.Errorf("invalid streaming=%q: %v", v, err)
+			return opts, fmt.Errorf("invalid streaming=%q: want a boolean (1, 0, true, false)", v)
 		}
 		opts.Streaming = on
 	}
-	if v := r.URL.Query().Get("chunk"); v != "" {
+	if q := r.URL.Query(); q.Has("chunk") {
+		v := q.Get("chunk")
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
 			return opts, fmt.Errorf("invalid chunk=%q: want a positive row count", v)
@@ -571,7 +576,17 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if r.URL.Query().Get("analyze") == "0" {
+	analyze := true
+	if q := r.URL.Query(); q.Has("analyze") {
+		v := q.Get("analyze")
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid analyze=%q: want a boolean (1, 0, true, false)", v), http.StatusBadRequest)
+			return
+		}
+		analyze = on
+	}
+	if !analyze {
 		// Plan only: translate and build (through the plan cache is
 		// pointless here — Plan is pure), no execution, so actuals
 		// render as "?" and the error summary reports not-executed.
@@ -608,6 +623,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, res.Plan.ErrorSummary())
 	if adaptive := res.ReplanSummary(); adaptive != "" {
 		fmt.Fprint(w, adaptive)
+	}
+	if ws := res.Plan.RewriteSummary(); ws != "" {
+		fmt.Fprint(w, ws)
 	}
 	if rs := res.Resilience.String(); rs != "" {
 		fmt.Fprint(w, rs)
@@ -677,12 +695,31 @@ type statsResponse struct {
 		WorstCase float64 `json:"worstRatio"`
 		WorstNode string  `json:"worstNode,omitempty"`
 		// Estimate provenance across all built plans: how many scan/join
-		// estimates came from characteristic sets, pair sketches, or the
-		// independence fallback.
-		CSetNodes   uint64 `json:"csetNodes"`
-		SketchNodes uint64 `json:"sketchNodes"`
-		IndepNodes  uint64 `json:"indepNodes"`
+		// estimates came from characteristic sets, pair sketches, the
+		// independence fallback, a materialized ExtVP reduction's exact
+		// count, or an observed cardinality seeded by an earlier query.
+		CSetNodes     uint64 `json:"csetNodes"`
+		SketchNodes   uint64 `json:"sketchNodes"`
+		IndepNodes    uint64 `json:"indepNodes"`
+		ExtVPNodes    uint64 `json:"extvpNodes"`
+		ObservedNodes uint64 `json:"observedNodes"`
 	} `json:"estimation"`
+	// Workload reports the workload model driving ExtVP semi-join
+	// materialization: mined pair/scan observations, the live reduction
+	// set against its byte budget, and how often executions scanned a
+	// reduction instead of a full VP table.
+	Workload struct {
+		Enabled       bool   `json:"enabled"`
+		PairsTracked  int    `json:"pairsTracked"`
+		Observations  int    `json:"observations"`
+		TablesBuilt   uint64 `json:"tablesBuilt"`
+		TablesEvicted uint64 `json:"tablesEvicted"`
+		TablesLive    int    `json:"tablesLive"`
+		TableBytes    int64  `json:"tableBytes"`
+		BudgetBytes   int64  `json:"budgetBytes"`
+		HitCount      uint64 `json:"hitCount"`
+		Epoch         uint64 `json:"epoch"`
+	} `json:"workload"`
 	// JoinStats summarizes the loader's join-graph statistics: size,
 	// memory footprint, and how much of the candidate pair volume the
 	// kept top-K sketches cover — the number that explains why a pair
@@ -717,6 +754,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.Estimation.CSetNodes = em.CSet
 	doc.Estimation.SketchNodes = em.Sketch
 	doc.Estimation.IndepNodes = em.Indep
+	doc.Estimation.ExtVPNodes = em.ExtVP
+	doc.Estimation.ObservedNodes = em.Observed
+
+	wm := s.cfg.Store.WorkloadMetrics()
+	doc.Workload.Enabled = s.cfg.Store.Workload() != nil
+	doc.Workload.PairsTracked = wm.PairsTracked
+	doc.Workload.Observations = wm.Observations
+	doc.Workload.TablesBuilt = wm.TablesBuilt
+	doc.Workload.TablesEvicted = wm.TablesEvicted
+	doc.Workload.TablesLive = wm.TablesLive
+	doc.Workload.TableBytes = wm.TableBytes
+	doc.Workload.BudgetBytes = wm.BudgetBytes
+	doc.Workload.HitCount = wm.HitCount
+	doc.Workload.Epoch = wm.Epoch
 
 	rm := s.cfg.Store.ResilienceMetrics()
 	doc.Resilience.Attempts = rm.Attempts

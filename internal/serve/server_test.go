@@ -631,3 +631,123 @@ func TestSPARQLStreamingEndpoint(t *testing.T) {
 			stats.Queries.AvgFirstRowMS, stats.Queries.MaxPeakMemBytes)
 	}
 }
+
+// TestMalformedParamsReturn400 pins the validation contract: a
+// boolean/int parameter is parsed whenever the key is present, so an
+// empty or malformed ?streaming=, ?chunk= or ?analyze= returns 400
+// with a parse error rather than silently falling back to defaults.
+func TestMalformedParamsReturn400(t *testing.T) {
+	srv := testServer(t)
+	q := url.QueryEscape(serveQuery)
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/sparql?query=" + q + "&streaming=", "invalid streaming"},
+		{"/sparql?query=" + q + "&streaming=yes-please", "invalid streaming"},
+		{"/sparql?query=" + q + "&chunk=", "invalid chunk"},
+		{"/sparql?query=" + q + "&chunk=-3", "invalid chunk"},
+		{"/sparql?query=" + q + "&chunk=many", "invalid chunk"},
+		{"/explain?query=" + q + "&analyze=", "invalid analyze"},
+		{"/explain?query=" + q + "&analyze=maybe", "invalid analyze"},
+		{"/explain?query=" + q + "&streaming=", "invalid streaming"},
+	}
+	for _, tt := range cases {
+		w := get(t, srv, tt.path)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %q)", tt.path, w.Code, w.Body)
+		}
+		if !strings.Contains(w.Body.String(), tt.want) {
+			t.Errorf("%s: body %q does not mention %q", tt.path, w.Body, tt.want)
+		}
+	}
+	// Well-formed values keep working.
+	for _, path := range []string{
+		"/sparql?query=" + q + "&streaming=1&chunk=2",
+		"/sparql?query=" + q + "&streaming=false",
+		"/explain?query=" + q + "&analyze=0",
+		"/explain?query=" + q + "&analyze=true",
+	} {
+		if w := get(t, srv, path); w.Code != http.StatusOK {
+			t.Errorf("%s: status = %d, want 200 (body %q)", path, w.Code, w.Body)
+		}
+	}
+}
+
+// TestStatsWorkloadBlock exercises /stats against a store with the
+// ExtVP subsystem enabled: after a repeated join query the workload
+// block reports mined pairs, built reductions, and served hits. The
+// graph needs dangling edges on both sides of the hot pair or the
+// semi-joins keep every row and nothing materializes.
+func TestStatsWorkloadBlock(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+	g := rdf.NewGraph(0)
+	add := func(s, p string, o rdf.Term) { g.AddSPO(iri(s), iri(p), o) }
+	add("user0", "likes", iri("prodA"))
+	add("user1", "likes", iri("prodA"))
+	add("user1", "likes", iri("prodB"))
+	add("user2", "likes", iri("prodB"))
+	add("user3", "likes", iri("prodC")) // prodC has no genre
+	add("prodA", "hasGenre", iri("g1"))
+	add("prodB", "hasGenre", iri("g2"))
+	add("prodD", "hasGenre", iri("g3")) // nobody likes prodD
+
+	c := cluster.MustNew(cluster.Config{Workers: 3, DefaultPartitions: 4})
+	store, err := core.Load(g, core.Options{Cluster: c, ExtVPBudget: 1 << 20, ExtVPBuildAfter: 1})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	srv, err := New(Config{Store: store, MaxInflight: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	path := "/sparql?query=" + url.QueryEscape(serveQuery)
+	if w := get(t, srv, path); w.Code != http.StatusOK {
+		t.Fatalf("cold query: %d %s", w.Code, w.Body)
+	}
+	store.Workload().Wait()
+	if w := get(t, srv, path); w.Code != http.StatusOK {
+		t.Fatalf("warm query: %d %s", w.Code, w.Body)
+	}
+
+	var doc struct {
+		Workload struct {
+			Enabled      bool
+			PairsTracked int
+			TablesBuilt  uint64
+			TablesLive   int
+			TableBytes   int64
+			BudgetBytes  int64
+			HitCount     uint64
+		}
+		Estimation struct {
+			ExtVPNodes uint64 `json:"extvpNodes"`
+		}
+	}
+	if err := json.Unmarshal(get(t, srv, "/stats").Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	wl := doc.Workload
+	if !wl.Enabled {
+		t.Fatal("workload block reports disabled on an ExtVP-enabled store")
+	}
+	if wl.PairsTracked < 1 || wl.TablesBuilt < 1 || wl.TablesLive < 1 {
+		t.Errorf("workload block %+v, want mined pairs and live tables", wl)
+	}
+	if wl.HitCount < 1 {
+		t.Errorf("warm query served no reduction (hitCount = %d)", wl.HitCount)
+	}
+	if wl.TableBytes <= 0 || wl.TableBytes > wl.BudgetBytes {
+		t.Errorf("tableBytes = %d outside (0, budget %d]", wl.TableBytes, wl.BudgetBytes)
+	}
+	if doc.Estimation.ExtVPNodes < 1 {
+		t.Errorf("estimation block recorded no extvp-sourced scan")
+	}
+
+	// The warm /explain renders the rewrite record.
+	exp := get(t, srv, "/explain?query="+url.QueryEscape(serveQuery))
+	if !strings.Contains(exp.Body.String(), "workload rewrites:") {
+		t.Errorf("/explain missing workload rewrite block:\n%s", exp.Body)
+	}
+}

@@ -109,6 +109,30 @@ func canonicalPair(p1, p2 rdf.ID, pos JoinPos) pairKey {
 	}
 }
 
+// CanonicalPair normalizes an ordered (p1, p2, pos) predicate pair to
+// the canonical form the sketch store (and the workload model's pair
+// accounting) key by: symmetric positions keep p1 <= p2 and o-s is
+// stored as the transposed s-o. The workload layer uses it so that the
+// same physical join observed from either side accumulates into one
+// counter.
+func CanonicalPair(p1, p2 rdf.ID, pos JoinPos) (q1, q2 rdf.ID, qpos JoinPos) {
+	k := canonicalPair(p1, p2, pos)
+	return k.p1, k.p2, k.pos
+}
+
+// Transpose returns the join position as seen from the other side of
+// the pair: s-o becomes o-s and the symmetric positions are unchanged.
+func (p JoinPos) Transpose() JoinPos {
+	switch p {
+	case JoinSO:
+		return JoinOS
+	case JoinOS:
+		return JoinSO
+	default:
+		return p
+	}
+}
+
 // PairSketch is the sketch for one predicate pair at one join
 // position: the exact join cardinality and the number of distinct key
 // values both sides share.
