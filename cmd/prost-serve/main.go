@@ -36,6 +36,13 @@
 // -drain-timeout) before exiting 0. The -fault-* flags inject a
 // deterministic fault schedule into the simulated cluster to exercise
 // recovery end to end.
+//
+// With -shard-addrs the server runs as a scale-out coordinator:
+// planning, shuffle routing and stage pricing stay local, while scan
+// and exchange kernels execute on prost-shard worker processes over
+// TCP. Results and simulated times match single-process execution
+// exactly; /stats gains a network block with per-shard traffic, RTT
+// quantiles and the cost model's network-price calibration error.
 package main
 
 import (
@@ -52,11 +59,13 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // options carries the parsed command line.
 type options struct {
 	in, addr          string
+	shardAddrs        string
 	strategy, planner string
 	workers           int
 	streaming         bool
@@ -87,6 +96,7 @@ func main() {
 	var o options
 	flag.StringVar(&o.in, "in", "", "input N-Triples file (required)")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.shardAddrs, "shard-addrs", "", "comma-separated prost-shard addresses; set, the server runs as a scale-out coordinator delegating scan and exchange kernels to the shards (addresses in shard order: the i-th address must be the shard started with -shard i)")
 	flag.StringVar(&o.strategy, "strategy", "mixed", "default query strategy: "+strings.Join(core.StrategyNames(), ", "))
 	flag.StringVar(&o.planner, "planner", "cost", "default planner mode: "+strings.Join(core.PlannerModeNames(), ", "))
 	flag.IntVar(&o.workers, "workers", 9, "simulated worker machines")
@@ -189,6 +199,24 @@ func run(o options) error {
 			fp.Seed, fp.FailRate, fp.StragglerRate, fp.CorruptRate)
 	}
 
+	// Coordinator mode: dial the shards after loading (they verify the
+	// topology and statistics fingerprint during the handshake) and
+	// route every query's kernels through them.
+	var dist core.DistRunner
+	if o.shardAddrs != "" {
+		addrs := strings.Split(o.shardAddrs, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		coord, err := shard.Dial(store, addrs)
+		if err != nil {
+			return fmt.Errorf("dialing shards: %w", err)
+		}
+		defer coord.Close()
+		dist = coord
+		fmt.Fprintf(os.Stderr, "coordinating %d shards: %s\n", len(addrs), strings.Join(addrs, ", "))
+	}
+
 	srv, err := serve.New(serve.Config{
 		Store: store,
 		Options: core.QueryOptions{
@@ -198,6 +226,7 @@ func run(o options) error {
 			ReplanThreshold: o.replan,
 			Streaming:       o.streaming,
 			ChunkSize:       o.chunkSize,
+			Dist:            dist,
 		},
 		MaxInflight:      o.inflight,
 		MaxRows:          o.maxRows,

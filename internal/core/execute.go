@@ -85,6 +85,13 @@ type QueryOptions struct {
 	// ChunkSize is the streaming executor's rows-per-chunk (and morsel
 	// batch) granularity (0 = DefaultChunkSize).
 	ChunkSize int
+	// Dist routes scan and exchange kernels to shard processes through
+	// a per-query DistSession (coordinator mode). Planning, shuffle
+	// routing and stage pricing stay local and unchanged, so results
+	// and SimTime match single-process execution; streaming, fault
+	// injection and adaptive re-planning are forced off for the query,
+	// and ExtVP rewrites are not taken.
+	Dist DistRunner
 }
 
 // DefaultReplanThreshold is the estimation-error factor that triggers
@@ -255,6 +262,22 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	if clock == nil {
 		clock = cluster.NewClock()
 	}
+	// Coordinator mode: open the per-query shard session and force the
+	// execution paths the distributed kernels do not take — streaming,
+	// fault injection and adaptive re-planning — off. Planning is
+	// unaffected (the session only executes kernels).
+	var distSess DistSession
+	if opts.Dist != nil {
+		sess, err := opts.Dist.Session(q)
+		if err != nil {
+			return nil, err
+		}
+		distSess = sess
+		defer distSess.Close()
+		opts.Streaming = false
+		opts.Faults = nil
+		opts.ReplanThreshold = -1
+	}
 	mode := opts.planMode()
 	// One statistics snapshot serves the whole query: the cache key's
 	// fingerprint, leaf estimation, plan pricing and the re-planner's
@@ -290,7 +313,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	if faults == nil {
 		faults = s.cluster.Config().Faults
 	}
-	if !faults.Active() {
+	if !faults.Active() || distSess != nil {
 		faults = nil
 	}
 	var faultSalt uint64
@@ -316,6 +339,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	sched := &scheduler{
 		store:           s,
 		nodes:           entry.nodes,
+		dist:            distSess,
 		filters:         filters,
 		opts:            opts,
 		ctx:             ctx,
@@ -373,6 +397,10 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		executed = pl.Stamp(sched.rounds[0].obs)
 	} else {
 		executed = sched.executedPlan()
+	}
+	if distSess != nil {
+		// EXPLAIN view: measured vs priced bytes per exchange node.
+		annotateDistPlan(executed, distSess.Records())
 	}
 
 	// Feedback write-back: a fully executed query that evaluated a
@@ -513,8 +541,16 @@ type compiledFilter struct {
 // compileFilters turns the query's FILTER list into ID predicates, in
 // q.Filters order (plan filter indexes point into this slice).
 func (s *Store) compileFilters(q *sparql.Query) ([]compiledFilter, error) {
-	out := make([]compiledFilter, 0, len(q.Filters))
-	for _, f := range q.Filters {
+	return s.compileFilterList(q.Filters)
+}
+
+// compileFilterList compiles an explicit FILTER list — the shard
+// server compiles the coordinator-shipped pushed filters through the
+// same path, so both sides test rows identically (the dictionaries are
+// equal by deterministic loading).
+func (s *Store) compileFilterList(filters []sparql.Filter) ([]compiledFilter, error) {
+	out := make([]compiledFilter, 0, len(filters))
+	for _, f := range filters {
 		op, err := compareFn(f.Op)
 		if err != nil {
 			return nil, err
@@ -677,8 +713,14 @@ func (s *Store) execVPTableNode(e *engine.Exec, tp sparql.TriplePattern, table *
 	if err != nil {
 		return nil, err
 	}
+	return s.shapeVPScan(e, tp, rel)
+}
 
-	// Shape the output columns.
+// shapeVPScan shapes a VP scan's surviving raw (s,o) rows to the
+// pattern's variables — shared by the local scan operator and the
+// distributed gather path, so both produce identical relations.
+func (s *Store) shapeVPScan(e *engine.Exec, tp sparql.TriplePattern, rel *engine.Relation) (*engine.Relation, error) {
+	var err error
 	switch {
 	case tp.S.IsVar() && tp.O.IsVar() && tp.S.Var == tp.O.Var:
 		rel, err = e.Project(rel, []string{"s"})

@@ -162,7 +162,15 @@ type TaskFailedError struct {
 	// CompletedTasks and TotalTasks count plan operators executed vs
 	// scheduled when the query aborted.
 	CompletedTasks, TotalTasks int
+	// Cause is the underlying failure for non-injected aborts — a dead
+	// shard process surfaces its *wire.ShardError here. Nil for
+	// simulated fault-injection aborts.
+	Cause error
 }
+
+// Unwrap exposes the underlying failure (e.g. a *wire.ShardError) to
+// errors.Is/As.
+func (e *TaskFailedError) Unwrap() error { return e.Cause }
 
 // Error implements error.
 func (e *TaskFailedError) Error() string {
@@ -172,6 +180,9 @@ func (e *TaskFailedError) Error() string {
 	for _, a := range e.Attempts {
 		sb.WriteString("; ")
 		sb.WriteString(a.String())
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&sb, "; cause: %v", e.Cause)
 	}
 	return sb.String()
 }

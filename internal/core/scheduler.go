@@ -177,6 +177,12 @@ type scheduler struct {
 	costs           plan.Costs
 	replanCharge    time.Duration
 
+	// dist, when non-nil, delegates scan and exchange kernels to shard
+	// processes. Streaming, fault injection and re-planning are forced
+	// off by QueryContext in this mode, so only the fault-free run()
+	// path ever sees it.
+	dist DistSession
+
 	rounds []*roundRun
 	events []ReplanEvent
 
@@ -452,9 +458,14 @@ func (sc *scheduler) run(rr *roundRun, t *execTask) {
 	// level, not per task.
 	e.StartCost = 0
 	e.BroadcastThreshold = sc.opts.BroadcastThreshold
+	e.Dist = sc.dist
 
 	rel, err := sc.execOp(e, t, taskInputs(t))
 	if err != nil {
+		if sc.dist != nil {
+			err = wrapShardErr(err, nodeDesc(t.node), t.start,
+				int(sc.completed.Load()), int(sc.totalTasks.Load()))
+		}
 		sc.fail(err)
 		return
 	}
@@ -998,7 +1009,13 @@ func (sc *scheduler) execOp(e *engine.Exec, t *execTask, in []*engine.Relation) 
 	n := t.node
 	switch n.Op {
 	case plan.OpScan:
-		rel, err := sc.store.execScanNode(e, sc.nodes[n.Leaf], n, pickFilters(sc.filters, n.Filters))
+		var rel *engine.Relation
+		var err error
+		if sc.dist != nil {
+			rel, err = sc.store.execDistScanNode(e, sc.dist, sc.nodes[n.Leaf], n.Filters, pickFilters(sc.filters, n.Filters))
+		} else {
+			rel, err = sc.store.execScanNode(e, sc.nodes[n.Leaf], n, pickFilters(sc.filters, n.Filters))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: executing %s: %w", sc.nodes[n.Leaf].Label(), err)
 		}

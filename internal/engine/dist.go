@@ -1,0 +1,202 @@
+package engine
+
+import "repro/internal/cluster"
+
+// This file is the engine's distributed-execution seam. Exchange
+// operators (shuffle join, broadcast join, cartesian, distinct)
+// compute their shuffle layout exactly as in single-process execution,
+// then — when an Exchanger is installed on the Exec — delegate the
+// per-partition kernels to remote shard processes and adopt the
+// returned rows as the stage output. The kernels below are the exact
+// functions the local closures run, so a shard executing them over the
+// same fragments produces bit-identical partitions, and every stage's
+// TaskStats are computed from coordinator-known values (fragment
+// lengths and returned row counts) — SimTime is invariant under where
+// the kernels physically ran.
+
+// ShuffleSpec describes the partition-wise hash-join kernel of a
+// shuffle join whose fragments were already routed by the coordinator.
+type ShuffleSpec struct {
+	Name         string
+	LKey, RKey   []int
+	OutWidth     int
+	LKeep, RKeep []int
+	// PricedBytes is the cost model's network charge for this exchange
+	// (the moved bytes both sides pay), recorded for calibration.
+	PricedBytes int64
+	// LMovedBytes and RMovedBytes split PricedBytes per side. A side the
+	// model charged zero for (already aligned on the join key) still
+	// crosses the wire in coordinator mode — the relation lives
+	// coordinator-side — but that relay traffic must not count against
+	// the model's price, so the Exchanger uses these to classify each
+	// side's payload as measured shuffle or relay.
+	LMovedBytes, RMovedBytes int64
+}
+
+// BroadcastSpec describes a broadcast hash join: the build side ships
+// whole, the probe side stays put.
+type BroadcastSpec struct {
+	Name               string
+	BuildKey, ProbeKey []int
+	BuildIsLeft        bool
+	OutWidth           int
+	LKeep, RKeep       []int
+	PricedBytes        int64
+}
+
+// CartesianSpec describes a cross product via broadcast of the small
+// side.
+type CartesianSpec struct {
+	Name         string
+	SmallIsLeft  bool
+	OutWidth     int
+	LKeep, RKeep []int
+	PricedBytes  int64
+}
+
+// DistinctSpec describes a post-shuffle dedup kernel.
+type DistinctSpec struct {
+	Width       int
+	PricedBytes int64
+}
+
+// Exchanger runs exchange kernels on remote shards. Implementations
+// must return exactly len(input-partitions) output partitions with the
+// same rows the local kernels would produce; internal/shard's
+// coordinator session is the production implementation.
+type Exchanger interface {
+	ShuffleJoin(spec ShuffleSpec, lParts, rParts [][]Row) ([][]Row, error)
+	BroadcastJoin(spec BroadcastSpec, buildRows []Row, probeParts [][]Row) ([][]Row, error)
+	Cartesian(spec CartesianSpec, smallRows []Row, largeParts [][]Row) ([][]Row, error)
+	Distinct(spec DistinctSpec, parts [][]Row) ([][]Row, error)
+}
+
+// JoinPartitionKernel hash-joins one shuffle partition: the smaller
+// side (by row count; left on ties) becomes the build side, and output
+// rows keep left-to-right column order. This is the exact kernel
+// shuffleJoin runs locally, exported so shard processes reproduce its
+// output bit for bit.
+func JoinPartitionKernel(lRows, rRows []Row, lKey, rKey []int, outWidth int, lKeep, rKeep []int) []Row {
+	build, probe := lRows, rRows
+	buildKey, probeKey := lKey, rKey
+	buildIsLeft := true
+	if len(probe) < len(build) {
+		build, probe = probe, build
+		buildKey, probeKey = probeKey, buildKey
+		buildIsLeft = false
+	}
+	jp := NewJoinProbe(build, buildKey)
+	return jp.Probe(probe, probeKey, buildIsLeft, outWidth, lKeep, rKeep)
+}
+
+// JoinProbe is a reusable hash index over a join's build side; shard
+// servers build it once per broadcast join and probe every owned
+// partition against it.
+type JoinProbe struct {
+	ix       joinIndex
+	buildKey []int
+}
+
+// NewJoinProbe indexes buildRows on the key columns.
+func NewJoinProbe(buildRows []Row, buildKey []int) *JoinProbe {
+	return &JoinProbe{ix: buildJoinIndex(buildRows, buildKey), buildKey: buildKey}
+}
+
+// Probe emits the join of probeRows against the indexed build side,
+// preserving probe-row order (then build-chain order), exactly as the
+// in-process join closures do.
+func (jp *JoinProbe) Probe(probeRows []Row, probeKey []int, buildIsLeft bool, outWidth int, lKeep, rKeep []int) []Row {
+	ix := jp.ix
+	arena := NewRowArena(outWidth, len(probeRows))
+	for _, pr := range probeRows {
+		for i := ix.first(pr, probeKey); i != 0; i = ix.next[i-1] {
+			if !ix.match(i, pr, probeKey) {
+				continue
+			}
+			br := ix.rows[i-1]
+			lr, rr := br, pr
+			if !buildIsLeft {
+				lr, rr = pr, br
+			}
+			if lKeep == nil {
+				arena.AppendJoin(lr, rr, rKeep)
+			} else {
+				arena.AppendJoinPruned(lr, rr, lKeep, rKeep)
+			}
+		}
+	}
+	return arena.Rows()
+}
+
+// CartesianKernel crosses one partition of the large side with the
+// whole broadcast small side, in the local operator's emission order.
+func CartesianKernel(largeRows, smallRows []Row, smallIsLeft bool, outWidth int, lKeep, rKeep []int) []Row {
+	arena := NewRowArena(outWidth, len(largeRows)*len(smallRows))
+	for _, lr := range largeRows {
+		for _, sr := range smallRows {
+			l, r := sr, lr
+			if !smallIsLeft {
+				l, r = lr, sr
+			}
+			if lKeep == nil {
+				arena.AppendConcat(l, r)
+			} else {
+				arena.AppendJoinPruned(l, r, lKeep, rKeep)
+			}
+		}
+	}
+	return arena.Rows()
+}
+
+// DistinctKernel dedups one shuffled partition, keeping first-seen
+// row order like the local distinct closure.
+func DistinctKernel(rows []Row, width int) []Row {
+	seen := newRowSet(width, len(rows))
+	for _, r := range rows {
+		seen.insert(r)
+	}
+	return seen.rows
+}
+
+// RowsChecksum digests row partitions exactly like Relation.Checksum,
+// exported so the wire layer can verify an exchanged payload against
+// the checksum its producer framed alongside it.
+func RowsChecksum(parts [][]Row) uint64 {
+	h := fnvOffset
+	for _, part := range parts {
+		for _, row := range part {
+			for _, v := range row {
+				h ^= uint64(v)
+				h *= fnvPrime
+			}
+			h ^= rowBoundaryMark
+			h *= fnvPrime
+		}
+		h ^= partBoundaryMark
+		h *= fnvPrime
+	}
+	return h
+}
+
+// ScanGathered charges a filtered table scan whose surviving rows were
+// produced elsewhere (shard-local evaluation): stats are identical to
+// ScanFiltered — the full stored partition streams off disk and every
+// stored row is processed — but the output partitions are the
+// shard-returned ones. out must have table.Partitions() entries.
+func (e *Exec) ScanGathered(table *Relation, name string, diskBytes int64, out [][]Row) (*Relation, error) {
+	n := table.Partitions()
+	if n == 0 {
+		return table, nil
+	}
+	perPart := diskBytes / int64(n)
+	err := e.Cluster.RunStage(e.Clock, e.Launch(false), "scan "+name, n, func(p int) (cluster.TaskStats, error) {
+		return cluster.TaskStats{
+			DiskBytes: perPart,
+			Rows:      int64(len(table.Part(p))),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{schema: table.schema.Clone(), parts: out, partCols: cloneCols(table.partCols)}, nil
+}

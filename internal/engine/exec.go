@@ -45,6 +45,11 @@ type Exec struct {
 	// replicated, so a zipfian hot key no longer serializes one worker.
 	// 0 means DefaultSkewSaltFraction; negative disables salting.
 	SkewSaltFraction float64
+	// Dist, when non-nil, delegates exchange kernels (shuffle join,
+	// broadcast join, cartesian, distinct) to remote shard processes.
+	// Layout decisions, shuffle routing and stage pricing stay local,
+	// so SimTime and results are identical to single-process runs.
+	Dist Exchanger
 
 	started bool
 }
@@ -266,13 +271,21 @@ func (e *Exec) Distinct(rel *Relation) (*Relation, error) {
 	} else {
 		shuffled, moved = shuffleRows(rel, keyIdx, n)
 	}
+	run := func(p int) []Row { return DistinctKernel(shuffled[p], width) }
+	if e.Dist != nil {
+		var priced int64
+		for _, m := range moved {
+			priced += m
+		}
+		res, err := e.Dist.Distinct(DistinctSpec{Width: width, PricedBytes: priced}, shuffled)
+		if err != nil {
+			return nil, err
+		}
+		run = func(p int) []Row { return res[p] }
+	}
 	out := make([][]Row, n)
 	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "distinct", n, func(p int) (cluster.TaskStats, error) {
-		seen := newRowSet(width, len(shuffled[p]))
-		for _, r := range shuffled[p] {
-			seen.insert(r)
-		}
-		out[p] = seen.rows
+		out[p] = run(p)
 		return cluster.TaskStats{
 			Rows:     int64(len(shuffled[p])),
 			NetBytes: moved[p],

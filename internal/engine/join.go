@@ -234,37 +234,33 @@ func (e *Exec) shuffleJoin(left, right *Relation, shared []string, name string, 
 
 	outSchema, lKeep, rKeep := joinLayout(left.schema, right.schema, shared, keep)
 	out := make([][]Row, n)
+	// The kernel runs locally, or on remote shards when an Exchanger is
+	// installed — identical fragments in, identical rows out, and the
+	// stage stats below are computed from fragment lengths and output
+	// counts either way, so pricing never depends on where it ran.
+	run := func(p int) []Row {
+		return JoinPartitionKernel(lParts[p], rParts[p], lKey, rKey, len(outSchema), lKeep, rKeep)
+	}
+	if e.Dist != nil {
+		var lSum, rSum int64
+		for p := 0; p < n; p++ {
+			lSum += lMoved[p]
+			rSum += rMoved[p]
+		}
+		res, err := e.Dist.ShuffleJoin(ShuffleSpec{
+			Name: name, LKey: lKey, RKey: rKey,
+			OutWidth: len(outSchema), LKeep: lKeep, RKeep: rKeep,
+			PricedBytes: lSum + rSum, LMovedBytes: lSum, RMovedBytes: rSum,
+		}, lParts, rParts)
+		if err != nil {
+			return nil, err
+		}
+		run = func(p int) []Row { return res[p] }
+	}
 	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "join "+name, n, func(p int) (cluster.TaskStats, error) {
-		build, probe := lParts[p], rParts[p]
-		buildKey, probeKey := lKey, rKey
-		buildIsLeft := true
-		if len(probe) < len(build) {
-			build, probe = probe, build
-			buildKey, probeKey = probeKey, buildKey
-			buildIsLeft = false
-		}
-		ix := buildJoinIndex(build, buildKey)
-		arena := NewRowArena(len(outSchema), len(probe))
-		for _, pr := range probe {
-			for i := ix.first(pr, probeKey); i != 0; i = ix.next[i-1] {
-				if !ix.match(i, pr, probeKey) {
-					continue
-				}
-				br := ix.rows[i-1]
-				lr, rr := br, pr
-				if !buildIsLeft {
-					lr, rr = pr, br
-				}
-				if lKeep == nil {
-					arena.AppendJoin(lr, rr, rKeep)
-				} else {
-					arena.AppendJoinPruned(lr, rr, lKeep, rKeep)
-				}
-			}
-		}
-		out[p] = arena.Rows()
+		out[p] = run(p)
 		return cluster.TaskStats{
-			Rows:     int64(len(build) + len(probe) + arena.Len()),
+			Rows:     int64(len(lParts[p]) + len(rParts[p]) + len(out[p])),
 			NetBytes: lMoved[p] + rMoved[p],
 		}, nil
 	})
@@ -286,8 +282,6 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	probeKey := keyIndexes(probe.schema, shared)
 	buildKey := keyIndexes(build.schema, shared)
 
-	// Hash index over the build side, shared read-only by all tasks.
-	ix := buildJoinIndex(build.Rows(), buildKey)
 	buildBytes := build.EstimatedBytes()
 
 	var outSchema Schema
@@ -299,29 +293,33 @@ func (e *Exec) broadcastJoin(probe, build *Relation, shared []string, name strin
 	}
 
 	workers := e.Cluster.Workers()
+	var run func(p int) []Row
+	if e.Dist != nil {
+		w := workers
+		if probe.Partitions() < w {
+			w = probe.Partitions()
+		}
+		res, err := e.Dist.BroadcastJoin(BroadcastSpec{
+			Name: name, BuildKey: buildKey, ProbeKey: probeKey,
+			BuildIsLeft: buildIsLeft, OutWidth: len(outSchema),
+			LKeep: lKeep, RKeep: rKeep,
+			PricedBytes: buildBytes * int64(w),
+		}, build.Rows(), probe.parts)
+		if err != nil {
+			return nil, err
+		}
+		run = func(p int) []Row { return res[p] }
+	} else {
+		// Hash index over the build side, shared read-only by all tasks.
+		jp := NewJoinProbe(build.Rows(), buildKey)
+		run = func(p int) []Row {
+			return jp.Probe(probe.Part(p), probeKey, buildIsLeft, len(outSchema), lKeep, rKeep)
+		}
+	}
 	out := make([][]Row, probe.Partitions())
 	err := e.Cluster.RunStage(e.Clock, e.launchBroadcast(), "broadcast join "+name, probe.Partitions(), func(p int) (cluster.TaskStats, error) {
-		in := probe.Part(p)
-		arena := NewRowArena(len(outSchema), len(in))
-		for _, pr := range in {
-			for i := ix.first(pr, probeKey); i != 0; i = ix.next[i-1] {
-				if !ix.match(i, pr, probeKey) {
-					continue
-				}
-				br := ix.rows[i-1]
-				lr, rr := br, pr
-				if !buildIsLeft {
-					lr, rr = pr, br
-				}
-				if lKeep == nil {
-					arena.AppendJoin(lr, rr, rKeep)
-				} else {
-					arena.AppendJoinPruned(lr, rr, lKeep, rKeep)
-				}
-			}
-		}
-		out[p] = arena.Rows()
-		st := cluster.TaskStats{Rows: int64(len(in) + arena.Len())}
+		out[p] = run(p)
+		st := cluster.TaskStats{Rows: int64(len(probe.Part(p)) + len(out[p]))}
 		// Each worker receives one copy of the build side; tasks are
 		// placed round-robin, so the first task on each worker pays it.
 		if p < workers {
@@ -347,26 +345,29 @@ func (e *Exec) cartesian(left, right *Relation, name string, keep []string) (*Re
 	outSchema, lKeep, rKeep := joinLayout(left.schema, right.schema, nil, keep)
 	workers := e.Cluster.Workers()
 	smallBytes := small.EstimatedBytes()
+	run := func(p int) []Row {
+		// The output cardinality is exact, so the arena never regrows.
+		return CartesianKernel(large.Part(p), smallRows, smallIsLeft, len(outSchema), lKeep, rKeep)
+	}
+	if e.Dist != nil {
+		w := workers
+		if large.Partitions() < w {
+			w = large.Partitions()
+		}
+		res, err := e.Dist.Cartesian(CartesianSpec{
+			Name: name, SmallIsLeft: smallIsLeft, OutWidth: len(outSchema),
+			LKeep: lKeep, RKeep: rKeep,
+			PricedBytes: smallBytes * int64(w),
+		}, smallRows, large.parts)
+		if err != nil {
+			return nil, err
+		}
+		run = func(p int) []Row { return res[p] }
+	}
 	out := make([][]Row, large.Partitions())
 	err := e.Cluster.RunStage(e.Clock, e.launchBroadcast(), "cartesian "+name, large.Partitions(), func(p int) (cluster.TaskStats, error) {
-		in := large.Part(p)
-		// The output cardinality is exact, so the arena never regrows.
-		arena := NewRowArena(len(outSchema), len(in)*len(smallRows))
-		for _, lr := range in {
-			for _, sr := range smallRows {
-				l, r := sr, lr
-				if !smallIsLeft {
-					l, r = lr, sr
-				}
-				if lKeep == nil {
-					arena.AppendConcat(l, r)
-				} else {
-					arena.AppendJoinPruned(l, r, lKeep, rKeep)
-				}
-			}
-		}
-		out[p] = arena.Rows()
-		st := cluster.TaskStats{Rows: int64(arena.Len())}
+		out[p] = run(p)
+		st := cluster.TaskStats{Rows: int64(len(out[p]))}
 		if p < workers {
 			st.NetBytes = smallBytes
 		}

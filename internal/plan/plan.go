@@ -217,6 +217,15 @@ type Node struct {
 	// when the reduction has since been evicted (a superset, so results
 	// are unchanged).
 	ExtVP *ExtVPRef
+
+	// PricedNetBytes and MeasuredNetBytes compare the cost model's
+	// network charge for this operator's exchange against the bytes
+	// measured on the wire in a distributed execution. Stamped per
+	// execution (like Actual) when HasNetBytes is true; rendered as
+	// " net=priced/measured" in EXPLAIN.
+	PricedNetBytes   int64
+	MeasuredNetBytes int64
+	HasNetBytes      bool
 }
 
 // Plan is a complete physical plan for one query. A Plan is immutable
@@ -455,6 +464,10 @@ func (p *Plan) render(sb *strings.Builder, n *Node, indent string) {
 	if n.Attempts > 1 {
 		actual += fmt.Sprintf(" attempts=%d", n.Attempts)
 	}
+	if n.HasNetBytes {
+		actual += fmt.Sprintf(" net=%s priced / %s measured",
+			humanBytes(n.PricedNetBytes), humanBytes(n.MeasuredNetBytes))
+	}
 	fmt.Fprintf(sb, "%s%-52s est=%-10.4g %s\n", indent, desc, n.Est, actual)
 	child := indent + "  "
 	for _, c := range n.Children {
@@ -473,6 +486,19 @@ func (p *Plan) filterList(idx []int) string {
 		}
 	}
 	return strings.Join(parts, " && ")
+}
+
+// humanBytes renders a byte count with a binary-unit suffix, compact
+// enough for the single EXPLAIN annotation line.
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }
 
 // varList renders variable names with SPARQL question marks.

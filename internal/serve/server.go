@@ -19,7 +19,10 @@
 //	GET      /stats    — plan-cache hit rate (incl. feedback hits),
 //	                     adaptive re-plan counters, query counters,
 //	                     estimation-error aggregates and the resilience
-//	                     block (fault recovery, breaker, shed), as JSON
+//	                     block (fault recovery, breaker, shed), as JSON;
+//	                     running as a shard coordinator adds a network
+//	                     block (exchanges, bytes each way, per-shard
+//	                     RTT p50/p99, calibration error)
 //	GET      /healthz  — liveness probe (200 as long as the process
 //	                     can serve HTTP at all)
 //	GET      /readyz   — readiness probe: 503 while draining or while
@@ -720,6 +723,12 @@ type statsResponse struct {
 		HitCount      uint64 `json:"hitCount"`
 		Epoch         uint64 `json:"epoch"`
 	} `json:"workload"`
+	// Network reports distributed-execution traffic when the server runs
+	// as a shard coordinator (Options.Dist set): wire exchange counts,
+	// bytes each way, per-shard round-trip quantiles and how far the
+	// cost model's network prices sit from measured payloads. Omitted in
+	// single-process mode.
+	Network *networkBlock `json:"network,omitempty"`
 	// JoinStats summarizes the loader's join-graph statistics: size,
 	// memory footprint, and how much of the candidate pair volume the
 	// kept top-K sketches cover — the number that explains why a pair
@@ -733,6 +742,27 @@ type statsResponse struct {
 		VolumeCoverage float64 `json:"volumeCoverage"`
 		MemoryBytes    int64   `json:"memoryBytes"`
 	} `json:"joinStats"`
+}
+
+// networkBlock is /stats' distributed-execution section.
+type networkBlock struct {
+	Exchanges     int64           `json:"exchanges"`
+	BytesSent     int64           `json:"bytesSent"`
+	BytesReceived int64           `json:"bytesReceived"`
+	Shards        []shardRTTBlock `json:"shards"`
+	// CalibrationError is the mean |log2(measured/priced)| over priced
+	// shuffle exchanges: 0 = the cost model prices network movement
+	// exactly, 1 = off by 2x on average.
+	CalibrationError    float64 `json:"calibrationError"`
+	CalibratedExchanges int64   `json:"calibratedExchanges"`
+}
+
+// shardRTTBlock is one shard's round-trip latency summary in /stats.
+type shardRTTBlock struct {
+	Addr  string  `json:"addr"`
+	Calls int64   `json:"calls"`
+	P50MS float64 `json:"rttP50Ms"`
+	P99MS float64 `json:"rttP99Ms"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -780,6 +810,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc.Resilience.TasksFailed = rm.TasksFailed
 	doc.Resilience.BreakerState = s.brk.stateName()
 	doc.Resilience.ShedRequests = s.shed.Load()
+
+	if nr, ok := s.cfg.Options.Dist.(core.NetworkReporter); ok {
+		ns := nr.NetworkStats()
+		nb := &networkBlock{
+			Exchanges:           ns.Exchanges,
+			BytesSent:           ns.BytesSent,
+			BytesReceived:       ns.BytesReceived,
+			CalibrationError:    ns.CalibrationError,
+			CalibratedExchanges: ns.CalibratedExchanges,
+		}
+		for _, rtt := range ns.ShardRTT {
+			nb.Shards = append(nb.Shards, shardRTTBlock{
+				Addr:  rtt.Addr,
+				Calls: rtt.Calls,
+				P50MS: float64(rtt.P50) / float64(time.Millisecond),
+				P99MS: float64(rtt.P99) / float64(time.Millisecond),
+			})
+		}
+		doc.Network = nb
+	}
 
 	if js, ok := s.cfg.Store.Stats().JoinStatsSummary(); ok {
 		doc.JoinStats.Collected = true

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/rdf"
+	"repro/internal/shard"
 )
 
 // testServer loads a small graph and wraps it in a Server.
@@ -749,5 +751,74 @@ func TestStatsWorkloadBlock(t *testing.T) {
 	exp := get(t, srv, "/explain?query="+url.QueryEscape(serveQuery))
 	if !strings.Contains(exp.Body.String(), "workload rewrites:") {
 		t.Errorf("/explain missing workload rewrite block:\n%s", exp.Body)
+	}
+}
+
+// TestStatsNetworkBlock runs the server as a 2-shard coordinator and
+// checks that /stats reports the network block (and that a plain
+// single-process server omits it).
+func TestStatsNetworkBlock(t *testing.T) {
+	plain := testServer(t)
+	if strings.Contains(get(t, plain, "/stats").Body.String(), `"network"`) {
+		t.Fatal("single-process /stats reports a network block")
+	}
+
+	store := testServer(t).cfg.Store
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		sh, err := shard.NewServer(store, i, 2)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		go sh.Serve(ln)
+		t.Cleanup(func() { sh.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	coord, err := shard.Dial(store, addrs)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	srv, err := New(Config{Store: store, Options: core.QueryOptions{Dist: coord}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if w := get(t, srv, "/sparql?query="+url.QueryEscape(serveQuery)); w.Code != http.StatusOK {
+		t.Fatalf("distributed query status = %d, body %s", w.Code, w.Body)
+	}
+
+	var doc struct {
+		Network *struct {
+			Exchanges     int64
+			BytesSent     int64
+			BytesReceived int64
+			Shards        []struct {
+				Addr  string
+				Calls int64
+			}
+		}
+	}
+	w := get(t, srv, "/stats")
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad /stats JSON: %v\n%s", err, w.Body)
+	}
+	n := doc.Network
+	if n == nil {
+		t.Fatalf("coordinator /stats has no network block:\n%s", w.Body)
+	}
+	if n.Exchanges < 1 || n.BytesSent <= 0 || n.BytesReceived <= 0 {
+		t.Errorf("network block %+v, want nonzero traffic", n)
+	}
+	if len(n.Shards) != 2 {
+		t.Fatalf("network block reports %d shards, want 2", len(n.Shards))
+	}
+	for i, sh := range n.Shards {
+		if sh.Addr != addrs[i] || sh.Calls < 1 {
+			t.Errorf("shard %d = %+v, want addr %s with calls", i, sh, addrs[i])
+		}
 	}
 }

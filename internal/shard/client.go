@@ -1,0 +1,561 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sparql"
+	"repro/internal/wire"
+)
+
+// Coordinator is the client side of scale-out execution: one persistent
+// TCP connection per shard, handed to queries as per-query DistSessions
+// (core.DistRunner) and aggregating wire measurements across sessions
+// (core.NetworkReporter). It also hosts the calibration layer: every
+// exchange records measured bytes against the cost model's price, and
+// measured per-table scan bytes feed back into the next run's leaf
+// pricing record so the calibration error narrows run over run.
+type Coordinator struct {
+	parts   int
+	workers int
+	fp      uint64
+	conns   []*shardConn
+
+	// leafMu guards leaf, the calibration store: measured wire bytes per
+	// scan site (label + pushed filters), seeded by the first run and
+	// used to price the same leaf on later runs.
+	leafMu sync.Mutex
+	leaf   map[string]int64
+
+	// aggMu guards the cross-session exchange aggregates /stats reports.
+	aggMu     sync.Mutex
+	exchanges int64
+	calSum    float64
+	calN      int64
+}
+
+// Dial connects to every shard in addrs (addrs[i] is shard i of
+// len(addrs)) and performs the topology/dataset handshake against the
+// coordinator's own store. Any refusal or connection failure aborts the
+// whole dial.
+func Dial(store *core.Store, addrs []string) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard: no shard addresses")
+	}
+	c := &Coordinator{
+		parts:   store.Partitions(),
+		workers: store.Cluster().Workers(),
+		fp:      store.Stats().Fingerprint(),
+		leaf:    map[string]int64{},
+	}
+	for i, addr := range addrs {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, &wire.ShardError{Addr: addr, Shard: i, Err: err}
+		}
+		sc := &shardConn{addr: addr, shard: i, c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		c.conns = append(c.conns, sc)
+		var resp helloResp
+		if _, _, _, err := sc.call(msgHello, helloReq{
+			Shard: i, Shards: len(addrs),
+			Partitions: c.parts, Workers: c.workers, Fingerprint: c.fp,
+		}, &resp); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close severs every shard connection.
+func (c *Coordinator) Close() error {
+	var err error
+	for _, sc := range c.conns {
+		if cerr := sc.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Shards returns the topology size.
+func (c *Coordinator) Shards() int { return len(c.conns) }
+
+// Session implements core.DistRunner: sessions share the coordinator's
+// connections (per-connection calls serialize) and keep their own
+// exchange records.
+func (c *Coordinator) Session(q *sparql.Query) (core.DistSession, error) {
+	return &session{c: c, filters: append([]sparql.Filter(nil), q.Filters...)}, nil
+}
+
+// NetworkStats implements core.NetworkReporter.
+func (c *Coordinator) NetworkStats() core.NetworkStats {
+	var ns core.NetworkStats
+	for _, sc := range c.conns {
+		sent, recv, calls, rtts := sc.snapshot()
+		ns.BytesSent += sent
+		ns.BytesReceived += recv
+		ns.ShardRTT = append(ns.ShardRTT, core.ShardRTT{
+			Addr:  sc.addr,
+			Calls: calls,
+			P50:   durationQuantile(rtts, 0.50),
+			P99:   durationQuantile(rtts, 0.99),
+		})
+	}
+	c.aggMu.Lock()
+	ns.Exchanges = c.exchanges
+	ns.CalibratedExchanges = c.calN
+	if c.calN > 0 {
+		ns.CalibrationError = c.calSum / float64(c.calN)
+	}
+	c.aggMu.Unlock()
+	return ns
+}
+
+// leafPrice resolves a scan site's calibrated price: the measured bytes
+// a previous run stored, or the cost model's figure on first sight.
+func (c *Coordinator) leafPrice(key string, modeledBytes int64) int64 {
+	c.leafMu.Lock()
+	defer c.leafMu.Unlock()
+	if m, ok := c.leaf[key]; ok {
+		return m
+	}
+	return modeledBytes
+}
+
+// storeLeaf records a scan site's measured wire bytes for later runs.
+func (c *Coordinator) storeLeaf(key string, measured int64) {
+	c.leafMu.Lock()
+	c.leaf[key] = measured
+	c.leafMu.Unlock()
+}
+
+// noteRecord folds one exchange record into the cross-session
+// aggregates. Only shuffle exchanges enter the calibration error: their
+// price and payload describe the same physical movement, whereas
+// broadcast-style prices scale with the simulated worker count rather
+// than the shard count that actually received copies.
+func (c *Coordinator) noteRecord(r core.ExchangeRecord) {
+	c.aggMu.Lock()
+	c.exchanges++
+	if r.Kind == "shuffle" && r.PricedBytes > 0 && r.MeasuredBytes > 0 {
+		c.calSum += math.Abs(math.Log2(float64(r.MeasuredBytes) / float64(r.PricedBytes)))
+		c.calN++
+	}
+	c.aggMu.Unlock()
+}
+
+// shardConn is one shard's connection: calls serialize on mu (one
+// request/response in flight), and every call's bytes and round-trip
+// latency are recorded for /stats.
+type shardConn struct {
+	addr  string
+	shard int
+	c     net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	mu    sync.Mutex
+
+	statMu sync.Mutex
+	sent   int64
+	recv   int64
+	calls  int64
+	rtts   []time.Duration
+}
+
+// maxRTTSamples bounds per-shard latency memory; past it, samples
+// overwrite ring-style so quantiles track the recent window.
+const maxRTTSamples = 1 << 13
+
+// call performs one framed request/response exchange. Every failure —
+// transport, shard-reported, or codec — comes back as a
+// *wire.ShardError naming this shard, so query errors surface through
+// the task-attempt machinery as a worker outage.
+func (sc *shardConn) call(typ byte, req, resp any) (sent, recv int64, wall time.Duration, err error) {
+	payload, err := encodeMsg(req)
+	if err != nil {
+		return 0, 0, 0, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: err}
+	}
+	sc.mu.Lock()
+	start := time.Now()
+	var rtyp byte
+	var rp []byte
+	sent, err = wire.WriteFrame(sc.bw, typ, payload)
+	if err == nil {
+		err = sc.bw.Flush()
+	}
+	if err == nil {
+		rtyp, rp, recv, err = wire.ReadFrame(sc.br)
+	}
+	wall = time.Since(start)
+	sc.mu.Unlock()
+	sc.note(sent, recv, wall)
+	if err != nil {
+		return sent, recv, wall, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: err}
+	}
+	switch rtyp {
+	case msgErr:
+		var er errResp
+		if derr := decodeMsg(rp, &er); derr != nil {
+			er.Msg = fmt.Sprintf("undecodable shard error: %v", derr)
+		}
+		return sent, recv, wall, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: errors.New(er.Msg)}
+	case msgOK:
+		if derr := decodeMsg(rp, resp); derr != nil {
+			return sent, recv, wall, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: derr}
+		}
+		return sent, recv, wall, nil
+	default:
+		return sent, recv, wall, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: fmt.Errorf("unexpected response type %d", rtyp)}
+	}
+}
+
+// note records one call's wire bytes and latency.
+func (sc *shardConn) note(sent, recv int64, wall time.Duration) {
+	sc.statMu.Lock()
+	sc.sent += sent
+	sc.recv += recv
+	if len(sc.rtts) < maxRTTSamples {
+		sc.rtts = append(sc.rtts, wall)
+	} else {
+		sc.rtts[sc.calls%maxRTTSamples] = wall
+	}
+	sc.calls++
+	sc.statMu.Unlock()
+}
+
+// snapshot copies the connection's counters for reporting.
+func (sc *shardConn) snapshot() (sent, recv, calls int64, rtts []time.Duration) {
+	sc.statMu.Lock()
+	defer sc.statMu.Unlock()
+	return sc.sent, sc.recv, sc.calls, append([]time.Duration(nil), sc.rtts...)
+}
+
+// durationQuantile returns the q-quantile of samples (nearest-rank).
+func durationQuantile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// session is one query's DistSession: it resolves FILTER indexes
+// against the query it was opened for, fans every exchange out to all
+// shards, and records measured-vs-priced bytes per exchange.
+type session struct {
+	c       *Coordinator
+	filters []sparql.Filter
+
+	mu      sync.Mutex
+	records []core.ExchangeRecord
+}
+
+// Records implements core.DistSession.
+func (s *session) Records() []core.ExchangeRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.ExchangeRecord(nil), s.records...)
+}
+
+// Close implements core.DistSession; connections outlive sessions.
+func (s *session) Close() error { return nil }
+
+// record appends one exchange record and feeds the coordinator's
+// aggregates.
+func (s *session) record(r core.ExchangeRecord) {
+	s.mu.Lock()
+	s.records = append(s.records, r)
+	s.mu.Unlock()
+	s.c.noteRecord(r)
+}
+
+// shardCall is one shard's measured contribution to a fan-out.
+type shardCall struct {
+	sent, recv int64
+	wall       time.Duration
+	parts      [][]engine.Row
+}
+
+// fanOut runs fn for every shard concurrently and merges the responses:
+// out[p] comes from p's owner, wire bytes sum, and the exchange wall
+// time is the slowest shard's round trip (shards work in parallel).
+// The lowest-index error wins, keeping failures deterministic.
+func (s *session) fanOut(total int, fn func(sc *shardConn, own func(p int) bool) (shardCall, error)) (out [][]engine.Row, wireBytes int64, wall time.Duration, err error) {
+	conns := s.c.conns
+	calls := make([]shardCall, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, sc := range conns {
+		wg.Add(1)
+		go func(i int, sc *shardConn) {
+			defer wg.Done()
+			own := func(p int) bool { return p%len(conns) == i }
+			calls[i], errs[i] = fn(sc, own)
+		}(i, sc)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, 0, 0, e
+		}
+	}
+	out = make([][]engine.Row, total)
+	for i, call := range calls {
+		wireBytes += call.sent + call.recv
+		if call.wall > wall {
+			wall = call.wall
+		}
+		for p := i; p < total; p += len(conns) {
+			out[p] = call.parts[p]
+		}
+	}
+	return out, wireBytes, wall, nil
+}
+
+// verifyParts decodes and end-to-end-checks one response's partitions.
+func verifyParts(sc *shardConn, packed []byte, total int, sum uint64) ([][]engine.Row, error) {
+	parts, err := decodePartSet(packed, total)
+	if err != nil {
+		return nil, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: err}
+	}
+	if engine.RowsChecksum(parts) != sum {
+		return nil, &wire.ShardError{Addr: sc.addr, Shard: sc.shard, Err: fmt.Errorf("exchange payload checksum mismatch")}
+	}
+	return parts, nil
+}
+
+// partPayloadBytes is the packed row-ID payload of a partition set: 4
+// bytes per value, framing excluded. Every partition crosses the wire
+// exactly once (to its owner), so the payload is a property of the
+// fragments alone; sparse-set and frame overhead counts toward
+// WireBytes instead, keeping MeasuredBytes comparable with the cost
+// model's per-row prices even for tiny exchanges.
+func partPayloadBytes(parts [][]engine.Row, width int) int64 {
+	var rows int64
+	for _, p := range parts {
+		rows += int64(len(p))
+	}
+	return rows * int64(width) * 4
+}
+
+// rowsPayloadBytes is partPayloadBytes for a flat row slice.
+func rowsPayloadBytes(rows []engine.Row, width int) int64 {
+	return int64(len(rows)) * int64(width) * 4
+}
+
+// ScanNode implements core.DistSession: every shard scans its owned
+// partitions of the node's table with the pushed filters applied
+// shard-side; the merged result and summed processed counts are exactly
+// what the local scan kernels produce.
+func (s *session) ScanNode(n *core.Node, filterIdx []int, label string, modeledBytes int64) ([][]engine.Row, []int64, error) {
+	filters := make([]sparql.Filter, 0, len(filterIdx))
+	for _, i := range filterIdx {
+		if i < 0 || i >= len(s.filters) {
+			return nil, nil, fmt.Errorf("shard: filter index %d out of %d", i, len(s.filters))
+		}
+		filters = append(filters, s.filters[i])
+	}
+	req := scanReq{Node: *n, Filters: filters}
+	processedBy := make([][]int64, len(s.c.conns))
+	out, wireBytes, wall, err := s.fanOut(s.c.parts, func(sc *shardConn, own func(p int) bool) (shardCall, error) {
+		var resp scanResp
+		sent, recv, w, err := sc.call(msgScan, req, &resp)
+		if err != nil {
+			return shardCall{}, err
+		}
+		parts, err := verifyParts(sc, resp.Parts, s.c.parts, resp.Checksum)
+		if err != nil {
+			return shardCall{}, err
+		}
+		if len(resp.Processed) != s.c.parts {
+			return shardCall{}, &wire.ShardError{Addr: sc.addr, Shard: sc.shard,
+				Err: fmt.Errorf("scan returned %d processed counts for %d partitions", len(resp.Processed), s.c.parts)}
+		}
+		processedBy[sc.shard] = resp.Processed
+		return shardCall{sent: sent, recv: recv, wall: w, parts: parts}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	processed := make([]int64, s.c.parts)
+	for p := range processed {
+		processed[p] = processedBy[p%len(s.c.conns)][p]
+	}
+	payload := partPayloadBytes(out, partsWidth(out))
+	key := leafKey(label, filters)
+	priced := s.c.leafPrice(key, modeledBytes)
+	s.c.storeLeaf(key, payload)
+	s.record(core.ExchangeRecord{
+		Kind: "scan", Name: label,
+		PricedBytes: priced, MeasuredBytes: payload,
+		WireBytes: wireBytes, Wall: wall,
+	})
+	return out, processed, nil
+}
+
+// leafKey identifies a scan site for the calibration store: the node
+// label plus the pushed filters that shape its measured payload.
+func leafKey(label string, filters []sparql.Filter) string {
+	if len(filters) == 0 {
+		return label
+	}
+	var sb strings.Builder
+	sb.WriteString(label)
+	for _, f := range filters {
+		sb.WriteByte('|')
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// ShuffleJoin implements engine.Exchanger. The coordinator already
+// routed both sides; each shard receives the fragments of the
+// partitions it owns and joins them. A side the model priced at zero
+// (aligned on the join key) still crosses the wire — its relation lives
+// coordinator-side — but that relay payload counts only toward
+// WireBytes, keeping MeasuredBytes comparable with the price.
+func (s *session) ShuffleJoin(spec engine.ShuffleSpec, lParts, rParts [][]engine.Row) ([][]engine.Row, error) {
+	n := len(lParts)
+	lw, rw := partsWidth(lParts), partsWidth(rParts)
+	out, wireBytes, wall, err := s.fanOut(n, func(sc *shardConn, own func(p int) bool) (shardCall, error) {
+		lBuf := appendPartSet(nil, lParts, lw, own)
+		rBuf := appendPartSet(nil, rParts, rw, own)
+		var resp exchangeResp
+		sent, recv, w, err := sc.call(msgShuffle, shuffleReq{Spec: spec, Parts: n, L: lBuf, R: rBuf}, &resp)
+		if err != nil {
+			return shardCall{}, err
+		}
+		parts, err := verifyParts(sc, resp.Parts, n, resp.Checksum)
+		if err != nil {
+			return shardCall{}, err
+		}
+		return shardCall{sent: sent, recv: recv, wall: w, parts: parts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var measured int64
+	if spec.LMovedBytes > 0 {
+		measured += partPayloadBytes(lParts, lw)
+	}
+	if spec.RMovedBytes > 0 {
+		measured += partPayloadBytes(rParts, rw)
+	}
+	s.record(core.ExchangeRecord{
+		Kind: "shuffle", Name: spec.Name,
+		PricedBytes: spec.PricedBytes, MeasuredBytes: measured,
+		WireBytes: wireBytes, Wall: wall,
+	})
+	return out, nil
+}
+
+// BroadcastJoin implements engine.Exchanger: the build side ships whole
+// to every shard (the measured broadcast payload); the probe side is
+// relay and counts only toward WireBytes.
+func (s *session) BroadcastJoin(spec engine.BroadcastSpec, buildRows []engine.Row, probeParts [][]engine.Row) ([][]engine.Row, error) {
+	n := len(probeParts)
+	bw := rowsWidth(buildRows)
+	buildBuf := appendRowSection(nil, bw, buildRows)
+	pw := partsWidth(probeParts)
+	out, wireBytes, wall, err := s.fanOut(n, func(sc *shardConn, own func(p int) bool) (shardCall, error) {
+		probeBuf := appendPartSet(nil, probeParts, pw, own)
+		var resp exchangeResp
+		sent, recv, w, err := sc.call(msgBroadcast, broadcastReq{Spec: spec, Parts: n, Build: buildBuf, Probe: probeBuf}, &resp)
+		if err != nil {
+			return shardCall{}, err
+		}
+		parts, err := verifyParts(sc, resp.Parts, n, resp.Checksum)
+		if err != nil {
+			return shardCall{}, err
+		}
+		return shardCall{sent: sent, recv: recv, wall: w, parts: parts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Every shard received one copy of the build side.
+	buildPay := rowsPayloadBytes(buildRows, bw) * int64(len(s.c.conns))
+	s.record(core.ExchangeRecord{
+		Kind: "broadcast", Name: spec.Name,
+		PricedBytes: spec.PricedBytes, MeasuredBytes: buildPay,
+		WireBytes: wireBytes, Wall: wall,
+	})
+	return out, nil
+}
+
+// Cartesian implements engine.Exchanger; like a broadcast join, the
+// small side's shipped copies are the measured payload.
+func (s *session) Cartesian(spec engine.CartesianSpec, smallRows []engine.Row, largeParts [][]engine.Row) ([][]engine.Row, error) {
+	n := len(largeParts)
+	sw := rowsWidth(smallRows)
+	smallBuf := appendRowSection(nil, sw, smallRows)
+	lw := partsWidth(largeParts)
+	out, wireBytes, wall, err := s.fanOut(n, func(sc *shardConn, own func(p int) bool) (shardCall, error) {
+		largeBuf := appendPartSet(nil, largeParts, lw, own)
+		var resp exchangeResp
+		sent, recv, w, err := sc.call(msgCartesian, cartesianReq{Spec: spec, Parts: n, Small: smallBuf, Large: largeBuf}, &resp)
+		if err != nil {
+			return shardCall{}, err
+		}
+		parts, err := verifyParts(sc, resp.Parts, n, resp.Checksum)
+		if err != nil {
+			return shardCall{}, err
+		}
+		return shardCall{sent: sent, recv: recv, wall: w, parts: parts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	smallPay := rowsPayloadBytes(smallRows, sw) * int64(len(s.c.conns))
+	s.record(core.ExchangeRecord{
+		Kind: "cartesian", Name: spec.Name,
+		PricedBytes: spec.PricedBytes, MeasuredBytes: smallPay,
+		WireBytes: wireBytes, Wall: wall,
+	})
+	return out, nil
+}
+
+// Distinct implements engine.Exchanger over an already-shuffled input.
+func (s *session) Distinct(spec engine.DistinctSpec, parts [][]engine.Row) ([][]engine.Row, error) {
+	n := len(parts)
+	w := partsWidth(parts)
+	out, wireBytes, wall, err := s.fanOut(n, func(sc *shardConn, own func(p int) bool) (shardCall, error) {
+		inBuf := appendPartSet(nil, parts, w, own)
+		var resp exchangeResp
+		sent, recv, wd, err := sc.call(msgDistinct, distinctReq{Spec: spec, Parts: n, In: inBuf}, &resp)
+		if err != nil {
+			return shardCall{}, err
+		}
+		outParts, err := verifyParts(sc, resp.Parts, n, resp.Checksum)
+		if err != nil {
+			return shardCall{}, err
+		}
+		return shardCall{sent: sent, recv: recv, wall: wd, parts: outParts}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var measured int64
+	if spec.PricedBytes > 0 {
+		measured = partPayloadBytes(parts, w)
+	}
+	s.record(core.ExchangeRecord{
+		Kind: "distinct", Name: "distinct",
+		PricedBytes: spec.PricedBytes, MeasuredBytes: measured,
+		WireBytes: wireBytes, Wall: wall,
+	})
+	return out, nil
+}

@@ -1,0 +1,257 @@
+// Package shard implements true scale-out execution. A prost-shard
+// worker process hosts a deterministically loaded copy of the store and
+// owns the partitions p with p % shards == shard; the coordinator runs
+// the normal single-process planning and scheduling path and delegates
+// only per-partition kernels — filtered scans and exchange joins — to
+// the shards over TCP. Kernels are pure functions of their fragments
+// and every stage's TaskStats derive from coordinator-known values, so
+// results and SimTime are bit-identical to single-process execution.
+//
+// The protocol is one request/response frame pair per shard per
+// exchange (package wire framing: magic, type, length, payload, FNV-1a
+// checksum). Payload headers are gob; row data inside them uses the
+// packed dictionary-ID layout of wire.AppendRows, and each response's
+// partitions additionally carry an engine.RowsChecksum the coordinator
+// verifies end to end.
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Frame type bytes. Requests flow coordinator → shard; every request is
+// answered with msgOK (gob payload of the matching response struct) or
+// msgErr (gob errResp).
+const (
+	msgHello byte = 1 + iota
+	msgScan
+	msgShuffle
+	msgBroadcast
+	msgCartesian
+	msgDistinct
+	msgOK
+	msgErr
+)
+
+// helloReq opens a connection: the coordinator states the topology and
+// dataset it expects, and the shard refuses the handshake on any
+// mismatch — a shard serving different partitions or a differently
+// loaded dataset would silently corrupt results otherwise.
+type helloReq struct {
+	Shard, Shards int
+	Partitions    int
+	Workers       int
+	Fingerprint   uint64
+}
+
+// helloResp acknowledges a validated handshake.
+type helloResp struct{}
+
+// errResp carries a shard-side failure message.
+type errResp struct {
+	Msg string
+}
+
+// scanReq evaluates one Join Tree node's scan kernel over the shard's
+// owned partitions, with the query's pushed-down FILTERs applied
+// shard-side.
+type scanReq struct {
+	Node    core.Node
+	Filters []sparql.Filter
+}
+
+// scanResp returns the filtered rows per owned partition plus the
+// per-partition processed key counts PT scan pricing needs.
+type scanResp struct {
+	Parts     []byte
+	Processed []int64
+	Checksum  uint64
+}
+
+// shuffleReq carries both sides' owned fragments of a shuffle hash
+// join whose routing the coordinator already computed.
+type shuffleReq struct {
+	Spec  engine.ShuffleSpec
+	Parts int
+	L, R  []byte
+}
+
+// broadcastReq carries the whole build side (a row section) and the
+// shard's owned probe partitions.
+type broadcastReq struct {
+	Spec  engine.BroadcastSpec
+	Parts int
+	Build []byte
+	Probe []byte
+}
+
+// cartesianReq carries the whole small side and the shard's owned
+// partitions of the large side.
+type cartesianReq struct {
+	Spec  engine.CartesianSpec
+	Parts int
+	Small []byte
+	Large []byte
+}
+
+// distinctReq carries the shard's owned partitions of an
+// already-shuffled distinct input.
+type distinctReq struct {
+	Spec  engine.DistinctSpec
+	Parts int
+	In    []byte
+}
+
+// exchangeResp returns an exchange kernel's owned output partitions.
+type exchangeResp struct {
+	Parts    []byte
+	Checksum uint64
+}
+
+// encodeMsg gob-encodes one protocol struct. A fresh encoder per
+// message keeps frames self-contained (no cross-frame stream state).
+func encodeMsg(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// decodeMsg decodes a frame payload into the given protocol struct.
+func decodeMsg(p []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(p)).Decode(v)
+}
+
+// appendRowSection packs engine rows in the wire codec's packed layout
+// (width ++ count ++ row-major IDs, uint32 little-endian — the exact
+// layout of wire.AppendRows). The explicit width covers empty row sets.
+func appendRowSection(buf []byte, width int, rows []engine.Row) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(width))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	for _, r := range rows {
+		for _, v := range r {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	return buf
+}
+
+// decodeRowSection decodes one packed row section into engine rows,
+// returning the remaining bytes. Guards mirror wire.DecodeRows: a
+// truncated body and an implausible width-0 count are both rejected
+// before any allocation sized from untrusted input.
+func decodeRowSection(buf []byte) ([]engine.Row, []byte, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("shard: row section truncated header")
+	}
+	width := int(binary.LittleEndian.Uint32(buf))
+	count := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	if width != 0 && count > len(buf)/(width*4) {
+		return nil, nil, fmt.Errorf("shard: row section truncated body (%d×%d rows, %d bytes left)", count, width, len(buf))
+	}
+	if width == 0 && count > 1<<20 {
+		return nil, nil, fmt.Errorf("shard: implausible width-0 row count %d", count)
+	}
+	rows := make([]engine.Row, count)
+	if width == 0 {
+		for i := range rows {
+			rows[i] = engine.Row{}
+		}
+		return rows, buf, nil
+	}
+	flat := make([]rdf.ID, width*count)
+	for i := range flat {
+		flat[i] = rdf.ID(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	for i := range rows {
+		rows[i] = flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	return rows, buf[width*count*4:], nil
+}
+
+// appendPartSet packs the partitions own selects out of parts: an entry
+// count, then per entry the global partition index followed by a row
+// section. Partitions outside the set decode back as nil.
+func appendPartSet(buf []byte, parts [][]engine.Row, width int, own func(p int) bool) []byte {
+	cntAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	n := 0
+	for p, rows := range parts {
+		if !own(p) {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p))
+		buf = appendRowSection(buf, width, rows)
+		n++
+	}
+	binary.LittleEndian.PutUint32(buf[cntAt:], uint32(n))
+	return buf
+}
+
+// decodePartSet decodes a part set into a dense partition slice of the
+// given total length, entries at their global indexes and absent
+// partitions nil.
+func decodePartSet(buf []byte, total int) ([][]engine.Row, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("shard: negative partition count %d", total)
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("shard: part set truncated header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n > total {
+		return nil, fmt.Errorf("shard: part set has %d entries for %d partitions", n, total)
+	}
+	parts := make([][]engine.Row, total)
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("shard: part set truncated entry %d", i)
+		}
+		p := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if p >= total {
+			return nil, fmt.Errorf("shard: part set entry index %d out of %d partitions", p, total)
+		}
+		rows, rest, err := decodeRowSection(buf)
+		if err != nil {
+			return nil, err
+		}
+		parts[p] = rows
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after part set", len(buf))
+	}
+	return parts, nil
+}
+
+// partsWidth returns the row width of the first non-empty partition
+// (0 when every partition is empty — the encoded width is then only a
+// placeholder, since no row bodies follow it).
+func partsWidth(parts [][]engine.Row) int {
+	for _, rows := range parts {
+		if len(rows) > 0 {
+			return len(rows[0])
+		}
+	}
+	return 0
+}
+
+// rowsWidth is partsWidth for a flat row slice.
+func rowsWidth(rows []engine.Row) int {
+	if len(rows) > 0 {
+		return len(rows[0])
+	}
+	return 0
+}

@@ -1,0 +1,341 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// Server hosts one shard: a fully loaded store plus this process's
+// position in the topology. Shards and the coordinator load the same
+// dataset deterministically, so dictionary IDs, partition placement and
+// per-partition row sets agree everywhere; the server only ever
+// evaluates kernels over the partitions it owns (p % shards == shard).
+type Server struct {
+	store         *core.Store
+	shard, shards int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer builds a shard server for position shard of shards over the
+// given store.
+func NewServer(store *core.Store, shard, shards int) (*Server, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("shard: invalid position %d of %d", shard, shards)
+	}
+	return &Server{store: store, shard: shard, shards: shards, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// owned reports whether this shard owns global partition p.
+func (s *Server) owned(p int) bool { return p%s.shards == s.shard }
+
+// Serve accepts coordinator connections on ln until Close. It returns
+// nil after Close, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("shard: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and serves; the bound address is
+// reported through Addr once listening.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the server's listen address, nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and severs every live coordinator connection —
+// from the coordinator's side an abrupt shard death, surfaced there as
+// a *wire.ShardError.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	return err
+}
+
+// handle serves one coordinator connection: a strict request/response
+// loop over wire frames, handshake first.
+func (s *Server) handle(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	helloed := false
+	for {
+		typ, payload, _, err := wire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		rtyp, resp := s.dispatch(typ, payload, &helloed)
+		if _, err := wire.WriteFrame(bw, rtyp, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs one request and folds any failure into an msgErr
+// response, keeping the connection alive for the next request.
+func (s *Server) dispatch(typ byte, payload []byte, helloed *bool) (byte, []byte) {
+	out, err := s.handleMsg(typ, payload, helloed)
+	if err != nil {
+		p, eerr := encodeMsg(errResp{Msg: err.Error()})
+		if eerr != nil {
+			p = nil
+		}
+		return msgErr, p
+	}
+	return msgOK, out
+}
+
+// handleMsg evaluates one request payload.
+func (s *Server) handleMsg(typ byte, payload []byte, helloed *bool) ([]byte, error) {
+	if typ == msgHello {
+		var req helloReq
+		if err := decodeMsg(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := s.validateHello(req); err != nil {
+			return nil, err
+		}
+		*helloed = true
+		return encodeMsg(helloResp{})
+	}
+	if !*helloed {
+		return nil, fmt.Errorf("shard: message type %d before handshake", typ)
+	}
+	switch typ {
+	case msgScan:
+		return s.handleScan(payload)
+	case msgShuffle:
+		return s.handleShuffle(payload)
+	case msgBroadcast:
+		return s.handleBroadcast(payload)
+	case msgCartesian:
+		return s.handleCartesian(payload)
+	case msgDistinct:
+		return s.handleDistinct(payload)
+	default:
+		return nil, fmt.Errorf("shard: unknown message type %d", typ)
+	}
+}
+
+// validateHello refuses coordinators whose topology or dataset does not
+// match this shard's: serving the wrong partitions or a differently
+// loaded store would corrupt results silently, so every axis the
+// kernels depend on is checked up front.
+func (s *Server) validateHello(req helloReq) error {
+	if req.Shard != s.shard || req.Shards != s.shards {
+		return fmt.Errorf("shard: coordinator expects shard %d of %d, this is %d of %d",
+			req.Shard, req.Shards, s.shard, s.shards)
+	}
+	if req.Partitions != s.store.Partitions() {
+		return fmt.Errorf("shard: coordinator has %d partitions, this store has %d",
+			req.Partitions, s.store.Partitions())
+	}
+	if req.Workers != s.store.Cluster().Workers() {
+		return fmt.Errorf("shard: coordinator simulates %d workers, this store %d",
+			req.Workers, s.store.Cluster().Workers())
+	}
+	if req.Fingerprint != s.store.Stats().Fingerprint() {
+		return fmt.Errorf("shard: dataset statistics fingerprint mismatch (coordinator %x, shard %x) — stores were not loaded from the same input",
+			req.Fingerprint, s.store.Stats().Fingerprint())
+	}
+	return nil
+}
+
+// handleScan evaluates a scan node over the owned partitions.
+func (s *Server) handleScan(payload []byte) ([]byte, error) {
+	var req scanReq
+	if err := decodeMsg(payload, &req); err != nil {
+		return nil, err
+	}
+	parts, processed, err := s.store.ScanNodeParts(&req.Node, req.Filters, s.owned)
+	if err != nil {
+		return nil, err
+	}
+	return encodeMsg(scanResp{
+		Parts:     appendPartSet(nil, parts, partsWidth(parts), s.owned),
+		Processed: processed,
+		Checksum:  engine.RowsChecksum(parts),
+	})
+}
+
+// handleShuffle hash-joins the owned partitions of a routed shuffle.
+func (s *Server) handleShuffle(payload []byte) ([]byte, error) {
+	var req shuffleReq
+	if err := decodeMsg(payload, &req); err != nil {
+		return nil, err
+	}
+	l, err := decodePartSet(req.L, req.Parts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := decodePartSet(req.R, req.Parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]engine.Row, req.Parts)
+	for p := range out {
+		if !s.owned(p) {
+			continue
+		}
+		out[p] = engine.JoinPartitionKernel(l[p], r[p],
+			req.Spec.LKey, req.Spec.RKey, req.Spec.OutWidth, req.Spec.LKeep, req.Spec.RKeep)
+	}
+	return encodeExchange(out, req.Spec.OutWidth, s.owned)
+}
+
+// handleBroadcast indexes the build side once and probes every owned
+// partition against it, exactly as the in-process broadcast join does.
+func (s *Server) handleBroadcast(payload []byte) ([]byte, error) {
+	var req broadcastReq
+	if err := decodeMsg(payload, &req); err != nil {
+		return nil, err
+	}
+	build, rest, err := decodeRowSection(req.Build)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after build rows", len(rest))
+	}
+	probe, err := decodePartSet(req.Probe, req.Parts)
+	if err != nil {
+		return nil, err
+	}
+	jp := engine.NewJoinProbe(build, req.Spec.BuildKey)
+	out := make([][]engine.Row, req.Parts)
+	for p := range out {
+		if !s.owned(p) {
+			continue
+		}
+		out[p] = jp.Probe(probe[p], req.Spec.ProbeKey,
+			req.Spec.BuildIsLeft, req.Spec.OutWidth, req.Spec.LKeep, req.Spec.RKeep)
+	}
+	return encodeExchange(out, req.Spec.OutWidth, s.owned)
+}
+
+// handleCartesian crosses every owned large-side partition with the
+// broadcast small side.
+func (s *Server) handleCartesian(payload []byte) ([]byte, error) {
+	var req cartesianReq
+	if err := decodeMsg(payload, &req); err != nil {
+		return nil, err
+	}
+	small, rest, err := decodeRowSection(req.Small)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after small rows", len(rest))
+	}
+	large, err := decodePartSet(req.Large, req.Parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]engine.Row, req.Parts)
+	for p := range out {
+		if !s.owned(p) {
+			continue
+		}
+		out[p] = engine.CartesianKernel(large[p], small,
+			req.Spec.SmallIsLeft, req.Spec.OutWidth, req.Spec.LKeep, req.Spec.RKeep)
+	}
+	return encodeExchange(out, req.Spec.OutWidth, s.owned)
+}
+
+// handleDistinct dedups the owned partitions of a shuffled distinct.
+func (s *Server) handleDistinct(payload []byte) ([]byte, error) {
+	var req distinctReq
+	if err := decodeMsg(payload, &req); err != nil {
+		return nil, err
+	}
+	in, err := decodePartSet(req.In, req.Parts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]engine.Row, req.Parts)
+	for p := range out {
+		if !s.owned(p) {
+			continue
+		}
+		out[p] = engine.DistinctKernel(in[p], req.Spec.Width)
+	}
+	return encodeExchange(out, req.Spec.Width, s.owned)
+}
+
+// encodeExchange packs an exchange kernel's output partitions with
+// their end-to-end checksum.
+func encodeExchange(out [][]engine.Row, width int, own func(p int) bool) ([]byte, error) {
+	return encodeMsg(exchangeResp{
+		Parts:    appendPartSet(nil, out, width, own),
+		Checksum: engine.RowsChecksum(out),
+	})
+}

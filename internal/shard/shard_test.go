@@ -1,0 +1,398 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/watdiv"
+	"repro/internal/wire"
+)
+
+// The fixture: one WatDiv dataset loaded once. Shard servers and the
+// coordinator share the same read-only store object — exactly the
+// deterministic-load guarantee separate prost-shard processes rely on,
+// without paying three loads per test run.
+const testScale = 120
+
+var (
+	fixOnce  sync.Once
+	fixStore *core.Store
+	fixErr   error
+)
+
+func testStore(t *testing.T) *core.Store {
+	t.Helper()
+	fixOnce.Do(func() {
+		g := watdiv.MustGenerate(watdiv.Config{Scale: testScale, Seed: 42})
+		c := cluster.MustNew(cluster.DefaultConfig())
+		fixStore, fixErr = core.Load(g, core.Options{Cluster: c, BuildInversePT: true})
+	})
+	if fixErr != nil {
+		t.Fatalf("loading fixture: %v", fixErr)
+	}
+	return fixStore
+}
+
+// startShards boots n shard servers on loopback and returns their
+// addresses in shard order.
+func startShards(t *testing.T, store *core.Store, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(store, i, n)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+func dialShards(t *testing.T, store *core.Store, n int) *Coordinator {
+	t.Helper()
+	coord, err := Dial(store, startShards(t, store, n))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord
+}
+
+// renderResult flattens SortedRows into one comparable string.
+func renderResult(res *core.Result) string {
+	var sb strings.Builder
+	for _, row := range res.SortedRows() {
+		for i, term := range row {
+			if i > 0 {
+				sb.WriteByte('|')
+			}
+			sb.WriteString(term.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestShardedExecutionMatchesSingleProcess is the tentpole acceptance
+// gate: every WatDiv query, under every planner mode and storage
+// strategy, must produce byte-identical SortedRows and the identical
+// SimTime on 2-shard and 4-shard topologies as in single-process
+// execution. The baseline disables adaptive re-planning, matching the
+// restriction distributed mode enforces.
+func TestShardedExecutionMatchesSingleProcess(t *testing.T) {
+	store := testStore(t)
+	coords := map[int]*Coordinator{
+		2: dialShards(t, store, 2),
+		4: dialShards(t, store, 4),
+	}
+	strategies := map[string]core.Strategy{}
+	for _, name := range core.StrategyNames() {
+		st, err := core.ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%s): %v", name, err)
+		}
+		strategies[name] = st
+	}
+	// Broadcast thresholds: the default (tiny fixture tables all
+	// broadcast) plus disabled (every join shuffles), so both exchange
+	// families are pinned identical.
+	for _, bcast := range []int64{0, -1} {
+		for _, modeName := range core.PlannerModeNames() {
+			mode, err := core.ParsePlannerMode(modeName)
+			if err != nil {
+				t.Fatalf("ParsePlannerMode(%s): %v", modeName, err)
+			}
+			for stratName, strat := range strategies {
+				for _, q := range watdiv.BasicQuerySet() {
+					opts := core.QueryOptions{Strategy: strat, Planner: mode, ReplanThreshold: -1, BroadcastThreshold: bcast}
+					base, err := store.Query(q.Parsed, opts)
+					if err != nil {
+						t.Fatalf("%s/%s/%s single-process: %v", q.Name, modeName, stratName, err)
+					}
+					baseRows := renderResult(base)
+					for shards, coord := range coords {
+						dopts := opts
+						dopts.Dist = coord
+						res, err := store.Query(q.Parsed, dopts)
+						if err != nil {
+							t.Fatalf("%s/%s/%s on %d shards: %v", q.Name, modeName, stratName, shards, err)
+						}
+						if got := renderResult(res); got != baseRows {
+							t.Errorf("%s/%s/%s on %d shards: rows diverge from single-process\ngot:\n%swant:\n%s",
+								q.Name, modeName, stratName, shards, got, baseRows)
+						}
+						if res.SimTime != base.SimTime {
+							t.Errorf("%s/%s/%s on %d shards: SimTime %v != single-process %v",
+								q.Name, modeName, stratName, shards, res.SimTime, base.SimTime)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// netAnnotated collects the executed plan's nodes carrying exchange
+// measurements.
+func netAnnotated(p *plan.Plan) []*plan.Node {
+	var out []*plan.Node
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		if n.HasNetBytes {
+			out = append(out, n)
+		}
+	}
+	walk(p.Root)
+	return out
+}
+
+// TestShuffleCalibrationWithin2x pins the calibration acceptance bound:
+// on every shuffled join the model priced, the measured wire payload
+// must land within 2x of the price (the packed wire layout uses 4
+// bytes/value against the model's 5, so the expected ratio is ~0.8).
+func TestShuffleCalibrationWithin2x(t *testing.T) {
+	store := testStore(t)
+	coord := dialShards(t, store, 2)
+	shuffles := 0
+	for _, q := range watdiv.BasicQuerySet() {
+		// The fixture's tables all fit under the default broadcast
+		// threshold; disabling broadcasts forces the shuffle exchanges
+		// the bound is about.
+		res, err := store.Query(q.Parsed, core.QueryOptions{Dist: coord, BroadcastThreshold: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for _, n := range netAnnotated(res.Plan) {
+			if n.Op != plan.OpJoin || n.Method != plan.MethodShuffle {
+				continue
+			}
+			if n.PricedNetBytes <= 0 || n.MeasuredNetBytes <= 0 {
+				continue
+			}
+			shuffles++
+			ratio := float64(n.MeasuredNetBytes) / float64(n.PricedNetBytes)
+			if ratio < 0.5 || ratio > 2 {
+				t.Errorf("%s: shuffle join measured %d bytes vs priced %d (ratio %.2f), outside 2x",
+					q.Name, n.MeasuredNetBytes, n.PricedNetBytes, ratio)
+			}
+		}
+	}
+	if shuffles == 0 {
+		t.Fatalf("no priced shuffle joins executed — calibration bound never exercised")
+	}
+	ns := coord.NetworkStats()
+	if ns.CalibratedExchanges == 0 || ns.CalibrationError > 1 {
+		t.Errorf("NetworkStats calibration: error %.3f over %d exchanges, want >0 exchanges within mean 2x",
+			ns.CalibrationError, ns.CalibratedExchanges)
+	}
+	if ns.Exchanges == 0 || ns.BytesSent == 0 || ns.BytesReceived == 0 {
+		t.Errorf("NetworkStats traffic empty: %+v", ns)
+	}
+	if len(ns.ShardRTT) != 2 {
+		t.Errorf("ShardRTT has %d entries, want 2", len(ns.ShardRTT))
+	}
+}
+
+// scanError sums a plan's leaf-pricing calibration error, in
+// |log2(measured/priced)| terms.
+func scanError(p *plan.Plan) (sum float64, scans int) {
+	for _, n := range netAnnotated(p) {
+		if n.Op != plan.OpScan || n.PricedNetBytes <= 0 || n.MeasuredNetBytes <= 0 {
+			continue
+		}
+		sum += math.Abs(math.Log2(float64(n.MeasuredNetBytes) / float64(n.PricedNetBytes)))
+		scans++
+	}
+	return sum, scans
+}
+
+// TestLeafPricingFeedbackNarrows verifies the calibration feedback
+// loop: the first run prices scans from the cost model, the measured
+// wire bytes are stored, and a second identical run prices from the
+// stored measurement — so its leaf-pricing error collapses.
+func TestLeafPricingFeedbackNarrows(t *testing.T) {
+	store := testStore(t)
+	coord := dialShards(t, store, 2)
+	q := watdiv.BasicQuerySet()[0]
+	opts := core.QueryOptions{Dist: coord}
+
+	first, err := store.Query(q.Parsed, opts)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	err1, scans1 := scanError(first.Plan)
+	if scans1 == 0 {
+		t.Fatalf("first run annotated no priced scans")
+	}
+	if err1 == 0 {
+		t.Fatalf("first-run leaf error already 0 — modeled scan bytes cannot equal wire payload")
+	}
+
+	second, err := store.Query(q.Parsed, opts)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	err2, scans2 := scanError(second.Plan)
+	if scans2 != scans1 {
+		t.Fatalf("second run annotated %d scans, first %d", scans2, scans1)
+	}
+	if err2 >= err1 {
+		t.Errorf("leaf-pricing error did not narrow: first %.4f, second %.4f", err1, err2)
+	}
+	if err2 > 0.01 {
+		t.Errorf("second-run leaf error %.4f, want ~0 (priced from measured bytes of an identical run)", err2)
+	}
+}
+
+// TestShardDeathSurfacesTypedError kills one shard mid-topology and
+// verifies the failure reaches the caller through the task-attempt
+// machinery: a *core.TaskFailedError whose attempt records a worker
+// outage and which unwraps to the underlying *wire.ShardError.
+func TestShardDeathSurfacesTypedError(t *testing.T) {
+	store := testStore(t)
+	addrs := make([]string, 2)
+	servers := make([]*Server, 2)
+	for i := 0; i < 2; i++ {
+		srv, err := NewServer(store, i, 2)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+	}
+	coord, err := Dial(store, addrs)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	servers[1].Close()
+
+	q := watdiv.BasicQuerySet()[0]
+	_, err = store.Query(q.Parsed, core.QueryOptions{Dist: coord})
+	if err == nil {
+		t.Fatalf("query succeeded with a dead shard")
+	}
+	var tfe *core.TaskFailedError
+	if !errors.As(err, &tfe) {
+		t.Fatalf("error %v (%T) is not a *core.TaskFailedError", err, err)
+	}
+	if len(tfe.Attempts) != 1 || tfe.Attempts[0].Outcome != core.AttemptOutage {
+		t.Errorf("attempt trace %+v, want one worker-outage attempt", tfe.Attempts)
+	}
+	if tfe.Attempts[0].Worker != 1 {
+		t.Errorf("attempt worker = %d, want dead shard 1", tfe.Attempts[0].Worker)
+	}
+	var se *wire.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v does not unwrap to *wire.ShardError", err)
+	}
+	if se.Shard != 1 {
+		t.Errorf("ShardError.Shard = %d, want 1", se.Shard)
+	}
+}
+
+// TestHelloRejectsTopologyMismatch verifies the handshake refuses a
+// coordinator whose topology disagrees with the shard's.
+func TestHelloRejectsTopologyMismatch(t *testing.T) {
+	store := testStore(t)
+	// A server believing it is shard 0 of 2 must refuse a coordinator
+	// dialing it as the only shard of 1.
+	srv, err := NewServer(store, 0, 2)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	if _, err := Dial(store, []string{ln.Addr().String()}); err == nil {
+		t.Fatalf("Dial succeeded across a topology mismatch")
+	} else if !strings.Contains(err.Error(), "shard") {
+		t.Errorf("mismatch error %v does not identify the shard handshake", err)
+	}
+}
+
+// TestPartSetRoundTrip pins the sparse partition codec.
+func TestPartSetRoundTrip(t *testing.T) {
+	parts := [][]engine.Row{
+		{{1, 2}, {3, 4}},
+		nil,
+		{},
+		{{9, 10}},
+	}
+	own := func(p int) bool { return p%2 == 0 }
+	buf := appendPartSet(nil, parts, 2, own)
+	got, err := decodePartSet(buf, len(parts))
+	if err != nil {
+		t.Fatalf("decodePartSet: %v", err)
+	}
+	if engine.RowsChecksum(got) != engine.RowsChecksum([][]engine.Row{parts[0], nil, parts[2], nil}) {
+		t.Errorf("owned partitions do not round-trip: %v", got)
+	}
+	if got[1] != nil || got[3] != nil {
+		t.Errorf("unowned partitions decoded non-nil: %v", got)
+	}
+	// Truncations must error, never panic or misdecode.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := decodePartSet(buf[:cut], len(parts)); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	if _, err := decodePartSet(buf, 1); err == nil {
+		t.Errorf("part index beyond total decoded successfully")
+	}
+}
+
+// TestRowSectionWidthZero covers existence-relation payloads.
+func TestRowSectionWidthZero(t *testing.T) {
+	rows := []engine.Row{{}}
+	buf := appendRowSection(nil, 0, rows)
+	got, rest, err := decodeRowSection(buf)
+	if err != nil || len(rest) != 0 || len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("width-0 round trip: rows=%v rest=%d err=%v", got, len(rest), err)
+	}
+}
+
+// TestExplainRendersNetBytes verifies the /explain plumbing end to end:
+// a distributed execution's plan renders measured-vs-priced bytes.
+func TestExplainRendersNetBytes(t *testing.T) {
+	store := testStore(t)
+	coord := dialShards(t, store, 2)
+	q := watdiv.BasicQuerySet()[0]
+	res, err := store.Query(q.Parsed, core.QueryOptions{Dist: coord})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(netAnnotated(res.Plan)) == 0 {
+		t.Fatalf("executed plan carries no exchange annotations")
+	}
+	if out := res.Plan.String(); !strings.Contains(out, "net=") {
+		t.Errorf("plan rendering lacks net= annotation:\n%s", out)
+	}
+}

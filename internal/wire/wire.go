@@ -1,0 +1,210 @@
+// Package wire is the shard exchange codec: length-prefixed,
+// checksummed frames carrying packed dictionary-ID row payloads
+// between the coordinator and prost-shard worker processes.
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   4 bytes  "PRW1"
+//	type    1 byte   message discriminator (opaque to this package)
+//	length  4 bytes  payload length
+//	payload length bytes
+//	check   8 bytes  FNV-1a over type ++ length ++ payload
+//
+// The checksum is the same FNV-1a the engine uses for relation
+// checksums (PR 6), so a corrupted exchange is detected the same way a
+// corrupted simulated delivery is. Row payloads use PR 1's packed
+// layout: each value is one uint32 dictionary ID, rows are
+// fixed-width, so a partition serializes as width ++ count ++ count*width
+// IDs with no per-row framing.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a PRoST wire frame, version 1.
+const Magic = "PRW1"
+
+// MaxFrameBytes bounds a single frame's payload so a corrupted or
+// hostile length prefix cannot force an arbitrary allocation.
+const MaxFrameBytes = 1 << 30
+
+// FNV-1a constants, matching internal/engine's relation checksums.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// ErrChecksum is returned when a frame's checksum does not match its
+// contents.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// ErrMagic is returned when a frame does not start with Magic.
+var ErrMagic = errors.New("wire: bad frame magic")
+
+// ShardError is the typed failure a coordinator surfaces when a shard
+// process dies or misbehaves mid-query. The scheduler unwraps it into
+// the task-attempt machinery so a dead shard reports like a permanent
+// worker outage rather than an anonymous I/O error.
+type ShardError struct {
+	// Addr is the shard's listen address.
+	Addr string
+	// Shard is the shard index, -1 when unknown.
+	Shard int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("wire: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Checksum is the FNV-1a 64-bit hash over b, the frame and payload
+// checksum primitive.
+func Checksum(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// WriteFrame writes one frame of the given type and payload to w,
+// returning the total bytes written on the wire.
+func WriteFrame(w io.Writer, typ byte, payload []byte) (int64, error) {
+	if len(payload) > MaxFrameBytes {
+		return 0, fmt.Errorf("wire: frame payload %d bytes exceeds limit", len(payload))
+	}
+	head := make([]byte, 0, len(Magic)+1+4)
+	head = append(head, Magic...)
+	head = append(head, typ)
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(payload)))
+	h := uint64(fnvOffset)
+	h = fnvBytes(h, head[len(Magic):])
+	h = fnvBytes(h, payload)
+	var total int64
+	n, err := w.Write(head)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(payload)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint64(tail[:], h)
+	n, err = w.Write(tail[:])
+	total += int64(n)
+	return total, err
+}
+
+// ReadFrame reads one frame from r, verifying magic and checksum. It
+// returns the type, payload and total bytes consumed. A frame that
+// fails validation returns ErrMagic or ErrChecksum; the payload is
+// never handed to the caller unverified.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, n int64, err error) {
+	head := make([]byte, len(Magic)+1+4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, nil, 0, err
+	}
+	n = int64(len(head))
+	if string(head[:len(Magic)]) != Magic {
+		return 0, nil, n, ErrMagic
+	}
+	typ = head[len(Magic)]
+	size := binary.LittleEndian.Uint32(head[len(Magic)+1:])
+	if size > MaxFrameBytes {
+		return 0, nil, n, fmt.Errorf("wire: frame payload %d bytes exceeds limit", size)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, n, err
+	}
+	n += int64(size)
+	var tail [8]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, n, err
+	}
+	n += 8
+	h := uint64(fnvOffset)
+	h = fnvBytes(h, head[len(Magic):])
+	h = fnvBytes(h, payload)
+	if binary.LittleEndian.Uint64(tail[:]) != h {
+		return 0, nil, n, ErrChecksum
+	}
+	return typ, payload, n, nil
+}
+
+// fnvBytes folds b into a running FNV-1a hash.
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// AppendRows serializes fixed-width uint32 rows onto buf in the packed
+// PR 1 layout: width, row count, then the IDs row-major, all uint32
+// little-endian. Width 0 rows (existence relations) are legal: only
+// the count carries information.
+func AppendRows(buf []byte, width int, rows [][]uint32) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(width))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	for _, r := range rows {
+		for _, v := range r {
+			buf = binary.LittleEndian.AppendUint32(buf, v)
+		}
+	}
+	return buf
+}
+
+// DecodeRows decodes a packed rows section from buf, returning the
+// rows and the remaining bytes. Every row slice is freshly allocated;
+// nothing aliases buf.
+func DecodeRows(buf []byte) (rows [][]uint32, rest []byte, err error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("wire: rows section truncated header")
+	}
+	width := int(binary.LittleEndian.Uint32(buf))
+	count := int(binary.LittleEndian.Uint32(buf[4:]))
+	buf = buf[8:]
+	if width != 0 && count > len(buf)/(width*4) {
+		return nil, nil, fmt.Errorf("wire: rows section truncated body (%d×%d rows, %d bytes left)", count, width, len(buf))
+	}
+	// Width-0 rows carry no body, so the count is the only bound; an
+	// existence relation never has more than one row, so a huge count
+	// is corruption, not data.
+	if width == 0 && count > 1<<20 {
+		return nil, nil, fmt.Errorf("wire: implausible width-0 row count %d", count)
+	}
+	need := width * count * 4
+	rows = make([][]uint32, count)
+	if width == 0 {
+		for i := range rows {
+			rows[i] = []uint32{}
+		}
+		return rows, buf, nil
+	}
+	flat := make([]uint32, width*count)
+	for i := range flat {
+		flat[i] = binary.LittleEndian.Uint32(buf[i*4:])
+	}
+	for i := range rows {
+		rows[i] = flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	return rows, buf[need:], nil
+}
+
+// RowsSize returns the encoded size in bytes of a packed rows section.
+func RowsSize(width, count int) int64 {
+	return 8 + int64(width)*int64(count)*4
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xAB}, 1<<16)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		wrote, err := WriteFrame(&buf, 7, p)
+		if err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if wrote != int64(buf.Len()) {
+			t.Fatalf("WriteFrame reported %d bytes, wrote %d", wrote, buf.Len())
+		}
+		typ, got, n, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if typ != 7 || !bytes.Equal(got, p) || n != wrote {
+			t.Fatalf("round trip mismatch: typ=%d len=%d n=%d want typ=7 len=%d n=%d", typ, len(got), n, len(p), wrote)
+		}
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	if _, err := WriteFrame(&buf, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	// Flipping any single bit past the magic must fail the checksum
+	// (or the magic check, for early bytes); nothing may decode clean.
+	for i := 0; i < len(clean); i++ {
+		for bit := 0; bit < 8; bit++ {
+			dirty := bytes.Clone(clean)
+			dirty[i] ^= 1 << bit
+			_, got, _, err := ReadFrame(bytes.NewReader(dirty))
+			if err == nil {
+				t.Fatalf("corrupt byte %d bit %d decoded cleanly (payload %q)", i, bit, got)
+			}
+		}
+	}
+	// Truncations at every length must error, never hang or panic.
+	for i := 0; i < len(clean); i++ {
+		if _, _, _, err := ReadFrame(bytes.NewReader(clean[:i])); err == nil {
+			t.Fatalf("truncated frame (%d bytes) decoded cleanly", i)
+		}
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	raw := []byte("NOPE\x00\x00\x00\x00\x00")
+	if _, _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrMagic) {
+		t.Fatalf("got %v, want ErrMagic", err)
+	}
+}
+
+func TestFrameOversizeRejected(t *testing.T) {
+	// A length prefix beyond MaxFrameBytes must be rejected before any
+	// allocation of that size is attempted.
+	head := []byte(Magic)
+	head = append(head, 1)
+	head = append(head, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, _, _, err := ReadFrame(bytes.NewReader(head)); err == nil || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("oversize frame not rejected: %v", err)
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	cases := []struct {
+		width int
+		rows  [][]uint32
+	}{
+		{0, nil},
+		{0, [][]uint32{{}, {}}},
+		{1, [][]uint32{{42}}},
+		{3, [][]uint32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}},
+	}
+	for _, c := range cases {
+		buf := AppendRows(nil, c.width, c.rows)
+		if int64(len(buf)) != RowsSize(c.width, len(c.rows)) {
+			t.Fatalf("RowsSize(%d,%d)=%d, encoded %d", c.width, len(c.rows), RowsSize(c.width, len(c.rows)), len(buf))
+		}
+		got, rest, err := DecodeRows(buf)
+		if err != nil {
+			t.Fatalf("DecodeRows: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeRows left %d bytes", len(rest))
+		}
+		if len(got) != len(c.rows) {
+			t.Fatalf("row count %d, want %d", len(got), len(c.rows))
+		}
+		for i := range got {
+			if len(got[i]) != c.width {
+				t.Fatalf("row %d width %d, want %d", i, len(got[i]), c.width)
+			}
+			for j := range got[i] {
+				if got[i][j] != c.rows[i][j] {
+					t.Fatalf("row %d col %d: %d != %d", i, j, got[i][j], c.rows[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestRowsTruncated(t *testing.T) {
+	buf := AppendRows(nil, 2, [][]uint32{{1, 2}, {3, 4}})
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeRows(buf[:i]); err == nil {
+			t.Fatalf("truncated rows section (%d bytes) decoded cleanly", i)
+		}
+	}
+}
+
+func TestShardErrorUnwrap(t *testing.T) {
+	inner := errors.New("connection refused")
+	err := error(&ShardError{Addr: "127.0.0.1:9", Shard: 1, Err: inner})
+	if !errors.Is(err, inner) {
+		t.Fatal("ShardError does not unwrap to its cause")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 1 {
+		t.Fatal("errors.As failed to recover ShardError")
+	}
+}
