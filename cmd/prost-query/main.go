@@ -135,13 +135,20 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, stream
 	}
 
 	fmt.Printf("%s\n", strings.Join(res.Vars, "\t"))
-	for i, row := range res.SortedRows() {
+	rows := res.Rows // ORDER BY order; re-sorting would undo DESC keys
+	if !res.Ordered {
+		rows = res.SortedRows()
+	}
+	for i, row := range rows {
 		if maxRows > 0 && i >= maxRows {
 			fmt.Printf("… (%d more rows)\n", len(res.Rows)-maxRows)
 			break
 		}
 		cells := make([]string, len(row))
 		for j, t := range row {
+			if t == (rdf.Term{}) {
+				continue // unbound OPTIONAL cell: empty, not "<>"
+			}
 			cells[j] = t.String()
 		}
 		fmt.Println(strings.Join(cells, "\t"))
@@ -151,8 +158,8 @@ func run(in, queryText, queryFile, strategy, planner string, workers int, stream
 	if res.Streamed {
 		fmt.Printf("streamed over morsel pipelines: first row at %v; peak intermediate footprint %d B\n",
 			res.FirstRow, res.PeakMemBytes)
-	} else if streaming {
-		fmt.Println("streaming requested but the query fell back to materialized execution")
+	} else if res.StreamingDowngraded {
+		fmt.Println("streaming requested but downgraded to materialized execution (no morsel path for this configuration)")
 	}
 	if explain {
 		fmt.Println()

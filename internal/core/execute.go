@@ -162,6 +162,14 @@ type Result struct {
 	// in-flight chunk budget; for a materialized query, the peak of
 	// live intermediate relations over the virtual timeline.
 	PeakMemBytes int64
+	// Ordered reports that Rows is already in the query's ORDER BY
+	// order — consumers must present Rows as-is instead of re-sorting
+	// for display.
+	Ordered bool
+	// StreamingDowngraded reports that QueryOptions.Streaming was
+	// requested but the sharded coordinator path forced it off — the
+	// distributed kernels run only under the materialized scheduler.
+	StreamingDowngraded bool
 }
 
 // ReplanSummary renders the adaptive re-planning record for EXPLAIN
@@ -267,6 +275,7 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	// fault injection and adaptive re-planning — off. Planning is
 	// unaffected (the session only executes kernels).
 	var distSess DistSession
+	streamingDowngraded := false
 	if opts.Dist != nil {
 		sess, err := opts.Dist.Session(q)
 		if err != nil {
@@ -274,8 +283,19 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		}
 		distSess = sess
 		defer distSess.Close()
+		// A streaming request against the coordinator is a downgrade,
+		// not a silent no-op: the flag surfaces in the result (and the
+		// HTTP stats) so callers see which executor actually ran.
+		streamingDowngraded = opts.Streaming
 		opts.Streaming = false
 		opts.Faults = nil
+		opts.ReplanThreshold = -1
+	}
+	// The adaptive re-planner reasons over a single BGP's join/scan
+	// remainder; the extended operators (LeftJoin, Union, TopK,
+	// Aggregate) execute statically. Forced off before planning so the
+	// cache key's resolved threshold matches the execution.
+	if q.Extended() {
 		opts.ReplanThreshold = -1
 	}
 	mode := opts.planMode()
@@ -322,10 +342,11 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 	}
 
 	// Streaming dispatch: the morsel-driven executor takes every plan
-	// it can run (LIMIT/OFFSET and adaptive Bound plans fall back).
-	// handled=false means no work was done — the materialized path
-	// below executes as if Streaming were off.
-	if opts.Streaming && q.Limit < 0 && q.Offset <= 0 {
+	// it can run — including the extended operators and LIMIT/OFFSET,
+	// which runs as a bounded top-K sink. handled=false means no work
+	// was done (adaptive Bound plans fall back) — the materialized
+	// path below executes as if Streaming were off.
+	if opts.Streaming {
 		res, handled, err := s.queryStreaming(ctx, q, opts, clock, entry, tree, filters, faults, faultSalt, start)
 		if err != nil {
 			return nil, err
@@ -366,13 +387,22 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		return nil, err
 	}
 
-	// Epilogue: collect with offset/limit, priced on its own clock and
-	// sequenced after the root task on the virtual timeline.
+	// Epilogue: collect the root relation, priced on its own clock and
+	// sequenced after the root task on the virtual timeline. An
+	// extended query's plan already applied LIMIT/OFFSET (and ordering)
+	// through its TopK operator, so the collect must preserve partition
+	// order as-is; a plain BGP query has no limit to push (LIMIT makes
+	// a query extended) and collects everything.
 	epiClock := cluster.NewClock()
 	e := engine.NewExec(s.cluster, epiClock)
 	e.StartCost = 0
 	e.BroadcastThreshold = opts.BroadcastThreshold
-	rows, err := e.Limit(rootTask.rel, q.Limit, q.Offset)
+	var rows []engine.Row
+	if q.Extended() {
+		rows, err = e.Collect(rootTask.rel)
+	} else {
+		rows, err = e.Limit(rootTask.rel, q.Limit, q.Offset)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -425,26 +455,29 @@ func (s *Store) QueryContext(ctx context.Context, q *sparql.Query, opts QueryOpt
 		s.mineWorkload(mined, entry.nodes)
 	}
 
+	countCols := pl.Root.CountCols
 	decoded := make([][]rdf.Term, len(rows))
 	for i, r := range rows {
 		terms := make([]rdf.Term, len(r))
 		for j, id := range r {
-			terms[j] = s.dict.Term(id)
+			terms[j] = s.decodeCell(id, j < len(countCols) && countCols[j])
 		}
 		decoded[i] = terms
 	}
 	return &Result{
-		Vars:          q.Projection(),
-		Rows:          decoded,
-		SimTime:       simTime,
-		WallTime:      time.Since(start),
-		Tree:          tree,
-		Plan:          executed,
-		Clock:         clock,
-		Replans:       sched.events,
-		CacheFeedback: entry.corrected,
-		Resilience:    sched.res.stats(),
-		PeakMemBytes:  materializedPeakBytes(sched, simTime),
+		Vars:                q.Projection(),
+		Rows:                decoded,
+		SimTime:             simTime,
+		WallTime:            time.Since(start),
+		Tree:                tree,
+		Plan:                executed,
+		Clock:               clock,
+		Replans:             sched.events,
+		CacheFeedback:       entry.corrected,
+		Resilience:          sched.res.stats(),
+		PeakMemBytes:        materializedPeakBytes(sched, simTime),
+		Ordered:             len(q.Order) > 0,
+		StreamingDowngraded: streamingDowngraded,
 	}, nil
 }
 
@@ -460,18 +493,25 @@ func (s *Store) planEntry(snap *statsSnapshot, q *sparql.Query, mode plan.Mode, 
 			return e, key, cacheable, nil
 		}
 	}
-	tree, err := s.translateWith(snap.col, q, opts.Strategy)
-	if err != nil {
-		return nil, "", false, err
+	if q.Extended() {
+		entry, err = s.planExtended(snap, q, mode, opts)
+		if err != nil {
+			return nil, "", false, err
+		}
+	} else {
+		tree, err := s.translateWith(snap.col, q, opts.Strategy)
+		if err != nil {
+			return nil, "", false, err
+		}
+		if mode == plan.ModeNaive {
+			naiveOrder(tree, q)
+		}
+		pl := s.buildPlan(snap.col, tree, q, mode, opts)
+		if pl == nil {
+			return nil, "", false, fmt.Errorf("core: query has no patterns")
+		}
+		entry = &cachedPlan{nodes: tree.Nodes, plan: pl}
 	}
-	if mode == plan.ModeNaive {
-		naiveOrder(tree, q)
-	}
-	pl := s.buildPlan(snap.col, tree, q, mode, opts)
-	if pl == nil {
-		return nil, "", false, fmt.Errorf("core: query has no patterns")
-	}
-	entry = &cachedPlan{nodes: tree.Nodes, plan: pl}
 	if cacheable {
 		s.planCache.put(key, entry)
 	}
@@ -539,8 +579,12 @@ type compiledFilter struct {
 }
 
 // compileFilters turns the query's FILTER list into ID predicates, in
-// q.Filters order (plan filter indexes point into this slice).
+// the order plan filter indexes point into: q.Filters for a plain BGP
+// query, the concatenated per-group list for an extended one.
 func (s *Store) compileFilters(q *sparql.Query) ([]compiledFilter, error) {
+	if q.Extended() {
+		return s.compileFilterList(extendedFilterList(q))
+	}
 	return s.compileFilterList(q.Filters)
 }
 

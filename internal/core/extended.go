@@ -1,0 +1,236 @@
+package core
+
+// Extended-surface planning: OPTIONAL, UNION, ORDER BY/LIMIT and
+// GROUP BY/COUNT queries route through planExtended, which runs every
+// UNION branch's BGP (and every OPTIONAL group's) through the
+// unchanged translate + cost-plan pipeline, then grafts the per-group
+// plans into one physical plan via plan.Extend. The per-group plans
+// carry leaf and filter indexes local to their own group; this file
+// offsets them into the query-global lists so the scheduler executes
+// the composed plan with one node list and one compiled-filter list.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// planExtended translates and plans an extended query: each group is
+// planned independently (reusing filter pushdown, join ordering and
+// physical join selection), then the extended operators are composed
+// on top. The returned entry's node list is the concatenation of every
+// group's Join Tree nodes, in branch order (base first, then its
+// OPTIONAL groups) — the same order extendedFilterList concatenates
+// filters in, so the plan's offset leaf and filter indexes line up.
+func (s *Store) planExtended(snap *statsSnapshot, q *sparql.Query, mode plan.Mode, opts QueryOptions) (*cachedPlan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		allNodes []*Node
+		leaves   []plan.Leaf
+		labels   []string
+	)
+	planGroup := func(pats []sparql.TriplePattern, fs []sparql.Filter) (*plan.Plan, error) {
+		// The synthetic per-group query projects every pattern variable
+		// (sorted, so the group's output schema is planner-mode
+		// independent) and carries no limit: LIMIT/OFFSET belong to the
+		// composed plan's TopK operator, never to a group.
+		gq := &sparql.Query{
+			Vars:     sortedPatternVars(pats),
+			Patterns: pats,
+			Filters:  fs,
+			Limit:    -1,
+		}
+		tree, err := s.translateWith(snap.col, gq, opts.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		if mode == plan.ModeNaive {
+			naiveOrder(tree, gq)
+		}
+		pl := s.buildPlan(snap.col, tree, gq, mode, opts)
+		if pl == nil {
+			return nil, fmt.Errorf("core: query group has no patterns")
+		}
+		offsetPlanRefs(pl.Root, len(leaves), len(labels))
+		allNodes = append(allNodes, tree.Nodes...)
+		leaves = append(leaves, pl.Leaves...)
+		labels = append(labels, pl.FilterLabels...)
+		return pl, nil
+	}
+
+	branches := q.BranchGroups()
+	spec := plan.ExtendSpec{
+		BranchVars: branches[0].Vars(),
+		Projection: q.Projection(),
+		Distinct:   q.Distinct,
+		GroupBy:    q.GroupBy,
+		Limit:      q.Limit,
+		Offset:     q.Offset,
+	}
+	for bi := range branches {
+		g := &branches[bi]
+		base, err := planGroup(g.Patterns, g.Filters)
+		if err != nil {
+			return nil, err
+		}
+		br := plan.BranchSpec{Base: base}
+		for oi := range g.Optionals {
+			og := &g.Optionals[oi]
+			opl, err := planGroup(og.Patterns, og.Filters)
+			if err != nil {
+				return nil, err
+			}
+			br.Optionals = append(br.Optionals, opl)
+		}
+		spec.Branches = append(spec.Branches, br)
+	}
+	for _, c := range q.Counts {
+		spec.Counts = append(spec.Counts, plan.CountAgg{Var: c.Var, As: c.Alias})
+	}
+	for _, k := range q.Order {
+		spec.Order = append(spec.Order, plan.SortKey{Col: k.Var, Desc: k.Desc})
+	}
+	spec.Leaves = leaves
+	spec.FilterLabels = labels
+	return &cachedPlan{nodes: allNodes, plan: plan.Extend(spec)}, nil
+}
+
+// offsetPlanRefs rebases a group plan's leaf and filter indexes into
+// the query-global lists the composed plan carries.
+func offsetPlanRefs(n *plan.Node, leafOff, filterOff int) {
+	if n.Op == plan.OpScan {
+		n.Leaf += leafOff
+	}
+	for i := range n.Filters {
+		n.Filters[i] += filterOff
+	}
+	for _, c := range n.Children {
+		offsetPlanRefs(c, leafOff, filterOff)
+	}
+}
+
+// extendedFilterList concatenates every group's FILTERs in the exact
+// order planExtended plans the groups (per branch: base, then its
+// OPTIONAL groups), matching the composed plan's global filter
+// indexes. For a plain single-BGP query this is q.Filters.
+func extendedFilterList(q *sparql.Query) []sparql.Filter {
+	branches := q.BranchGroups()
+	var out []sparql.Filter
+	for bi := range branches {
+		g := &branches[bi]
+		out = append(out, g.Filters...)
+		for oi := range g.Optionals {
+			out = append(out, g.Optionals[oi].Filters...)
+		}
+	}
+	return out
+}
+
+// sortedPatternVars returns the distinct variables of a pattern list,
+// sorted — the planner-mode-independent projection of a synthetic
+// per-group query.
+func sortedPatternVars(pats []sparql.TriplePattern) []string {
+	seen := map[string]bool{}
+	for _, tp := range pats {
+		for _, v := range tp.Vars() {
+			seen[v] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topkLess compiles a TopK node's sort keys into a row comparator over
+// the node's column order. ORDER BY keys compare by term (numeric for
+// integer literals, dictionary term order otherwise) with unbound
+// cells first; COUNT columns compare by their raw count value. Ties —
+// including the no-ORDER-BY case — break by raw dictionary-ID order
+// over the full row, a total order that is identical across planner
+// modes, strategies and both executors (the TopK node sits above the
+// final projection, so its column order is the projection). That total
+// order is what makes limited results deterministic.
+func (s *Store) topkLess(n *plan.Node) func(a, b engine.Row) bool {
+	type sortCol struct {
+		col   int
+		desc  bool
+		count bool
+	}
+	keys := make([]sortCol, 0, len(n.Sort))
+	for _, k := range n.Sort {
+		for j, v := range n.Vars {
+			if v == k.Col {
+				keys = append(keys, sortCol{
+					col:   j,
+					desc:  k.Desc,
+					count: j < len(n.CountCols) && n.CountCols[j],
+				})
+				break
+			}
+		}
+	}
+	return func(a, b engine.Row) bool {
+		for _, k := range keys {
+			c := s.compareCell(a[k.col], b[k.col], k.count)
+			if k.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		for j := range a {
+			if j < len(b) && a[j] != b[j] {
+				return a[j] < b[j]
+			}
+		}
+		return false
+	}
+}
+
+// compareCell three-way compares two row cells of one column. Count
+// columns hold raw counts, compared numerically; term columns compare
+// unbound (NullID) first, then by CompareTermIDs (numeric for integer
+// literals, deterministic term order otherwise).
+func (s *Store) compareCell(x, y rdf.ID, isCount bool) int {
+	if x == y {
+		return 0
+	}
+	if isCount {
+		if x < y {
+			return -1
+		}
+		return 1
+	}
+	if x == rdf.NullID {
+		return -1
+	}
+	if y == rdf.NullID {
+		return 1
+	}
+	return engine.CompareTermIDs(s.dict, x, y)
+}
+
+// decodeCell turns one result cell into a term: COUNT columns hold raw
+// counts (decoded to xsd:integer literals), NullID is an unbound
+// OPTIONAL variable (decoded to the zero Term — callers render it as
+// an empty binding), everything else is a dictionary ID.
+func (s *Store) decodeCell(id rdf.ID, isCount bool) rdf.Term {
+	if isCount {
+		return rdf.NewTypedLiteral(strconv.FormatUint(uint64(id), 10), rdf.XSDInteger)
+	}
+	if id == rdf.NullID {
+		return rdf.Term{}
+	}
+	return s.dict.Term(id)
+}

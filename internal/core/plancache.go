@@ -193,8 +193,11 @@ func (c *planCache) metrics() CacheMetrics {
 // planner keys on it outright, and the heuristic/cost orderings break
 // estimate ties by translation order, so two equivalent queries
 // written differently may legitimately plan differently and must not
-// share an entry. LIMIT and OFFSET are excluded: they apply after
-// execution and do not affect the plan.
+// share an entry. Extended queries additionally key on the full
+// rendered query text: UNION branches, OPTIONAL groups, ORDER BY,
+// GROUP BY/COUNT and LIMIT/OFFSET all shape the composed plan (Union,
+// LeftJoin, Aggregate and TopK operators), and none of them appear in
+// the mirror Patterns/Filters fields.
 func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP, wlEpoch uint64) string {
 	var sb strings.Builder
 	sb.WriteString(mode.String())
@@ -231,6 +234,10 @@ func planCacheKey(q *sparql.Query, mode plan.Mode, opts QueryOptions, statsFP, w
 	for _, f := range q.Filters {
 		sb.WriteString(f.String())
 		sb.WriteByte('\n')
+	}
+	if q.Extended() {
+		sb.WriteString("|ext|")
+		sb.WriteString(q.String())
 	}
 	return sb.String()
 }

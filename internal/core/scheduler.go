@@ -1032,6 +1032,22 @@ func (sc *scheduler) execOp(e *engine.Exec, t *execTask, in []*engine.Relation) 
 		return e.Project(in[0], n.Cols)
 	case plan.OpDistinct:
 		return e.Distinct(in[0])
+	case plan.OpLeftJoin:
+		rel, err := e.LeftJoin(in[0], in[1], n.Label)
+		if err != nil {
+			return nil, fmt.Errorf("core: left-joining %s: %w", n.Label, err)
+		}
+		return rel, nil
+	case plan.OpUnion:
+		return e.UnionAll(in...)
+	case plan.OpTopK:
+		return e.TopK(in[0], sc.store.topkLess(n), n.Limit, n.Offset)
+	case plan.OpAggregate:
+		counts := make([]engine.AggCount, len(n.CountVars))
+		for i, v := range n.CountVars {
+			counts[i] = engine.AggCount{Var: v, As: n.Vars[len(n.GroupCols)+i]}
+		}
+		return e.Aggregate(in[0], n.GroupCols, counts)
 	default:
 		return nil, fmt.Errorf("core: unknown plan operator %v", n.Op)
 	}

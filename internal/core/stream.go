@@ -70,8 +70,11 @@ type stepKind uint8
 const (
 	stepFilter stepKind = iota
 	stepProbe
+	stepProbeOuter
 	stepProject
 	stepDistinct
+	stepTopK
+	stepAggregate
 )
 
 // filterCheck is one residual FILTER predicate bound to its column,
@@ -102,9 +105,32 @@ type streamStep struct {
 	// across partition workers.
 	mu    sync.Mutex
 	dedup *engine.RowDeduper
+	// Top-K barrier state (stepTopK): incoming rows accumulate in buf
+	// under mu, trimmed back to keep rows whenever the buffer doubles —
+	// the early termination that bounds an ORDER BY + LIMIT query's
+	// footprint to O(offset+limit) instead of O(result). keep < 0
+	// retains everything (ORDER BY without LIMIT). retained is the
+	// buffer's high-water mark for the peak-memory sweep.
+	less     func(a, b engine.Row) bool
+	keep     int
+	buf      []engine.Row
+	retained int64
+	// Aggregate barrier state (stepAggregate): the shared group table
+	// under mu. groupIdx maps group columns into the input row;
+	// countIdx maps each COUNT to its counted input column (-1 =
+	// COUNT(*)).
+	groupIdx []int
+	countIdx []int
+	groups   map[string]*aggGroup
 	// out counts the step's emitted rows — the plan node's observed
 	// cardinality.
 	out atomic.Int64
+}
+
+// aggGroup is one GROUP BY group: its key cells and running counts.
+type aggGroup struct {
+	row    engine.Row
+	counts []int64
 }
 
 // apply runs one chunk batch through the step. Input rows must be
@@ -132,6 +158,12 @@ func (st *streamStep) apply(rows []engine.Row) []engine.Row {
 			st.jr.hash.Probe(r, arena)
 		}
 		rows = arena.Rows()
+	case stepProbeOuter:
+		arena := engine.NewRowArena(st.width, len(rows))
+		for _, r := range rows {
+			st.jr.hash.ProbeOuter(r, arena)
+		}
+		rows = arena.Rows()
 	case stepProject:
 		arena := engine.NewRowArena(st.width, len(rows))
 		for _, r := range rows {
@@ -148,6 +180,39 @@ func (st *streamStep) apply(rows []engine.Row) []engine.Row {
 		}
 		st.mu.Unlock()
 		rows = kept
+	case stepTopK:
+		st.mu.Lock()
+		st.buf = append(st.buf, rows...)
+		if n := int64(len(st.buf)); n > st.retained {
+			st.retained = n
+		}
+		if st.keep >= 0 && len(st.buf) > 2*st.keep+64 {
+			sort.SliceStable(st.buf, func(i, j int) bool { return st.less(st.buf[i], st.buf[j]) })
+			st.buf = st.buf[:st.keep]
+		}
+		st.mu.Unlock()
+		rows = nil
+	case stepAggregate:
+		st.mu.Lock()
+		for _, r := range rows {
+			key := aggKey(r, st.groupIdx)
+			g := st.groups[key]
+			if g == nil {
+				gr := make(engine.Row, len(st.groupIdx))
+				for i, gi := range st.groupIdx {
+					gr[i] = r[gi]
+				}
+				g = &aggGroup{row: gr, counts: make([]int64, len(st.countIdx))}
+				st.groups[key] = g
+			}
+			for ci, idx := range st.countIdx {
+				if idx < 0 || r[idx] != rdf.NullID {
+					g.counts[ci]++
+				}
+			}
+		}
+		st.mu.Unlock()
+		rows = nil
 	}
 	st.out.Add(int64(len(rows)))
 	return rows
@@ -182,6 +247,10 @@ const (
 	srcVPExist
 	srcPT
 	srcTriples
+	// srcUnion replays the encoded sink chunks of the UNION branch
+	// pipelines, in branch order — the branch boundary is a pipeline
+	// breaker, like a hash-join build.
+	srcUnion
 )
 
 // streamSource is a pipeline's scan: where its rows come from and how
@@ -210,6 +279,10 @@ type streamSource struct {
 	// Triples fallback.
 	tp     sparql.TriplePattern
 	pushed []compiledFilter
+
+	// Union: the branch pipelines whose sink chunks this source
+	// replays (their outChunks are retained until consumed).
+	unionFrom []*streamPipe
 
 	// out counts emitted source rows (the scan node's observed
 	// cardinality); scanned counts input units examined (PT keys),
@@ -250,6 +323,20 @@ type streamPlan struct {
 	// maxWidth is the widest row any pipeline stage carries — the
 	// in-flight memory term.
 	maxWidth int
+	// barrier is the root pipeline's fused blocking step — a bounded
+	// top-K buffer or the aggregate group table — when the plan ends in
+	// one; the driver finalizes it after every pipeline drains.
+	barrier     *streamStep
+	barrierPipe int
+	// tail holds the plan operators above a fused Aggregate (Project /
+	// Distinct / TopK over the group rows), top-down; the driver
+	// applies them in reverse after finalizing the aggregate. Group
+	// rows number at most the distinct key count, so this is driver
+	// epilogue work, not pipeline work.
+	tail []*plan.Node
+	// tailObs records the barrier's and tail operators' output
+	// cardinalities for the observation.
+	tailObs map[*plan.Node]int64
 }
 
 // streamCompiler lowers a physical plan into pipelines. unsupported
@@ -275,7 +362,11 @@ func (s *Store) compileStreamPlan(pl *plan.Plan, nodes []*Node, filters []compil
 		filters: filters,
 		sp:      &streamPlan{pipeOf: map[int]int{}, stepOf: map[int]*streamStep{}},
 	}
-	rootPipe := c.compile(pl.Root)
+	// Operators above an Aggregate run driver-side on the finalized
+	// group rows; everything at or below it compiles into pipelines.
+	tail, body := peelDriverTail(pl.Root)
+	c.sp.tail = tail
+	rootPipe := c.compile(body)
 	if c.err != nil {
 		return nil, false, c.err
 	}
@@ -284,6 +375,38 @@ func (s *Store) compileStreamPlan(pl *plan.Plan, nodes []*Node, filters []compil
 	}
 	c.sp.root = c.sp.pipes[rootPipe]
 	return c.sp, true, nil
+}
+
+// peelDriverTail splits the plan at a tail Aggregate: the operators
+// strictly above it (TopK / Distinct / Project over the group rows)
+// return top-down as the driver tail, and the Aggregate itself becomes
+// the pipeline body's root. Plans without an aggregate keep their full
+// root (a tail TopK fuses into the root pipeline as a bounded buffer).
+func peelDriverTail(root *plan.Node) (tail []*plan.Node, body *plan.Node) {
+	body = root
+	if !aggUnder(body) {
+		return nil, root
+	}
+	for body.Op != plan.OpAggregate {
+		tail = append(tail, body)
+		body = body.Children[0]
+	}
+	return tail, body
+}
+
+// aggUnder reports an OpAggregate reachable from n through tail
+// operators only.
+func aggUnder(n *plan.Node) bool {
+	for {
+		switch n.Op {
+		case plan.OpAggregate:
+			return true
+		case plan.OpProject, plan.OpDistinct, plan.OpTopK:
+			n = n.Children[0]
+		default:
+			return false
+		}
+	}
 }
 
 // notchWidth tracks the widest row in flight.
@@ -414,12 +537,132 @@ func (c *streamCompiler) compile(n *plan.Node) int {
 		c.notchWidth(p.width)
 		return pi
 
+	case plan.OpLeftJoin:
+		l, r := n.Children[0], n.Children[1]
+		// The optional (right) side always builds: the outer probe must
+		// see every left row to null-pad the unmatched ones.
+		bi := c.compile(r)
+		pi := c.compile(l)
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		jr := &streamJoinRef{
+			node: n, left: l, right: r,
+			buildIsLeft: false,
+			buildPipe:   bi,
+			buildWidth:  len(r.Vars),
+			join:        engine.NewStreamJoin(engine.Schema(l.Vars), engine.Schema(r.Vars), nil),
+		}
+		if len(jr.join.Shared()) == 0 || !schemaEq(jr.join.OutSchema(), n.Vars) {
+			c.unsupported = true
+			return 0
+		}
+		c.pipe(bi).sink = jr
+		st := &streamStep{kind: stepProbeOuter, node: n, width: len(n.Vars), jr: jr}
+		p := c.pipe(pi)
+		p.steps = append(p.steps, st)
+		p.width = len(n.Vars)
+		p.deps = append(p.deps, bi)
+		c.sp.joins = append(c.sp.joins, jr)
+		c.sp.pipeOf[n.ID], c.sp.stepOf[n.ID] = pi, st
+		c.notchWidth(p.width)
+		return pi
+
+	case plan.OpUnion:
+		var deps []int
+		var from []*streamPipe
+		for _, ch := range n.Children {
+			ci := c.compile(ch)
+			if c.err != nil || c.unsupported {
+				return 0
+			}
+			if c.pipe(ci).width != len(n.Vars) {
+				c.unsupported = true
+				return 0
+			}
+			deps = append(deps, ci)
+			from = append(from, c.pipe(ci))
+		}
+		src := &streamSource{
+			kind: srcUnion, node: n, label: "union",
+			schema: engine.Schema(n.Vars), parts: 1, unionFrom: from,
+		}
+		p := &streamPipe{id: len(c.sp.pipes), name: "union", src: src, width: len(n.Vars), deps: deps}
+		c.sp.pipes = append(c.sp.pipes, p)
+		c.sp.pipeOf[n.ID] = p.id
+		c.notchWidth(p.width)
+		return p.id
+
+	case plan.OpTopK:
+		pi := c.compile(n.Children[0])
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		keep := -1
+		if n.Limit >= 0 {
+			keep = n.Offset + n.Limit
+		}
+		st := &streamStep{
+			kind: stepTopK, node: n, width: len(n.Vars),
+			less: c.store.topkLess(n), keep: keep,
+		}
+		c.pipe(pi).steps = append(c.pipe(pi).steps, st)
+		c.sp.pipeOf[n.ID] = pi
+		c.sp.barrier, c.sp.barrierPipe = st, pi
+		return pi
+
+	case plan.OpAggregate:
+		pi := c.compile(n.Children[0])
+		if c.err != nil || c.unsupported {
+			return 0
+		}
+		in := engine.Schema(n.Children[0].Vars)
+		groupIdx := make([]int, len(n.GroupCols))
+		for i, g := range n.GroupCols {
+			groupIdx[i] = in.Index(g)
+			if groupIdx[i] < 0 {
+				c.err = fmt.Errorf("core: group column ?%s not in schema %v", g, in)
+				return 0
+			}
+		}
+		countIdx := make([]int, len(n.CountVars))
+		for i, v := range n.CountVars {
+			countIdx[i] = -1
+			if v == "" {
+				continue
+			}
+			countIdx[i] = in.Index(v)
+			if countIdx[i] < 0 {
+				c.err = fmt.Errorf("core: counted column ?%s not in schema %v", v, in)
+				return 0
+			}
+		}
+		st := &streamStep{
+			kind: stepAggregate, node: n, width: len(n.Vars),
+			groupIdx: groupIdx, countIdx: countIdx, groups: map[string]*aggGroup{},
+		}
+		c.pipe(pi).steps = append(c.pipe(pi).steps, st)
+		c.sp.pipeOf[n.ID] = pi
+		c.sp.barrier, c.sp.barrierPipe = st, pi
+		return pi
+
 	default:
 		// OpBound (an adaptive round's materialized intermediate) and
 		// anything newer than this compiler.
 		c.unsupported = true
 		return 0
 	}
+}
+
+// aggKey encodes a row's group columns as the group-table key (the
+// same little-endian layout the materialized Aggregate uses).
+func aggKey(r engine.Row, groupIdx []int) string {
+	kb := make([]byte, 0, 4*len(groupIdx))
+	for _, j := range groupIdx {
+		v := r[j]
+		kb = append(kb, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(kb)
 }
 
 // estBytes is a node's estimated payload, the build-side selection
@@ -607,6 +850,30 @@ func (p *streamPipe) run(ctx context.Context, s *Store, chunkSize, par int) erro
 			if err := p.processBatch(0, rows[start:end]); err != nil {
 				return err
 			}
+		}
+		return nil
+
+	case srcUnion:
+		p.outChunks = make([][]columnar.RowChunk, 1)
+		for _, cp := range p.src.unionFrom {
+			for _, chunks := range cp.outChunks {
+				for _, rc := range chunks {
+					raw, err := rc.Decode()
+					if err != nil {
+						return err
+					}
+					rows := make([]engine.Row, len(raw))
+					for i, r := range raw {
+						rows[i] = engine.Row(r)
+					}
+					p.src.out.Add(int64(len(rows)))
+					if err := p.processBatch(0, rows); err != nil {
+						return err
+					}
+				}
+			}
+			// Consumed; free the branch's buffered chunks.
+			cp.outChunks = nil
 		}
 		return nil
 
@@ -802,13 +1069,134 @@ func decodeChunks(parts [][]columnar.RowChunk, width int) ([]engine.Row, error) 
 
 // recordObs fills the observation with every node's streamed output
 // cardinality — the same numbers the materialized operators would have
-// recorded, since both modes compute identical row multisets.
+// recorded, since both modes compute identical row multisets. Barrier
+// and driver-tail operators record their finalized counts.
 func (sp *streamPlan) recordObs(obs *plan.Observation) {
 	for _, p := range sp.pipes {
 		obs.Record(p.src.node, p.src.out.Load())
 	}
 	for _, st := range sp.stepOf {
 		obs.Record(st.node, st.out.Load())
+	}
+	for n, c := range sp.tailObs {
+		obs.Record(n, c)
+	}
+}
+
+// finalRows produces the streaming query's result rows: the root
+// pipeline's sink chunks for a plan without a blocking tail, otherwise
+// the finalized barrier (sorted/sliced top-K buffer, or aggregate
+// group rows) with the driver-tail operators applied bottom-up.
+func (sp *streamPlan) finalRows(s *Store) ([]engine.Row, error) {
+	rows, err := decodeChunks(sp.root.outChunks, sp.root.width)
+	if err != nil {
+		return nil, err
+	}
+	b := sp.barrier
+	if b == nil {
+		return rows, nil
+	}
+	sp.tailObs = map[*plan.Node]int64{}
+	switch b.kind {
+	case stepTopK:
+		rows = finalizeTopK(b)
+	case stepAggregate:
+		rows = finalizeAgg(b)
+	}
+	sp.tailObs[b.node] = int64(len(rows))
+	for i := len(sp.tail) - 1; i >= 0; i-- {
+		n := sp.tail[i]
+		rows, err = s.applyTailOp(n, rows)
+		if err != nil {
+			return nil, err
+		}
+		sp.tailObs[n] = int64(len(rows))
+	}
+	return rows, nil
+}
+
+// finalizeTopK sorts the barrier's retained buffer by the compiled
+// total order and applies the node's OFFSET/LIMIT slice.
+func finalizeTopK(b *streamStep) []engine.Row {
+	rows := b.buf
+	sort.SliceStable(rows, func(i, j int) bool { return b.less(rows[i], rows[j]) })
+	return sliceOffsetLimit(rows, b.node.Limit, b.node.Offset)
+}
+
+// finalizeAgg emits the barrier's group table as rows — group cells
+// then count cells, sorted by raw ID order — exactly the materialized
+// Aggregate's output, so both executors stay byte-identical.
+func finalizeAgg(b *streamStep) []engine.Row {
+	rows := make([]engine.Row, 0, len(b.groups))
+	for _, g := range b.groups {
+		r := make(engine.Row, 0, len(g.row)+len(g.counts))
+		r = append(r, g.row...)
+		for _, c := range g.counts {
+			r = append(r, rdf.ID(c))
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return engine.LessRowsID(rows[i], rows[j]) })
+	return rows
+}
+
+// sliceOffsetLimit applies a LIMIT/OFFSET window to sorted rows.
+func sliceOffsetLimit(rows []engine.Row, limit, offset int) []engine.Row {
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// applyTailOp runs one driver-tail operator over the finalized group
+// rows (at most one row per group — epilogue-sized input).
+func (s *Store) applyTailOp(n *plan.Node, rows []engine.Row) ([]engine.Row, error) {
+	switch n.Op {
+	case plan.OpProject:
+		in := engine.Schema(n.Children[0].Vars)
+		proj := make([]int, len(n.Cols))
+		for i, col := range n.Cols {
+			proj[i] = in.Index(col)
+			if proj[i] < 0 {
+				return nil, fmt.Errorf("core: projected column ?%s not in schema %v", col, in)
+			}
+		}
+		out := make([]engine.Row, len(rows))
+		for i, r := range rows {
+			pr := make(engine.Row, len(proj))
+			for j, idx := range proj {
+				pr[j] = r[idx]
+			}
+			out[i] = pr
+		}
+		return out, nil
+
+	case plan.OpDistinct:
+		d := engine.NewRowDeduper(len(n.Vars), len(rows))
+		kept := make([]engine.Row, 0, len(rows))
+		for _, r := range rows {
+			if d.Insert(r) {
+				kept = append(kept, r)
+			}
+		}
+		return kept, nil
+
+	case plan.OpTopK:
+		sorted := make([]engine.Row, len(rows))
+		copy(sorted, rows)
+		less := s.topkLess(n)
+		sort.SliceStable(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+		return sliceOffsetLimit(sorted, n.Limit, n.Offset), nil
+
+	default:
+		return nil, fmt.Errorf("core: unsupported driver tail operator %v", n.Op)
 	}
 }
 
@@ -964,6 +1352,41 @@ func (sp *streamPlan) price(s *Store, opts QueryOptions, pl *plan.Plan, chunkSiz
 				nparts:   defParts,
 			}
 
+		case plan.OpLeftJoin:
+			l, r := n.Children[0], n.Children[1]
+			lLay := walk(l)
+			walk(r)
+			lAct, rAct, outAct := counts[l.ID], counts[r.ID], counts[n.ID]
+			// The optional side builds and broadcasts to the probe
+			// side's partitions — the materialized LeftJoin's pricing.
+			rb := rAct * int64(len(r.Vars)) * engine.BytesPerValue
+			stats[pi].Rows += lAct + outAct
+			stats[pi].NetBytes += rb * int64(minInt(workers, lLay.nparts))
+			launch[pi] += boundary / 3
+			return vLayout{
+				partCols: survivingVCols(lLay.partCols, n.Vars),
+				nparts:   lLay.nparts,
+			}
+
+		case plan.OpUnion:
+			// The union pipe re-reads every branch's buffered chunks.
+			var sum int64
+			for _, ch := range n.Children {
+				walk(ch)
+				sum += counts[ch.ID]
+			}
+			stats[pi].Rows += sum
+			launch[pi] += boundary / 3
+			return vLayout{nparts: 1}
+
+		case plan.OpTopK, plan.OpAggregate:
+			// One pass over the input rows into the bounded buffer or
+			// group table; the finalize is driver epilogue work.
+			lay := walk(n.Children[0])
+			stats[pi].Rows += counts[n.Children[0].ID]
+			_ = lay
+			return vLayout{nparts: 1}
+
 		default:
 			return vLayout{}
 		}
@@ -979,7 +1402,10 @@ func (sp *streamPlan) price(s *Store, opts QueryOptions, pl *plan.Plan, chunkSiz
 			Morsels: morselCount(sourceInputRows(p.src), chunkSize, workers),
 			Work:    stats[i],
 		}
-		if p.sink == nil {
+		// Only the root pipeline delivers to the driver: union branches
+		// buffer for their consumer, and a barrier root emits after
+		// finalize (no per-morsel delivery to price).
+		if p == sp.root && p.sink == nil {
 			outRows := p.outRows.Load()
 			mp.EmitBytes = outRows * int64(p.width) * engine.BytesPerValue
 			mp.EmitRows = outRows > 0
@@ -1045,7 +1471,7 @@ func sourceInputRows(src *streamSource) int64 {
 		return int64(src.table.Rel.NumRows())
 	case srcPT:
 		return src.scanned.Load()
-	case srcTriples:
+	case srcTriples, srcUnion:
 		return src.out.Load()
 	default:
 		return 0
@@ -1153,6 +1579,43 @@ func (sp *streamPlan) peakMemBytes(pipes []cluster.MorselPipeline, res *cluster.
 			memEvent{at: gates[pi], delta: b},
 			memEvent{at: res.Done, delta: -b},
 		)
+	}
+	// The fused barrier's retained state lives from its pipe's gate to
+	// the end: the top-K buffer's high-water mark — bounded to
+	// O(offset+limit) by the early trim, which is exactly the footprint
+	// a LIMIT saves over the unlimited ORDER BY — or the aggregate
+	// group table.
+	if b := sp.barrier; b != nil {
+		var bytes int64
+		switch b.kind {
+		case stepTopK:
+			bytes = b.retained * int64(b.width) * memBytesPerValue
+		case stepAggregate:
+			bytes = int64(len(b.groups)) * int64(b.width) * memBytesPerValue
+		}
+		if bytes > 0 {
+			evs = append(evs,
+				memEvent{at: gates[sp.barrierPipe], delta: bytes},
+				memEvent{at: res.Done, delta: -bytes},
+			)
+		}
+	}
+	// Union branches buffer their encoded sink chunks from their own
+	// gate until the union pipeline consumes them.
+	for i, p := range sp.pipes {
+		if p.src.kind != srcUnion {
+			continue
+		}
+		for _, cp := range p.src.unionFrom {
+			b := cp.outRows.Load() * int64(cp.width) * memBytesPerValue
+			if b <= 0 {
+				continue
+			}
+			evs = append(evs,
+				memEvent{at: gates[cp.id], delta: b},
+				memEvent{at: res.PipelineDone[i], delta: -b},
+			)
+		}
 	}
 	perMorsel := func(rows int64, m int) int64 {
 		return (rows + int64(m) - 1) / int64(m)
@@ -1304,6 +1767,13 @@ func (s *Store) queryStreaming(ctx context.Context, q *sparql.Query, opts QueryO
 		return nil, true, err
 	}
 
+	// Finalize before recording: the barrier's and driver tail's output
+	// cardinalities only exist once the blocking state is drained.
+	rows, err := sp.finalRows(s)
+	if err != nil {
+		return nil, true, err
+	}
+
 	obs := plan.NewObservation(pl)
 	sp.recordObs(obs)
 
@@ -1379,15 +1849,12 @@ func (s *Store) queryStreaming(ctx context.Context, q *sparql.Query, opts QueryO
 	}
 	clock.MergeTrace(trace.Stages(), simRes.Done)
 
-	rows, err := decodeChunks(sp.root.outChunks, sp.root.width)
-	if err != nil {
-		return nil, true, err
-	}
+	countCols := pl.Root.CountCols
 	decoded := make([][]rdf.Term, len(rows))
 	for i, r := range rows {
 		terms := make([]rdf.Term, len(r))
 		for j, id := range r {
-			terms[j] = s.dict.Term(id)
+			terms[j] = s.decodeCell(id, j < len(countCols) && countCols[j])
 		}
 		decoded[i] = terms
 	}
@@ -1405,5 +1872,6 @@ func (s *Store) queryStreaming(ctx context.Context, q *sparql.Query, opts QueryO
 		Streamed:      true,
 		FirstRow:      simRes.FirstEmit,
 		PeakMemBytes:  peak,
+		Ordered:       len(q.Order) > 0,
 	}, true, nil
 }

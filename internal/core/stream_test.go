@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/watdiv"
 )
@@ -16,6 +17,7 @@ import (
 var (
 	streamStoreOnce sync.Once
 	streamStore     *Store
+	streamGraph     *rdf.Graph // the generated triples, for reference evaluation
 )
 
 func watdivStreamStore(t testing.TB) *Store {
@@ -27,6 +29,7 @@ func watdivStreamStore(t testing.TB) *Store {
 			panic(err)
 		}
 		streamStore = s
+		streamGraph = g
 	})
 	if streamStore == nil {
 		t.Fatal("WatDiv store failed to load")
@@ -227,10 +230,11 @@ func TestStreamingPeakMemoryDrop(t *testing.T) {
 	}
 }
 
-// TestStreamingFallsBackOnLimit checks the LIMIT/OFFSET fallback: the
-// query still answers (identically), just through the materialized
-// path.
-func TestStreamingFallsBackOnLimit(t *testing.T) {
+// TestStreamingTakesLimit locks in the removal of the old silent
+// LIMIT/OFFSET fallback: a LIMIT query now runs on the streaming
+// executor (as a bounded top-K sink), returns exactly the limited row
+// count, and matches the materialized path byte for byte.
+func TestStreamingTakesLimit(t *testing.T) {
 	s := testStore(t, false)
 	src := `SELECT ?u ?v WHERE {
 		?u <http://example.org/follows> ?v .
@@ -240,11 +244,18 @@ func TestStreamingFallsBackOnLimit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
-	if res.Streamed {
-		t.Error("LIMIT query claims to have streamed")
+	if !res.Streamed {
+		t.Error("LIMIT query fell back to the materialized path")
 	}
 	if len(res.Rows) != 2 {
 		t.Errorf("LIMIT 2 returned %d rows", len(res.Rows))
+	}
+	mat, err := s.Query(sparql.MustParse(src), QueryOptions{})
+	if err != nil {
+		t.Fatalf("materialized Query: %v", err)
+	}
+	if got, want := renderSorted(res), renderSorted(mat); got != want {
+		t.Errorf("streamed LIMIT rows differ from materialized:\ngot:\n%swant:\n%s", got, want)
 	}
 }
 
@@ -312,13 +323,11 @@ func TestStreamingConcurrentQueries(t *testing.T) {
 }
 
 func mustQueryByName(t testing.TB, name string) watdiv.Query {
-	for _, q := range watdiv.BasicQuerySet() {
-		if q.Name == name {
-			return q
-		}
+	q, err := watdiv.QueryByName(name)
+	if err != nil {
+		t.Fatal(err)
 	}
-	t.Fatalf("query %s not in basic set", name)
-	return watdiv.Query{}
+	return q
 }
 
 // BenchmarkStreamingFirstRow tracks simulated first-row latency and

@@ -338,23 +338,58 @@ func (e *Exec) Collect(rel *Relation) ([]Row, error) {
 	return rel.Rows(), nil
 }
 
-// Limit collects, applies offset/limit in row order, and returns the
-// surviving rows. A negative limit means "no limit".
+// Limit gathers rows to the driver in partition order, pushing
+// offset/limit into the collection itself: partitions are consumed in
+// order and gathering stops as soon as offset+limit rows are taken, so
+// only the consumed prefix crosses the wire (and is charged) — a
+// LIMIT 10 over a million-row relation transfers 10 rows, not all of
+// them. The surviving rows are identical to collecting everything and
+// slicing. A negative limit means "no limit" and degenerates to
+// Collect.
 func (e *Exec) Limit(rel *Relation, limit, offset int) ([]Row, error) {
-	rows, err := e.Collect(rel)
+	if limit < 0 {
+		rows, err := e.Collect(rel)
+		if err != nil {
+			return nil, err
+		}
+		if offset > 0 {
+			if offset >= len(rows) {
+				return nil, nil
+			}
+			rows = rows[offset:]
+		}
+		return rows, nil
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	need := offset + limit
+	n := rel.Partitions()
+	taken := make([]int64, n)
+	gathered := make([]Row, 0, need)
+	for p := 0; p < n && len(gathered) < need; p++ {
+		part := rel.Part(p)
+		take := need - len(gathered)
+		if take > len(part) {
+			take = len(part)
+		}
+		gathered = append(gathered, part[:take]...)
+		taken[p] = int64(take)
+	}
+	width := int64(len(rel.schema))
+	err := e.Cluster.RunStage(e.Clock, e.Launch(true), "collect", n, func(p int) (cluster.TaskStats, error) {
+		return cluster.TaskStats{
+			Rows:     taken[p],
+			NetBytes: taken[p] * width * bytesPerValue,
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if offset > 0 {
-		if offset >= len(rows) {
-			return nil, nil
-		}
-		rows = rows[offset:]
+	if offset >= len(gathered) {
+		return nil, nil
 	}
-	if limit >= 0 && limit < len(rows) {
-		rows = rows[:limit]
-	}
-	return rows, nil
+	return gathered[offset:], nil
 }
 
 // CompareIDs applies a SPARQL FILTER comparison to two dictionary IDs,
@@ -375,6 +410,28 @@ func CompareIDs(dict *rdf.Dictionary, a rdf.ID, op func(int) bool, b rdf.Term) b
 		}
 	}
 	return op(ta.Compare(b))
+}
+
+// CompareTermIDs three-way-compares two dictionary IDs through dict
+// the way FILTER comparisons do: integer-typed literals compare
+// numerically, everything else by term ordering. Callers must have
+// resolved NullID (unbound) cells before calling — the dictionary
+// panics on NullID by design.
+func CompareTermIDs(dict *rdf.Dictionary, a, b rdf.ID) int {
+	ta, tb := dict.Term(a), dict.Term(b)
+	if na, oka := numericValue(ta); oka {
+		if nb, okb := numericValue(tb); okb {
+			switch {
+			case na < nb:
+				return -1
+			case na > nb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return ta.Compare(tb)
 }
 
 // numericValue parses integer-typed literals.

@@ -18,6 +18,9 @@ type StreamJoin struct {
 	shared       []string
 	lKey, rKey   []int
 	lKeep, rKeep []int
+	// nullRight is a right-width row of NullIDs, the padding ProbeOuter
+	// emits for probe rows with no match (left outer join semantics).
+	nullRight Row
 }
 
 // NewStreamJoin computes the join layout of left ⋈ right with fused
@@ -29,12 +32,13 @@ func NewStreamJoin(left, right Schema, keep []string) *StreamJoin {
 	shared := left.Shared(right)
 	out, lKeep, rKeep := joinLayout(left, right, shared, keep)
 	return &StreamJoin{
-		out:    out,
-		shared: shared,
-		lKey:   keyIndexes(left, shared),
-		rKey:   keyIndexes(right, shared),
-		lKeep:  lKeep,
-		rKeep:  rKeep,
+		out:       out,
+		shared:    shared,
+		lKey:      keyIndexes(left, shared),
+		rKey:      keyIndexes(right, shared),
+		lKeep:     lKeep,
+		rKeep:     rKeep,
+		nullRight: make(Row, len(right)),
 	}
 }
 
@@ -94,6 +98,23 @@ func (h *StreamHash) Probe(pr Row, arena *RowArena) int {
 		n++
 	}
 	return n
+}
+
+// ProbeOuter is Probe with left-outer semantics: a probe row with no
+// match emits once, padded with NullID in the right-only columns. It
+// requires the build side to be the right (optional) input
+// (buildIsLeft=false at Build time) — the probe row is the left side
+// whose presence the outer join preserves.
+func (h *StreamHash) ProbeOuter(pr Row, arena *RowArena) int {
+	if n := h.Probe(pr, arena); n > 0 {
+		return n
+	}
+	if h.j.lKeep == nil {
+		arena.AppendJoin(pr, h.j.nullRight, h.j.rKeep)
+	} else {
+		arena.AppendJoinPruned(pr, h.j.nullRight, h.j.lKeep, h.j.rKeep)
+	}
+	return 1
 }
 
 // RowDeduper wraps the Distinct operator's row set for streaming use:

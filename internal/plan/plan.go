@@ -57,6 +57,22 @@ const (
 	// the unexecuted remainder of a plan over. Its estimate is the
 	// observed cardinality, exact by construction.
 	OpBound
+	// OpLeftJoin is a left outer join (OPTIONAL): every left row
+	// survives, padded with NullID in right-only columns when
+	// unmatched. The right child is always the build side.
+	OpLeftJoin
+	// OpUnion concatenates its children's rows (UNION); children bind
+	// identical variable sets, pre-projected to a common column order.
+	OpUnion
+	// OpTopK orders rows by Sort and keeps [Offset, Offset+Limit) —
+	// ORDER BY and LIMIT fused, pushed below the collect exchange as a
+	// per-partition top-K before the coordinator merge. An empty Sort
+	// imposes the deterministic raw-ID row order, making LIMIT without
+	// ORDER BY plan- and partitioning-independent.
+	OpTopK
+	// OpAggregate hash-groups rows on GroupCols and appends one COUNT
+	// column per CountVars entry (GROUP BY … / COUNT).
+	OpAggregate
 )
 
 // String implements fmt.Stringer.
@@ -74,9 +90,24 @@ func (o Op) String() string {
 		return "Distinct"
 	case OpBound:
 		return "Bound"
+	case OpLeftJoin:
+		return "LeftJoin"
+	case OpUnion:
+		return "Union"
+	case OpTopK:
+		return "TopK"
+	case OpAggregate:
+		return "Aggregate"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
+}
+
+// SortKey is one ORDER BY key of a TopK node: the output column and
+// its direction.
+type SortKey struct {
+	Col  string
+	Desc bool
 }
 
 // JoinMethod is the physical strategy a Join node executes with.
@@ -211,6 +242,23 @@ type Node struct {
 	// derivative operators (Filter/Project/Distinct inherit their
 	// input's quality).
 	EstSource string
+	// Sort holds a TopK node's ORDER BY keys; empty means the
+	// deterministic raw-ID row order (LIMIT without ORDER BY).
+	Sort []SortKey
+	// Limit and Offset bound a TopK node's output; Limit < 0 means no
+	// limit (a plain ORDER BY).
+	Limit  int
+	Offset int
+	// GroupCols are an Aggregate node's GROUP BY columns.
+	GroupCols []string
+	// CountVars are an Aggregate node's counted variables, one per
+	// COUNT output column in schema order ("" = COUNT(*)).
+	CountVars []string
+	// CountCols marks, per output column of this node, which columns
+	// hold raw counts instead of dictionary IDs. Set on Aggregate nodes
+	// and propagated through downstream Project/TopK nodes so result
+	// decoding and ORDER BY comparison treat count cells numerically.
+	CountCols []bool
 	// ExtVP, when non-nil, redirects a Scan to a workload-materialized
 	// semi-join reduction of its predicate's VP table. Executors resolve
 	// it against the live workload model and fall back to the full table
@@ -453,6 +501,39 @@ func (p *Plan) render(sb *strings.Builder, n *Node, indent string) {
 		desc = "Distinct"
 	case OpBound:
 		desc = "Bound " + n.Label
+	case OpLeftJoin:
+		desc = fmt.Sprintf("LeftJoin on %s", varList(n.JoinVars))
+	case OpUnion:
+		desc = fmt.Sprintf("Union (%d branches)", len(n.Children))
+	case OpTopK:
+		keys := make([]string, 0, len(n.Sort))
+		for _, k := range n.Sort {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys = append(keys, fmt.Sprintf("%s(?%s)", dir, k.Col))
+		}
+		order := strings.Join(keys, ",")
+		if order == "" {
+			order = "id-order"
+		}
+		desc = "TopK " + order
+		if n.Limit >= 0 {
+			desc += fmt.Sprintf(" limit=%d", n.Limit)
+		}
+		if n.Offset > 0 {
+			desc += fmt.Sprintf(" offset=%d", n.Offset)
+		}
+	case OpAggregate:
+		desc = "Aggregate group by " + varList(n.GroupCols)
+		for _, v := range n.CountVars {
+			if v == "" {
+				desc += " count(*)"
+			} else {
+				desc += " count(?" + v + ")"
+			}
+		}
 	}
 	actual := "actual=?"
 	if n.Actual >= 0 {

@@ -119,6 +119,7 @@ type Server struct {
 	simTotal   time.Duration
 	wallTotal  time.Duration
 	streamed   uint64
+	downgraded uint64
 	firstTotal time.Duration
 	peakMax    int64
 	estObs     uint64
@@ -343,6 +344,9 @@ func (s *Server) runQuery(r *http.Request) (*core.Result, error) {
 		s.streamed++
 		s.firstTotal += res.FirstRow
 	}
+	if res.StreamingDowngraded {
+		s.downgraded++
+	}
 	if res.PeakMemBytes > s.peakMax {
 		s.peakMax = res.PeakMemBytes
 	}
@@ -455,6 +459,11 @@ type binding struct {
 	Lang     string `json:"xml:lang,omitempty"`
 }
 
+// unbound reports whether a result cell is an unbound OPTIONAL
+// variable (the zero Term). Unbound cells are omitted from JSON
+// bindings (per the SPARQL results format) and rendered empty in TSV.
+func unbound(t rdf.Term) bool { return t == rdf.Term{} }
+
 // termBinding maps an RDF term to its JSON binding.
 func termBinding(t rdf.Term) binding {
 	switch {
@@ -479,6 +488,13 @@ type sparqlStats struct {
 	Streamed     bool    `json:"streamed,omitempty"`
 	FirstRowMS   float64 `json:"firstRowMs,omitempty"`
 	PeakMemBytes int64   `json:"peakMemBytes,omitempty"`
+	// Ordered reports that the bindings are in the query's ORDER BY
+	// order rather than the server's display sort.
+	Ordered bool `json:"ordered,omitempty"`
+	// StreamingDowngraded reports that ?streaming=1 was requested but
+	// the query ran materialized anyway — the sharded coordinator path
+	// executes only under the materialized scheduler.
+	StreamingDowngraded bool `json:"streamingDowngraded,omitempty"`
 }
 
 // sparqlResponse documents the /sparql JSON shape: the W3C SPARQL
@@ -505,7 +521,12 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rows := res.SortedRows()
+	// ORDER BY results arrive in query order and must be presented
+	// as-is; everything else is sorted for stable output.
+	rows := res.Rows
+	if !res.Ordered {
+		rows = res.SortedRows()
+	}
 	truncated := false
 	if s.cfg.MaxRows > 0 && len(rows) > s.cfg.MaxRows {
 		rows = rows[:s.cfg.MaxRows]
@@ -524,12 +545,14 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := sparqlStats{
-		Rows:         len(res.Rows),
-		Truncated:    truncated,
-		SimMS:        float64(res.SimTime) / float64(time.Millisecond),
-		WallMS:       float64(res.WallTime) / float64(time.Millisecond),
-		Streamed:     res.Streamed,
-		PeakMemBytes: res.PeakMemBytes,
+		Rows:                len(res.Rows),
+		Truncated:           truncated,
+		SimMS:               float64(res.SimTime) / float64(time.Millisecond),
+		WallMS:              float64(res.WallTime) / float64(time.Millisecond),
+		Streamed:            res.Streamed,
+		PeakMemBytes:        res.PeakMemBytes,
+		Ordered:             res.Ordered,
+		StreamingDowngraded: res.StreamingDowngraded,
 	}
 	if res.Streamed {
 		st.FirstRowMS = float64(res.FirstRow) / float64(time.Millisecond)
@@ -546,6 +569,9 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		for i, row := range rows {
 			cells := make([]string, len(row))
 			for j, t := range row {
+				if unbound(t) {
+					continue // empty TSV cell
+				}
 				cells[j] = t.String()
 			}
 			fmt.Fprintln(w, strings.Join(cells, "\t"))
@@ -558,7 +584,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		for i, row := range rows {
 			b := make(map[string]binding, len(row))
 			for j, t := range row {
-				if j < len(res.Vars) {
+				if j < len(res.Vars) && !unbound(t) {
 					b[res.Vars[j]] = termBinding(t)
 				}
 			}
@@ -673,6 +699,11 @@ type statsResponse struct {
 		Streamed        uint64  `json:"streamed"`
 		AvgFirstRowMS   float64 `json:"avgFirstRowMs"`
 		MaxPeakMemBytes int64   `json:"maxPeakMemBytes"`
+		// StreamingDowngraded counts queries that requested streaming
+		// but were forced onto the materialized scheduler (sharded
+		// coordinator mode) — a downgrade the response also reports
+		// per-query in its stats block.
+		StreamingDowngraded uint64 `json:"streamingDowngraded"`
 	} `json:"queries"`
 	// Resilience aggregates fault-recovery activity across queries plus
 	// the server's own degradation state.
@@ -851,6 +882,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		doc.Queries.AvgWall = float64(s.wallTotal) / float64(ok) / float64(time.Millisecond)
 	}
 	doc.Queries.Streamed = s.streamed
+	doc.Queries.StreamingDowngraded = s.downgraded
 	if s.streamed > 0 {
 		doc.Queries.AvgFirstRowMS = float64(s.firstTotal) / float64(s.streamed) / float64(time.Millisecond)
 	}

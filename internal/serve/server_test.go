@@ -754,6 +754,173 @@ func TestStatsWorkloadBlock(t *testing.T) {
 	}
 }
 
+// TestSPARQLExtendedSurface drives the extended query forms through
+// the HTTP layer: OPTIONAL rows omit unbound variables from JSON
+// bindings (and render them as empty TSV cells), ORDER BY responses
+// are flagged ordered and presented in query order, and GROUP BY/COUNT
+// bindings carry xsd:integer literals.
+func TestSPARQLExtendedSurface(t *testing.T) {
+	srv := testServer(t)
+
+	optional := `SELECT ?u ?p ?n WHERE {
+		?u <http://example.org/likes> ?p .
+		OPTIONAL { ?u <http://example.org/name> ?n . }
+	}`
+	w := get(t, srv, "/sparql?query="+url.QueryEscape(optional))
+	if w.Code != http.StatusOK {
+		t.Fatalf("OPTIONAL status = %d, body %s", w.Code, w.Body)
+	}
+	var od struct {
+		Results struct {
+			Bindings []map[string]struct{ Type, Value string }
+		}
+		Stats struct{ Rows int }
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &od); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body)
+	}
+	if od.Stats.Rows != 4 {
+		t.Fatalf("OPTIONAL rows = %d, want 4 (every likes row survives)", od.Stats.Rows)
+	}
+	named, bare := 0, 0
+	for _, b := range od.Results.Bindings {
+		if n, ok := b["n"]; ok {
+			named++
+			if n.Value != "alice" {
+				t.Errorf("bound name = %q, want alice", n.Value)
+			}
+		} else {
+			bare++
+		}
+	}
+	if named != 1 || bare != 3 {
+		t.Errorf("bindings with name = %d / without = %d, want 1 / 3", named, bare)
+	}
+	// TSV renders the unbound cell as empty, keeping the column count.
+	w = get(t, srv, "/sparql?format=tsv&query="+url.QueryEscape(optional))
+	for i, line := range strings.Split(strings.TrimRight(w.Body.String(), "\n"), "\n") {
+		if got := strings.Count(line, "\t"); got != 2 {
+			t.Errorf("TSV line %d has %d tabs, want 2: %q", i, got, line)
+		}
+	}
+
+	ordered := `SELECT ?u ?p WHERE {
+		?u <http://example.org/likes> ?p .
+	} ORDER BY DESC(?u) ?p LIMIT 3`
+	w = get(t, srv, "/sparql?query="+url.QueryEscape(ordered))
+	if w.Code != http.StatusOK {
+		t.Fatalf("ORDER BY status = %d, body %s", w.Code, w.Body)
+	}
+	var sd struct {
+		Results struct {
+			Bindings []map[string]struct{ Type, Value string }
+		}
+		Stats struct {
+			Rows    int
+			Ordered bool
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &sd); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body)
+	}
+	if !sd.Stats.Ordered || sd.Stats.Rows != 3 {
+		t.Fatalf("ORDER BY stats = %+v, want ordered with 3 rows", sd.Stats)
+	}
+	for i := 1; i < len(sd.Results.Bindings); i++ {
+		if sd.Results.Bindings[i-1]["u"].Value < sd.Results.Bindings[i]["u"].Value {
+			t.Errorf("bindings not in DESC(?u) order: %v", sd.Results.Bindings)
+		}
+	}
+
+	grouped := `SELECT ?p (COUNT(?u) AS ?n) WHERE {
+		?u <http://example.org/likes> ?p .
+	} GROUP BY ?p ORDER BY ?p`
+	w = get(t, srv, "/sparql?query="+url.QueryEscape(grouped))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GROUP BY status = %d, body %s", w.Code, w.Body)
+	}
+	var gd struct {
+		Results struct {
+			Bindings []map[string]struct{ Type, Value, Datatype string }
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &gd); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body)
+	}
+	if len(gd.Results.Bindings) != 2 {
+		t.Fatalf("GROUP BY bindings = %d, want 2 products", len(gd.Results.Bindings))
+	}
+	for _, b := range gd.Results.Bindings {
+		n := b["n"]
+		if n.Type != "literal" || n.Value != "2" || !strings.HasSuffix(n.Datatype, "integer") {
+			t.Errorf("count binding = %+v, want xsd:integer literal 2", n)
+		}
+	}
+}
+
+// TestStreamingDowngradeSurfaced pins the sharded-coordinator
+// interaction: ?streaming=1 against a coordinator runs materialized,
+// and the downgrade is explicit — in the response's stats block and in
+// the /stats streamingDowngraded counter — never silent.
+func TestStreamingDowngradeSurfaced(t *testing.T) {
+	store := testServer(t).cfg.Store
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		sh, err := shard.NewServer(store, i, 2)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		go sh.Serve(ln)
+		t.Cleanup(func() { sh.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	coord, err := shard.Dial(store, addrs)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	srv, err := New(Config{Store: store, Options: core.QueryOptions{Dist: coord}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	w := get(t, srv, "/sparql?streaming=1&query="+url.QueryEscape(serveQuery))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body)
+	}
+	var doc struct {
+		Stats struct {
+			Streamed            bool
+			StreamingDowngraded bool
+		}
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, w.Body)
+	}
+	if doc.Stats.Streamed {
+		t.Error("coordinator query claims to have streamed")
+	}
+	if !doc.Stats.StreamingDowngraded {
+		t.Error("streaming downgrade not surfaced in response stats")
+	}
+
+	var stats struct {
+		Queries struct {
+			StreamingDowngraded uint64 `json:"streamingDowngraded"`
+		}
+	}
+	if err := json.Unmarshal(get(t, srv, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatalf("bad /stats JSON: %v", err)
+	}
+	if stats.Queries.StreamingDowngraded != 1 {
+		t.Errorf("/stats streamingDowngraded = %d, want 1", stats.Queries.StreamingDowngraded)
+	}
+}
+
 // TestStatsNetworkBlock runs the server as a 2-shard coordinator and
 // checks that /stats reports the network block (and that a plain
 // single-process server omits it).

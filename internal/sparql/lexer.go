@@ -116,6 +116,8 @@ func (l *lexer) skipSpaceAndComments() {
 var keywords = map[string]bool{
 	"SELECT": true, "WHERE": true, "PREFIX": true, "DISTINCT": true,
 	"FILTER": true, "LIMIT": true, "OFFSET": true, "BASE": true,
+	"OPTIONAL": true, "UNION": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "GROUP": true, "COUNT": true, "AS": true,
 }
 
 // next returns the next token.

@@ -65,7 +65,9 @@ func (p *parser) expect(k tokenKind) (token, error) {
 	return t, nil
 }
 
-// query = prologue SELECT [DISTINCT] (vars|*) WHERE group [LIMIT n] [OFFSET n]
+// query = prologue SELECT [DISTINCT] projection WHERE whereClause
+//
+//	[GROUP BY vars] [ORDER BY keys] [LIMIT n] [OFFSET n]
 func (p *parser) query() (*Query, error) {
 	if err := p.prologue(); err != nil {
 		return nil, err
@@ -83,16 +85,27 @@ func (p *parser) query() (*Query, error) {
 			return nil, err
 		}
 	}
-	// Projection: '*' or one or more variables.
+	// Projection: '*', or one or more variables / (COUNT(...) AS ?x)
+	// expressions.
 	if p.tok.kind == tokOp && p.tok.text == "*" {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
 	} else {
-		for p.tok.kind == tokVar {
-			q.Vars = append(q.Vars, p.tok.text)
-			if err := p.advance(); err != nil {
-				return nil, err
+	proj:
+		for {
+			switch {
+			case p.tok.kind == tokVar:
+				q.Vars = append(q.Vars, p.tok.text)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			case p.tok.kind == tokLParen:
+				if err := p.countProjection(q); err != nil {
+					return nil, err
+				}
+			default:
+				break proj
 			}
 		}
 		if len(q.Vars) == 0 {
@@ -105,33 +118,171 @@ func (p *parser) query() (*Query, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	if err := p.groupGraphPattern(q); err != nil {
+	if err := p.whereClause(q); err != nil {
 		return nil, err
 	}
 	// Solution modifiers.
-	for p.tok.kind == tokKeyword && (p.tok.text == "LIMIT" || p.tok.text == "OFFSET") {
-		kw := p.tok.text
-		if err := p.advance(); err != nil {
-			return nil, err
+mods:
+	for p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "GROUP":
+			if err := p.groupByClause(q); err != nil {
+				return nil, err
+			}
+		case "ORDER":
+			if err := p.orderByClause(q); err != nil {
+				return nil, err
+			}
+		case "LIMIT", "OFFSET":
+			kw := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			var n int
+			if _, err := fmt.Sscanf(num.text, "%d", &n); err != nil || n < 0 {
+				return nil, p.errf("invalid %s value %q", kw, num.text)
+			}
+			if kw == "LIMIT" {
+				q.Limit = n
+			} else {
+				q.Offset = n
+			}
+		default:
+			break mods
 		}
-		num, err := p.expect(tokNumber)
-		if err != nil {
-			return nil, err
-		}
-		var n int
-		if _, err := fmt.Sscanf(num.text, "%d", &n); err != nil || n < 0 {
-			return nil, p.errf("invalid %s value %q", kw, num.text)
-		}
-		if kw == "LIMIT" {
-			q.Limit = n
-		} else {
-			q.Offset = n
-		}
+	}
+	if len(q.Counts) > 0 && len(q.GroupBy) == 0 {
+		return nil, p.errf("COUNT aggregate requires a GROUP BY clause")
 	}
 	if p.tok.kind != tokEOF {
 		return nil, p.errf("unexpected trailing %s %q", p.tok.kind, p.tok.text)
 	}
 	return q, nil
+}
+
+// countProjection = '(' COUNT '(' ('*'|var) ')' AS var ')'
+func (p *parser) countProjection(q *Query) error {
+	if err := p.advance(); err != nil { // consume '('
+		return err
+	}
+	if p.tok.kind != tokKeyword || p.tok.text != "COUNT" {
+		return p.errf("expected COUNT in projection expression, found %s %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	var target string // empty means COUNT(*)
+	switch {
+	case p.tok.kind == tokOp && p.tok.text == "*":
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case p.tok.kind == tokVar:
+		target = p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	default:
+		return p.errf("COUNT argument must be '*' or a variable, found %s %q", p.tok.kind, p.tok.text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	if p.tok.kind != tokKeyword || p.tok.text != "AS" {
+		return p.errf("expected AS after COUNT(...), found %s %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	alias, err := p.expect(tokVar)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	q.Counts = append(q.Counts, CountSpec{Var: target, Alias: alias.text})
+	q.Vars = append(q.Vars, alias.text)
+	return nil
+}
+
+// groupByClause = GROUP BY var+
+func (p *parser) groupByClause(q *Query) error {
+	if err := p.advance(); err != nil { // consume GROUP
+		return err
+	}
+	if p.tok.kind != tokKeyword || p.tok.text != "BY" {
+		return p.errf("expected BY after GROUP, found %s %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind == tokVar {
+		q.GroupBy = append(q.GroupBy, p.tok.text)
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if len(q.GroupBy) == 0 {
+		return p.errf("GROUP BY needs at least one variable")
+	}
+	return nil
+}
+
+// orderByClause = ORDER BY (var | ASC '(' var ')' | DESC '(' var ')')+
+func (p *parser) orderByClause(q *Query) error {
+	if err := p.advance(); err != nil { // consume ORDER
+		return err
+	}
+	if p.tok.kind != tokKeyword || p.tok.text != "BY" {
+		return p.errf("expected BY after ORDER, found %s %q", p.tok.kind, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	n := 0
+	for {
+		switch {
+		case p.tok.kind == tokVar:
+			q.Order = append(q.Order, OrderKey{Var: p.tok.text})
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokKeyword && (p.tok.text == "ASC" || p.tok.text == "DESC"):
+			desc := p.tok.text == "DESC"
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokLParen {
+				return p.errf("expected '(' after %s in ORDER BY, found %s %q",
+					map[bool]string{true: "DESC", false: "ASC"}[desc], p.tok.kind, p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			v, err := p.expect(tokVar)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			q.Order = append(q.Order, OrderKey{Var: v.text, Desc: desc})
+		default:
+			if n == 0 {
+				return p.errf("ORDER BY needs at least one sort key")
+			}
+			return nil
+		}
+		n++
+	}
 }
 
 // prologue = (PREFIX pname: <iri>)*
@@ -163,22 +314,102 @@ func (p *parser) prologue() error {
 	return nil
 }
 
-// groupGraphPattern = '{' (triplesBlock | filter)* '}'
-func (p *parser) groupGraphPattern(q *Query) error {
+// whereClause = '{' groupBody '}'
+//
+//	| '{' '{' groupBody '}' (UNION '{' groupBody '}')+ '}'
+func (p *parser) whereClause(q *Query) error {
 	if _, err := p.expect(tokLBrace); err != nil {
 		return err
 	}
+	if p.tok.kind == tokLBrace {
+		// Union form: two or more braced branches joined by UNION.
+		for {
+			var g GroupPattern
+			if _, err := p.expect(tokLBrace); err != nil {
+				return err
+			}
+			if err := p.groupBody(&g, true); err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return err
+			}
+			q.Branches = append(q.Branches, g)
+			if p.tok.kind == tokKeyword && p.tok.text == "UNION" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if p.tok.kind != tokLBrace {
+					return p.errf("expected '{' after UNION, found %s %q", p.tok.kind, p.tok.text)
+				}
+				continue
+			}
+			break
+		}
+		if len(q.Branches) < 2 {
+			return p.errf("expected UNION after group, found %s %q", p.tok.kind, p.tok.text)
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return err
+		}
+	} else {
+		var g GroupPattern
+		if err := p.groupBody(&g, true); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return err
+		}
+		q.Branches = append(q.Branches, g)
+	}
+	// Mirror the first branch so single-BGP consumers keep working.
+	q.Patterns = q.Branches[0].Patterns
+	q.Filters = q.Branches[0].Filters
+	return nil
+}
+
+// groupBody = (triplesBlock | filter | OPTIONAL '{' groupBody '}')*
+//
+// The body runs until the closing '}' (not consumed). OPTIONAL groups
+// may not nest; allowOptional is false inside one.
+func (p *parser) groupBody(g *GroupPattern, allowOptional bool) error {
 	for p.tok.kind != tokRBrace {
 		if p.tok.kind == tokEOF {
 			return p.errf("unexpected end of input inside group pattern")
 		}
 		if p.tok.kind == tokKeyword && p.tok.text == "FILTER" {
-			if err := p.filter(q); err != nil {
+			if err := p.filterClause(&g.Filters); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := p.triplesSameSubject(q); err != nil {
+		if p.tok.kind == tokKeyword && p.tok.text == "OPTIONAL" {
+			if !allowOptional {
+				return p.errf("nested OPTIONAL groups are not supported")
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokLBrace {
+				return p.errf("expected '{' after OPTIONAL, found %s %q", p.tok.kind, p.tok.text)
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+			var opt GroupPattern
+			if err := p.groupBody(&opt, false); err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRBrace); err != nil {
+				return err
+			}
+			g.Optionals = append(g.Optionals, opt)
+			continue
+		}
+		if p.tok.kind == tokLBrace {
+			return p.errf("unexpected '{' inside group pattern (UNION branches must wrap the whole WHERE clause)")
+		}
+		if err := p.triplesSameSubject(&g.Patterns); err != nil {
 			return err
 		}
 		// Optional '.' separator between triple blocks.
@@ -188,12 +419,11 @@ func (p *parser) groupGraphPattern(q *Query) error {
 			}
 		}
 	}
-	_, err := p.expect(tokRBrace)
-	return err
+	return nil
 }
 
 // triplesSameSubject = term (predObjList (';' predObjList)*)
-func (p *parser) triplesSameSubject(q *Query) error {
+func (p *parser) triplesSameSubject(pats *[]TriplePattern) error {
 	s, err := p.patternTerm(true)
 	if err != nil {
 		return err
@@ -209,7 +439,7 @@ func (p *parser) triplesSameSubject(q *Query) error {
 			if err != nil {
 				return err
 			}
-			q.Patterns = append(q.Patterns, TriplePattern{S: s, P: pred, O: o})
+			*pats = append(*pats, TriplePattern{S: s, P: pred, O: o})
 			if p.tok.kind != tokComma {
 				break
 			}
@@ -361,8 +591,8 @@ func (p *parser) expandPName(pname string) (rdf.Term, error) {
 	return rdf.NewIRI(base + local), nil
 }
 
-// filter = FILTER '(' comparison ('&&' comparison)* ')'
-func (p *parser) filter(q *Query) error {
+// filterClause = FILTER '(' comparison ('&&' comparison)* ')'
+func (p *parser) filterClause(fs *[]Filter) error {
 	if err := p.advance(); err != nil { // consume FILTER
 		return err
 	}
@@ -374,7 +604,7 @@ func (p *parser) filter(q *Query) error {
 		if err != nil {
 			return err
 		}
-		q.Filters = append(q.Filters, f)
+		*fs = append(*fs, f)
 		if p.tok.kind == tokOp && p.tok.text == "&&" {
 			if err := p.advance(); err != nil {
 				return err

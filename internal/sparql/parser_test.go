@@ -166,6 +166,120 @@ func TestParseComments(t *testing.T) {
 	}
 }
 
+func TestParseOptional(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://example.org/>
+		SELECT ?s ?name WHERE {
+			?s ex:follows ?f .
+			OPTIONAL { ?s ex:name ?name . FILTER(?name != "x") }
+		}`)
+	if len(q.Branches) != 1 {
+		t.Fatalf("branches = %d, want 1", len(q.Branches))
+	}
+	b := q.Branches[0]
+	if len(b.Patterns) != 1 || len(b.Optionals) != 1 {
+		t.Fatalf("base patterns = %d optionals = %d", len(b.Patterns), len(b.Optionals))
+	}
+	opt := b.Optionals[0]
+	if len(opt.Patterns) != 1 || len(opt.Filters) != 1 {
+		t.Errorf("optional group patterns = %d filters = %d", len(opt.Patterns), len(opt.Filters))
+	}
+	if !q.Extended() {
+		t.Errorf("Extended() = false for OPTIONAL query")
+	}
+	// Patterns mirrors the first branch's required part.
+	if len(q.Patterns) != 1 {
+		t.Errorf("Patterns mirror = %d, want 1", len(q.Patterns))
+	}
+	if got := q.AllVars(); len(got) != 3 {
+		t.Errorf("AllVars = %v, want 3 vars", got)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://example.org/>
+		SELECT ?a ?b WHERE {
+			{ ?a ex:p1 ?b . }
+			UNION
+			{ ?a ex:p2 ?b . }
+			UNION
+			{ ?a ex:p3 ?b . }
+		}`)
+	if len(q.Branches) != 3 {
+		t.Fatalf("branches = %d, want 3", len(q.Branches))
+	}
+	for i, want := range []string{"p1", "p2", "p3"} {
+		if got := q.Branches[i].Patterns[0].P.Term.Value; got != "http://example.org/"+want {
+			t.Errorf("branch %d predicate = %q", i, got)
+		}
+	}
+	if !q.Extended() {
+		t.Errorf("Extended() = false for UNION query")
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	q := MustParse(`
+		SELECT ?s ?o WHERE { ?s <http://p> ?o . }
+		ORDER BY DESC(?o) ?s
+		LIMIT 5 OFFSET 2`)
+	if len(q.Order) != 2 {
+		t.Fatalf("order keys = %d, want 2", len(q.Order))
+	}
+	if q.Order[0].Var != "o" || !q.Order[0].Desc {
+		t.Errorf("order[0] = %+v, want DESC(?o)", q.Order[0])
+	}
+	if q.Order[1].Var != "s" || q.Order[1].Desc {
+		t.Errorf("order[1] = %+v, want ASC ?s", q.Order[1])
+	}
+	if q.Limit != 5 || q.Offset != 2 {
+		t.Errorf("limit=%d offset=%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseGroupByCount(t *testing.T) {
+	q := MustParse(`
+		SELECT ?s (COUNT(?o) AS ?n) (COUNT(*) AS ?total) WHERE {
+			?s <http://p> ?o .
+		}
+		GROUP BY ?s
+		ORDER BY DESC(?n)`)
+	if len(q.Counts) != 2 {
+		t.Fatalf("counts = %d, want 2", len(q.Counts))
+	}
+	if q.Counts[0].Var != "o" || q.Counts[0].Alias != "n" {
+		t.Errorf("counts[0] = %+v", q.Counts[0])
+	}
+	if q.Counts[1].Var != "" || q.Counts[1].Alias != "total" {
+		t.Errorf("counts[1] = %+v, want COUNT(*)", q.Counts[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "s" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+	if want := []string{"s", "n", "total"}; len(q.Vars) != 3 || q.Vars[0] != want[0] || q.Vars[1] != want[1] || q.Vars[2] != want[2] {
+		t.Errorf("Vars = %v, want %v", q.Vars, want)
+	}
+	if !q.CountAliases()["n"] || !q.CountAliases()["total"] {
+		t.Errorf("CountAliases = %v", q.CountAliases())
+	}
+}
+
+func TestExtendedStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`SELECT ?s ?name WHERE { ?s <http://p> ?f . OPTIONAL { ?s <http://name> ?name . } } LIMIT 3`,
+		`SELECT ?a ?b WHERE { { ?a <http://p1> ?b . } UNION { ?a <http://p2> ?b . } } ORDER BY ?a DESC(?b)`,
+		`SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s <http://p> ?o . } GROUP BY ?s ORDER BY DESC(?n) LIMIT 10`,
+	}
+	for _, src := range srcs {
+		q1 := MustParse(src)
+		q2 := MustParse(q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip mismatch:\n%s\nvs\n%s", q1.String(), q2.String())
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -187,11 +301,65 @@ func TestParseErrors(t *testing.T) {
 		{"filter missing paren", "SELECT * WHERE { ?s <http://p> ?o . FILTER ?o = 1 }"},
 		{"empty var", "SELECT ? WHERE { ?s <http://p> ?o . }"},
 		{"lone ampersand", "SELECT * WHERE { ?s <http://p> ?o . FILTER(?o = 1 & ?o = 2) }"},
+		{"unclosed optional", "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { ?s <http://q> ?x . }"},
+		{"optional missing brace", "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL ?s <http://q> ?x . }"},
+		{"empty optional", "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { } }"},
+		{"nested optional", "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { ?s <http://q> ?x . OPTIONAL { ?x <http://r> ?y . } } }"},
+		{"disjoint optional", "SELECT * WHERE { ?s <http://p> ?o . OPTIONAL { ?x <http://q> ?y . } }"},
+		{"union single branch", "SELECT ?a WHERE { { ?a <http://p> ?b . } }"},
+		{"union missing second brace", "SELECT ?a WHERE { { ?a <http://p> ?b . } UNION ?a <http://q> ?b . }"},
+		{"union unclosed branch", "SELECT ?a WHERE { { ?a <http://p> ?b . } UNION { ?a <http://q> ?b . }"},
+		{"union mismatched vars", "SELECT ?a WHERE { { ?a <http://p> ?b . } UNION { ?a <http://q> ?c . } }"},
+		{"union brace inside plain group", "SELECT * WHERE { ?s <http://p> ?o . { ?s <http://q> ?x . } }"},
+		{"count without group by", "SELECT (COUNT(?o) AS ?n) WHERE { ?s <http://p> ?o . }"},
+		{"count missing as", "SELECT (COUNT(?o) ?n) WHERE { ?s <http://p> ?o . } GROUP BY ?s"},
+		{"count missing alias", "SELECT (COUNT(?o) AS) WHERE { ?s <http://p> ?o . } GROUP BY ?s"},
+		{"count bad argument", `SELECT (COUNT("x") AS ?n) WHERE { ?s <http://p> ?o . } GROUP BY ?s`},
+		{"count alias clash", "SELECT ?s (COUNT(?o) AS ?o) WHERE { ?s <http://p> ?o . } GROUP BY ?s"},
+		{"ungrouped projection", "SELECT ?s ?o (COUNT(*) AS ?n) WHERE { ?s <http://p> ?o . } GROUP BY ?s"},
+		{"group by unknown var", "SELECT (COUNT(*) AS ?n) WHERE { ?s <http://p> ?o . } GROUP BY ?zzz"},
+		{"group by no vars", "SELECT ?s WHERE { ?s <http://p> ?o . } GROUP BY"},
+		{"order by bare desc", "SELECT ?s WHERE { ?s <http://p> ?o . } ORDER BY DESC ?s"},
+		{"order by no keys", "SELECT ?s WHERE { ?s <http://p> ?o . } ORDER BY"},
+		{"order by unprojected", "SELECT ?s WHERE { ?s <http://p> ?o . } ORDER BY ?o"},
+		{"order by unclosed paren", "SELECT ?s WHERE { ?s <http://p> ?o . } ORDER BY ASC(?s"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			if _, err := Parse(tt.src); err == nil {
 				t.Errorf("Parse(%q) succeeded, want error", tt.src)
+			}
+		})
+	}
+}
+
+func TestExtendedErrorsArePositioned(t *testing.T) {
+	// Every new-syntax failure must surface as a *SyntaxError carrying a
+	// source position, never a panic or an unpositioned error.
+	tests := []struct {
+		name     string
+		src      string
+		wantLine int
+	}{
+		{"unclosed optional", "SELECT * WHERE {\n  ?s <http://p> ?o .\n  OPTIONAL { ?s <http://q> ?x .\n}", 4},
+		{"optional missing brace", "SELECT * WHERE {\n  ?s <http://p> ?o .\n  OPTIONAL ?s <http://q> ?x .\n}", 3},
+		{"union single branch", "SELECT ?a WHERE {\n  { ?a <http://p> ?b . }\n}", 3},
+		{"union missing brace", "SELECT ?a WHERE {\n  { ?a <http://p> ?b . }\n  UNION ?a <http://q> ?b .\n}", 3},
+		{"count without group by", "SELECT (COUNT(?o) AS ?n) WHERE {\n  ?s <http://p> ?o .\n}", 3},
+		{"order by bare desc", "SELECT ?s WHERE { ?s <http://p> ?o . }\nORDER BY DESC ?s", 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want positioned error")
+			}
+			se, ok := err.(*SyntaxError)
+			if !ok {
+				t.Fatalf("error %T (%v), want *SyntaxError", err, err)
+			}
+			if se.Line != tt.wantLine {
+				t.Errorf("error line = %d, want %d (%v)", se.Line, tt.wantLine, se)
 			}
 		})
 	}

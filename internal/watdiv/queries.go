@@ -166,27 +166,88 @@ var rawQueries = []struct {
 	}`},
 }
 
+// rawExtended defines the extended-surface query set (E family): each
+// exercises one of the operators beyond conjunctive BGPs — OPTIONAL
+// left joins, UNION, ORDER BY/LIMIT top-K, GROUP BY with COUNT — plus
+// combinations, over the same generated WatDiv vocabulary.
+var rawExtended = []struct {
+	name, body string
+}{
+	// E1: OPTIONAL — products in a genre, with their rating if any.
+	{"E1", `SELECT ?p ?c ?r WHERE {
+		?p wsdbm:hasGenre wsdbm:Genre3 .
+		?p sorg:caption ?c .
+		OPTIONAL { ?p sorg:contentRating ?r . }
+	}`},
+	// E2: UNION — users connected to a product by liking or authorship.
+	{"E2", `SELECT ?u ?p WHERE {
+		{ ?u wsdbm:likes ?p . }
+		UNION
+		{ ?p wsdbm:composedBy ?u . }
+	}`},
+	// E3: ORDER BY + LIMIT — top-rated reviews, a per-partition top-K.
+	{"E3", `SELECT ?r ?rt WHERE {
+		?r rev:rating ?rt .
+		?r rev:reviewer ?u .
+	} ORDER BY DESC(?rt) ?r LIMIT 10`},
+	// E4: GROUP BY + COUNT — products per genre, largest first.
+	{"E4", `SELECT ?g (COUNT(?p) AS ?n) WHERE {
+		?p wsdbm:hasGenre ?g .
+	} GROUP BY ?g ORDER BY DESC(?n) ?g`},
+	// E5: OPTIONAL + ORDER BY + LIMIT combined.
+	{"E5", `SELECT ?u ?city ?a WHERE {
+		?u wsdbm:livesIn ?city .
+		OPTIONAL { ?u foaf:age ?a . }
+	} ORDER BY ?u ?city LIMIT 20`},
+	// E6: plain LIMIT/OFFSET with no ORDER BY — the shape that used to
+	// silently fall off the streaming path; result determinism comes
+	// from the dictionary-ID total order.
+	{"E6", `SELECT ?u ?f WHERE {
+		?u wsdbm:follows ?f .
+		?u wsdbm:likes ?p .
+	} LIMIT 25 OFFSET 5`},
+}
+
 // BasicQuerySet returns the 20 queries in benchmark order (C1..C3,
 // F1..F5, L1..L5, S1..S7), freshly parsed.
 func BasicQuerySet() []Query {
 	out := make([]Query, 0, len(rawQueries))
 	for _, rq := range rawQueries {
-		text := prologue + rq.body
-		parsed, err := sparql.Parse(text)
-		if err != nil {
-			// The query set is a compile-time constant of this package;
-			// a parse failure is a programming error.
-			panic(fmt.Sprintf("watdiv: query %s does not parse: %v", rq.name, err))
-		}
-		parsed.Name = rq.name
-		out = append(out, Query{Name: rq.name, Group: rq.group, Text: text, Parsed: parsed})
+		out = append(out, mustQuery(rq.name, rq.group, rq.body))
 	}
 	return out
 }
 
-// QueryByName returns the named query from the basic set.
+// ExtendedQuerySet returns the E-family queries (E1..E6) covering the
+// extended SPARQL surface, freshly parsed.
+func ExtendedQuerySet() []Query {
+	out := make([]Query, 0, len(rawExtended))
+	for _, rq := range rawExtended {
+		out = append(out, mustQuery(rq.name, "E", rq.body))
+	}
+	return out
+}
+
+func mustQuery(name, group, body string) Query {
+	text := prologue + body
+	parsed, err := sparql.Parse(text)
+	if err != nil {
+		// The query sets are compile-time constants of this package;
+		// a parse failure is a programming error.
+		panic(fmt.Sprintf("watdiv: query %s does not parse: %v", name, err))
+	}
+	parsed.Name = name
+	return Query{Name: name, Group: group, Text: text, Parsed: parsed}
+}
+
+// QueryByName returns the named query from the basic or extended set.
 func QueryByName(name string) (Query, error) {
 	for _, q := range BasicQuerySet() {
+		if q.Name == name {
+			return q, nil
+		}
+	}
+	for _, q := range ExtendedQuerySet() {
 		if q.Name == name {
 			return q, nil
 		}
@@ -208,6 +269,8 @@ func GroupLabel(g string) string {
 		return "Linear"
 	case "S":
 		return "Star"
+	case "E":
+		return "Extended"
 	default:
 		return g
 	}
